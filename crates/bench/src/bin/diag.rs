@@ -1,0 +1,28 @@
+//! Pipeline stage timing diagnostics (developer tool).
+
+use std::time::Instant;
+
+use dca_benchmarks::all_benchmarks;
+use dca_core::DiffCostSolver;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SimpleSingle".to_string());
+    let benchmark = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .expect("unknown benchmark");
+    let t0 = Instant::now();
+    let old = benchmark.old_program();
+    eprintln!("old invariants: {:.2}s, {} locations", t0.elapsed().as_secs_f64(), old.ts.num_locations());
+    let t1 = Instant::now();
+    let new = benchmark.new_program();
+    eprintln!("new invariants: {:.2}s, {} locations", t1.elapsed().as_secs_f64(), new.ts.num_locations());
+    for loc in new.ts.locations() {
+        let n = new.invariants.constraints_at(loc).len();
+        eprintln!("  invariant size at {}: {}", new.ts.location_name(loc), n);
+    }
+    let t2 = Instant::now();
+    let solver = DiffCostSolver::new(benchmark.options());
+    let result = solver.solve(&new, &old);
+    eprintln!("solve: {:.2}s -> {:?}", t2.elapsed().as_secs_f64(), result.map(|r| (r.threshold, r.stats.lp_variables, r.stats.lp_constraints)).map_err(|e| e.to_string()));
+}

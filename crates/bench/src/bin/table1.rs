@@ -1,0 +1,39 @@
+//! Regenerates Table 1 of the paper: tightness of differential thresholds on the 19
+//! benchmark pairs (plus the Fig. 1 running example).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dca-bench --bin table1 [benchmark-name ...]
+//! ```
+//!
+//! With no arguments every benchmark (including the running example) is analyzed; with
+//! arguments only the named benchmarks run.
+
+use dca_bench::{format_table, run_benchmark};
+use dca_benchmarks::{all_benchmarks, running_example};
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let mut benchmarks = all_benchmarks();
+    benchmarks.push(running_example());
+    let selected: Vec<_> = benchmarks
+        .into_iter()
+        .filter(|b| filters.is_empty() || filters.iter().any(|f| b.name.contains(f.as_str())))
+        .collect();
+
+    let mut rows = Vec::new();
+    for benchmark in &selected {
+        eprintln!("analyzing {} ({})...", benchmark.name, benchmark.group);
+        let row = run_benchmark(benchmark);
+        eprintln!(
+            "  -> computed {:?} (tight {}), {:.2}s, LP {}x{}",
+            row.computed, row.tight, row.seconds, row.lp_size.0, row.lp_size.1
+        );
+        rows.push(row);
+    }
+    println!("\nTable 1: tightness of differential thresholds ({} benchmarks)\n", rows.len());
+    println!("{}", format_table(&rows));
+    let tight = rows.iter().filter(|r| r.is_tight()).count();
+    println!("tight thresholds: {}/{}", tight, rows.len());
+}

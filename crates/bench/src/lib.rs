@@ -1,0 +1,138 @@
+//! Benchmark harness support: runs the full pipeline on Table-1 benchmarks and formats
+//! the resulting rows.
+
+use std::time::Instant;
+
+use dca_benchmarks::Benchmark;
+use dca_core::{AnalysisError, DiffCostSolver};
+
+/// One reproduced row of Table 1.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Group label (source of the benchmark).
+    pub group: String,
+    /// Tight threshold (documented, by construction of the reconstruction).
+    pub tight: i64,
+    /// Threshold the paper's tool computed (`None` = ✗ in the paper).
+    pub paper_computed: Option<f64>,
+    /// Threshold computed by this implementation (`None` = failure, the ✗ case).
+    pub computed: Option<f64>,
+    /// Computed threshold rounded down to an integer (sound for integer costs).
+    pub computed_int: Option<i64>,
+    /// Wall-clock time of the full pipeline (parsing, invariants, LP) in seconds.
+    pub seconds: f64,
+    /// Size of the synthesized LP (variables, constraints).
+    pub lp_size: (usize, usize),
+}
+
+impl TableRow {
+    /// `true` if the computed integer threshold equals the tight one.
+    pub fn is_tight(&self) -> bool {
+        self.computed_int == Some(self.tight)
+    }
+}
+
+/// Runs the full differential cost analysis pipeline on one benchmark.
+pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
+    let start = Instant::now();
+    let old = benchmark.old_program();
+    let new = benchmark.new_program();
+    let solver = DiffCostSolver::new(benchmark.options());
+    let outcome = solver.solve(&new, &old);
+    let seconds = start.elapsed().as_secs_f64();
+    match outcome {
+        Ok(result) => TableRow {
+            name: benchmark.name.to_string(),
+            group: benchmark.group.to_string(),
+            tight: benchmark.tight,
+            paper_computed: benchmark.paper_computed,
+            computed: Some(result.threshold),
+            computed_int: Some(result.threshold_int()),
+            seconds,
+            lp_size: (result.stats.lp_variables, result.stats.lp_constraints),
+        },
+        Err(AnalysisError::NoThresholdFound) | Err(_) => TableRow {
+            name: benchmark.name.to_string(),
+            group: benchmark.group.to_string(),
+            tight: benchmark.tight,
+            paper_computed: benchmark.paper_computed,
+            computed: None,
+            computed_int: None,
+            seconds,
+            lp_size: (0, 0),
+        },
+    }
+}
+
+/// Formats a list of rows as the Table-1 style text table.
+pub fn format_table(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "benchmark            | tight    | paper    | computed  | int     | tight? | time (s)\n",
+    );
+    out.push_str(
+        "---------------------+----------+----------+-----------+---------+--------+---------\n",
+    );
+    for row in rows {
+        let paper = row
+            .paper_computed
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "x".to_string());
+        let computed = row
+            .computed
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "x".to_string());
+        let computed_int = row
+            .computed_int
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "x".to_string());
+        out.push_str(&format!(
+            "{:<21}| {:<9}| {:<9}| {:<10}| {:<8}| {:<7}| {:.2}\n",
+            row.name,
+            row.tight,
+            paper,
+            computed,
+            computed_int,
+            if row.is_tight() { "yes" } else { "no" },
+            row.seconds
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_rows() {
+        let row = TableRow {
+            name: "Example".into(),
+            group: "g".into(),
+            tight: 100,
+            paper_computed: Some(100.0),
+            computed: Some(100.0),
+            computed_int: Some(100),
+            seconds: 1.5,
+            lp_size: (10, 20),
+        };
+        assert!(row.is_tight());
+        let table = format_table(&[row]);
+        assert!(table.contains("Example"));
+        assert!(table.contains("yes"));
+        let failed = TableRow {
+            name: "Failed".into(),
+            group: "g".into(),
+            tight: 1,
+            paper_computed: None,
+            computed: None,
+            computed_int: None,
+            seconds: 0.1,
+            lp_size: (0, 0),
+        };
+        assert!(!failed.is_tight());
+        assert!(format_table(&[failed]).contains('x'));
+    }
+}

@@ -1,0 +1,78 @@
+//! `dca` — command-line differential cost analyzer.
+//!
+//! Usage:
+//!
+//! ```text
+//! dca diff <old.dca> <new.dca> [--degree D]     compute a differential threshold
+//! dca bound <program.dca> [--degree D]          single-program bounds with precision (Sec. 7)
+//! dca show <program.dca>                        print the lowered transition system
+//! ```
+
+use std::process::ExitCode;
+
+use dca_core::{AnalysisOptions, AnalyzedProgram, DiffCostSolver};
+
+fn read_program(path: &str) -> Result<AnalyzedProgram, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    AnalyzedProgram::from_source(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_degree(args: &[String]) -> u32 {
+    args.windows(2)
+        .find(|w| w[0] == "--degree")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: dca <diff old new | bound program | show program> [--degree D]";
+    let Some(command) = args.first() else {
+        eprintln!("{usage}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "diff" if args.len() >= 3 => run_diff(&args[1], &args[2], parse_degree(&args)),
+        "bound" if args.len() >= 2 => run_bound(&args[1], parse_degree(&args)),
+        "show" if args.len() >= 2 => run_show(&args[1]),
+        _ => Err(usage.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_diff(old_path: &str, new_path: &str, degree: u32) -> Result<(), String> {
+    let old = read_program(old_path)?;
+    let new = read_program(new_path)?;
+    let solver = DiffCostSolver::new(AnalysisOptions::with_degree(degree));
+    let result = solver.solve(&new, &old).map_err(|e| e.to_string())?;
+    println!("differential threshold: {:.4}", result.threshold);
+    println!("integer threshold:      {}", result.threshold_int());
+    println!("LP: {} variables, {} constraints, {:?}",
+        result.stats.lp_variables, result.stats.lp_constraints, result.stats.duration);
+    println!("\npotential function (new version):\n{}", result.potential_new.render(&new.ts));
+    println!("anti-potential function (old version):\n{}", result.anti_potential_old.render(&old.ts));
+    Ok(())
+}
+
+fn run_bound(path: &str, degree: u32) -> Result<(), String> {
+    let program = read_program(path)?;
+    let solver = DiffCostSolver::new(AnalysisOptions::with_degree(degree));
+    let result = solver.precision(&program).map_err(|e| e.to_string())?;
+    println!("precision gap: {:.4}", result.precision);
+    println!("\nupper cost bound:\n{}", result.upper.render(&program.ts));
+    println!("lower cost bound:\n{}", result.lower.render(&program.ts));
+    Ok(())
+}
+
+fn run_show(path: &str) -> Result<(), String> {
+    let program = read_program(path)?;
+    println!("{}", program.ts.render());
+    println!("invariants:\n{}", program.invariants.render(&program.ts));
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Configuration of the synthesis algorithm.
+
+/// Which LP backend to use for Step 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpBackend {
+    /// Floating-point simplex (default; mirrors the paper's use of a real-valued LP
+    /// solver and is fast enough for the full benchmark suite).
+    F64,
+    /// Exact rational simplex (slower; useful for small programs and cross-checking).
+    Exact,
+}
+
+/// Options controlling the synthesis algorithm of Section 5.
+///
+/// The two numeric parameters correspond exactly to the paper's algorithm parameters:
+/// `degree` is the maximal polynomial degree `d` of the potential / anti-potential
+/// templates, and `max_products` is the parameter `K` bounding how many affine
+/// expressions may be multiplied in `Prod_K(Aff)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Maximal degree `d` of the polynomial templates (the paper uses 2 for all
+    /// benchmarks except `nested`, which needs 3).
+    pub degree: u32,
+    /// Maximal number of factors `K` in Handelman products (the paper uses `K = d`).
+    pub max_products: u32,
+    /// Whether the templates may mention the `cost` variable itself. The accumulated
+    /// cost never helps to bound *future* cost, so excluding it (the default) shrinks the
+    /// LP without affecting any of the paper's benchmarks.
+    pub include_cost_in_template: bool,
+    /// LP backend for Step 4.
+    pub backend: LpBackend,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            degree: 2,
+            max_products: 2,
+            include_cost_in_template: false,
+            backend: LpBackend::F64,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Options with a custom template degree (and `K = degree`).
+    pub fn with_degree(degree: u32) -> AnalysisOptions {
+        AnalysisOptions { degree, max_products: degree, ..AnalysisOptions::default() }
+    }
+
+    /// Switches to the exact rational LP backend.
+    pub fn exact(mut self) -> AnalysisOptions {
+        self.backend = LpBackend::Exact;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let options = AnalysisOptions::default();
+        assert_eq!(options.degree, 2);
+        assert_eq!(options.max_products, 2);
+        assert!(!options.include_cost_in_template);
+        assert_eq!(options.backend, LpBackend::F64);
+    }
+
+    #[test]
+    fn with_degree_sets_both_parameters() {
+        let options = AnalysisOptions::with_degree(3);
+        assert_eq!(options.degree, 3);
+        assert_eq!(options.max_products, 3);
+        assert_eq!(AnalysisOptions::default().exact().backend, LpBackend::Exact);
+    }
+}

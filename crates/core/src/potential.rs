@@ -1,0 +1,72 @@
+//! Synthesized potential and anti-potential functions.
+
+use std::collections::BTreeMap;
+
+use dca_ir::{LocId, TransitionSystem};
+use dca_numeric::Rational;
+use dca_poly::{Polynomial, Valuation};
+
+/// A synthesized potential (or anti-potential) function: one polynomial per location.
+///
+/// The paper's Fig. 1 annotations — e.g. `φ_new(ℓ1) = 2·(lenB − i)·lenA` — are exactly
+/// values of this map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PotentialFunction {
+    per_location: BTreeMap<LocId, Polynomial>,
+}
+
+impl PotentialFunction {
+    /// Creates a potential function from a per-location polynomial map.
+    pub fn new(per_location: BTreeMap<LocId, Polynomial>) -> PotentialFunction {
+        PotentialFunction { per_location }
+    }
+
+    /// The polynomial at a location (zero polynomial if the location is unknown).
+    pub fn at(&self, loc: LocId) -> Polynomial {
+        self.per_location.get(&loc).cloned().unwrap_or_else(Polynomial::zero)
+    }
+
+    /// Evaluates the potential at a concrete state.
+    pub fn eval(&self, loc: LocId, valuation: &Valuation) -> Rational {
+        self.at(loc).eval(valuation)
+    }
+
+    /// Iterates over `(location, polynomial)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&LocId, &Polynomial)> {
+        self.per_location.iter()
+    }
+
+    /// Renders the potential function with location and variable names.
+    pub fn render(&self, ts: &TransitionSystem) -> String {
+        let mut out = String::new();
+        for (loc, poly) in &self.per_location {
+            out.push_str(&format!(
+                "  {}: {}\n",
+                ts.location_name(*loc),
+                poly.to_string(ts.pool())
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_poly::VarPool;
+
+    #[test]
+    fn evaluation_and_defaults() {
+        let mut pool = VarPool::new();
+        let x = pool.intern("x");
+        let mut map = BTreeMap::new();
+        map.insert(LocId(0), Polynomial::var(x) + Polynomial::from_int(1));
+        let pf = PotentialFunction::new(map);
+        let mut valuation = Valuation::new();
+        valuation.insert(x, Rational::from_int(4));
+        assert_eq!(pf.eval(LocId(0), &valuation), Rational::from_int(5));
+        // Unknown locations evaluate to zero.
+        assert_eq!(pf.eval(LocId(9), &valuation), Rational::zero());
+        assert_eq!(pf.iter().count(), 1);
+    }
+}

@@ -1,0 +1,705 @@
+//! The DiffCost solver: LP assembly, threshold minimization, and the corollary analyses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use dca_handelman::{encode_nonnegativity, ConstraintSense, UnknownConstraint, UnknownFactory, UnknownKind};
+use dca_ir::IntValuation;
+use dca_lp::{ConstraintOp, LpProblem, LpStatus, LpVar, VarKind};
+use dca_numeric::Rational;
+use dca_poly::{LinExpr, LinForm, Polynomial, TemplatePolynomial, UnknownId, VarId};
+
+use crate::constraints::{
+    collect_program_constraints, remap_linexpr_vars, remap_template_vars, ConstraintSet,
+    ProgramTemplates, TemplateRole,
+};
+use crate::options::{AnalysisOptions, LpBackend};
+use crate::potential::PotentialFunction;
+use crate::program::AnalyzedProgram;
+
+/// Errors produced by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The LP is infeasible: no polynomial PF/anti-PF pair of the chosen degree witnesses
+    /// a threshold (the paper reports this as ✗).
+    NoThresholdFound,
+    /// The LP is unbounded (should not happen for well-formed inputs with bounded Θ0).
+    Unbounded,
+    /// The floating-point simplex hit its iteration limit.
+    IterationLimit,
+    /// The candidate threshold could not be refuted with the given inputs.
+    RefutationFailed,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoThresholdFound => {
+                write!(f, "no threshold of the chosen template degree could be synthesized")
+            }
+            AnalysisError::Unbounded => write!(f, "the synthesis LP is unbounded"),
+            AnalysisError::IterationLimit => write!(f, "the LP solver hit its iteration limit"),
+            AnalysisError::RefutationFailed => {
+                write!(f, "the candidate threshold could not be refuted on the tried inputs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Size and timing statistics of one solver invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of LP variables (template coefficients, threshold, multipliers).
+    pub lp_variables: usize,
+    /// Number of LP constraints.
+    pub lp_constraints: usize,
+    /// Wall-clock time spent constructing and solving the LP.
+    pub duration: Duration,
+}
+
+/// The result of the main differential cost analysis.
+#[derive(Debug, Clone)]
+pub struct DiffCostResult {
+    /// The synthesized threshold `t` (real-valued, as produced by the LP).
+    pub threshold: f64,
+    /// The potential function for the new program.
+    pub potential_new: PotentialFunction,
+    /// The anti-potential function for the old program.
+    pub anti_potential_old: PotentialFunction,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+impl DiffCostResult {
+    /// The threshold rounded down to an integer.
+    ///
+    /// Costs are integer-valued, so any real threshold `t` implies the integer threshold
+    /// `⌊t⌋`; this mirrors the paper's observation that computed bounds such as `99.94`
+    /// are tight for integer costs.
+    pub fn threshold_int(&self) -> i64 {
+        // The floating-point LP can undershoot the true optimum by a small tolerance
+        // (e.g. report -1.6e-5 where the exact optimum is 0); the slack added here is an
+        // order of magnitude above that tolerance and well below 1, so integer-valued
+        // costs keep a sound integer threshold.
+        (self.threshold + 1e-4).floor() as i64
+    }
+}
+
+/// The result of proving a symbolic polynomial bound (Section 5, final paragraph).
+#[derive(Debug, Clone)]
+pub struct SymbolicBoundResult {
+    /// The potential function for the new program.
+    pub potential_new: PotentialFunction,
+    /// The anti-potential function for the old program.
+    pub anti_potential_old: PotentialFunction,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+/// The result of refuting a candidate threshold (Theorem 4.3).
+#[derive(Debug, Clone)]
+pub struct RefutationResult {
+    /// The input on which the cost difference provably exceeds the candidate threshold.
+    pub witness_input: IntValuation,
+    /// Anti-potential function for the new program (lower bound on its cost).
+    pub anti_potential_new: PotentialFunction,
+    /// Potential function for the old program (upper bound on its cost).
+    pub potential_old: PotentialFunction,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+/// The result of the single-program precision analysis (Section 7).
+#[derive(Debug, Clone)]
+pub struct PrecisionResult {
+    /// The precision bound `p`: both computed bounds are within `p` of the true cost.
+    pub precision: f64,
+    /// The upper cost bound (potential function).
+    pub upper: PotentialFunction,
+    /// The lower cost bound (anti-potential function).
+    pub lower: PotentialFunction,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+/// The solver implementing the simultaneous synthesis algorithm of Section 5.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffCostSolver {
+    options: AnalysisOptions,
+}
+
+impl Default for DiffCostSolver {
+    fn default() -> Self {
+        DiffCostSolver::new(AnalysisOptions::default())
+    }
+}
+
+impl DiffCostSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: AnalysisOptions) -> DiffCostSolver {
+        DiffCostSolver { options }
+    }
+
+    /// The options this solver was created with.
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// Solves the DiffCost problem: minimizes a threshold `t` such that
+    /// `CostSup_new(x) − CostInf_old(x) ≤ t` for all `x ∈ Θ0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoThresholdFound`] when no polynomial witness of the
+    /// configured degree exists (e.g. the benchmarks the paper marks ✗).
+    pub fn solve(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+    ) -> Result<DiffCostResult, AnalysisError> {
+        let start = Instant::now();
+        let mut factory = UnknownFactory::new();
+        let threshold = factory.fresh("t", UnknownKind::Free);
+        let (templates_new, templates_old, mut set) =
+            self.collect_both(new, old, &mut factory);
+
+        // Differential constraint: Θ0 ⟹ t − (φ_new(ℓ0,x) − χ_old(ℓ0,x)) ≥ 0.
+        let (phi0, chi0, theta0) = self.initial_difference(new, old, &templates_new, &templates_old);
+        let poly = &(&TemplatePolynomial::from_unknown(threshold) - &phi0) + &chi0;
+        let encoding = encode_nonnegativity(
+            &theta0,
+            &poly,
+            self.options.max_products,
+            &mut factory,
+            "differential",
+        );
+        set.extend(encoding.constraints);
+
+        let (objective_value, assignment, stats) =
+            self.solve_lp(&factory, &set, Some(threshold), start)?;
+        Ok(DiffCostResult {
+            threshold: objective_value,
+            potential_new: templates_new.instantiate(&assignment),
+            anti_potential_old: templates_old.instantiate(&assignment),
+            stats,
+        })
+    }
+
+    /// Proves a symbolic polynomial bound `p(x)` on the cost difference:
+    /// `CostSup_new(x) − CostInf_old(x) ≤ p(x)` for all `x ∈ Θ0`.
+    ///
+    /// The bound is expressed over the *new* program's variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoThresholdFound`] if the bound cannot be witnessed with
+    /// templates of the configured degree.
+    pub fn prove_symbolic_bound(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        bound: &Polynomial,
+    ) -> Result<SymbolicBoundResult, AnalysisError> {
+        let start = Instant::now();
+        let mut factory = UnknownFactory::new();
+        let (templates_new, templates_old, mut set) =
+            self.collect_both(new, old, &mut factory);
+        let (phi0, chi0, theta0) = self.initial_difference(new, old, &templates_new, &templates_old);
+        let poly = &(&TemplatePolynomial::from_polynomial(bound) - &phi0) + &chi0;
+        let encoding = encode_nonnegativity(
+            &theta0,
+            &poly,
+            self.options.max_products,
+            &mut factory,
+            "symbolic-bound",
+        );
+        set.extend(encoding.constraints);
+        let (_, assignment, stats) = self.solve_lp(&factory, &set, None, start)?;
+        Ok(SymbolicBoundResult {
+            potential_new: templates_new.instantiate(&assignment),
+            anti_potential_old: templates_old.instantiate(&assignment),
+            stats,
+        })
+    }
+
+    /// Attempts to refute a candidate threshold `t` (Theorem 4.3): finds an input on which
+    /// the cost difference provably *exceeds* `t`, by synthesizing an anti-potential for
+    /// the new program and a potential for the old one.
+    ///
+    /// Candidate inputs are taken from `candidate_inputs` (variable name → value, over the
+    /// new program's inputs); if empty, corner points of the input box implied by Θ0 are
+    /// tried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::RefutationFailed`] if no tried input admits a witness.
+    pub fn refute_threshold(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        threshold: i64,
+        candidate_inputs: &[BTreeMap<String, i64>],
+    ) -> Result<RefutationResult, AnalysisError> {
+        let start = Instant::now();
+        let mut factory = UnknownFactory::new();
+        // Roles are swapped relative to `solve`: lower bound on new, upper bound on old.
+        let templates_new = ProgramTemplates::allocate(
+            &new.ts,
+            self.options.degree,
+            self.options.include_cost_in_template,
+            &mut factory,
+            "chi_new",
+        );
+        let templates_old = ProgramTemplates::allocate(
+            &old.ts,
+            self.options.degree,
+            self.options.include_cost_in_template,
+            &mut factory,
+            "phi_old",
+        );
+        let mut set = ConstraintSet::new();
+        collect_program_constraints(
+            &new.ts,
+            &new.invariants,
+            &templates_new,
+            TemplateRole::AntiPotential,
+            self.options.max_products,
+            &mut factory,
+            &mut set,
+        );
+        collect_program_constraints(
+            &old.ts,
+            &old.invariants,
+            &templates_old,
+            TemplateRole::Potential,
+            self.options.max_products,
+            &mut factory,
+            &mut set,
+        );
+
+        let mapping = variable_mapping(old, new);
+        let chi0_new = templates_new.at(new.ts.initial()).clone();
+        let phi0_old = remap_template_vars(templates_old.at(old.ts.initial()), &mapping);
+
+        let candidates = if candidate_inputs.is_empty() {
+            default_corner_inputs(new)
+        } else {
+            candidate_inputs
+                .iter()
+                .map(|named| {
+                    named
+                        .iter()
+                        .filter_map(|(name, &value)| {
+                            new.ts.pool().lookup(name).map(|id| (id, value))
+                        })
+                        .collect::<IntValuation>()
+                })
+                .collect()
+        };
+
+        for candidate in candidates {
+            // χ_new(ℓ0, x*) − φ_old(ℓ0, x*) ≥ t + 1 at the concrete input x*.
+            let valuation: dca_poly::Valuation = candidate
+                .iter()
+                .map(|(&v, &x)| (v, Rational::from_int(x)))
+                .collect();
+            let difference = &eval_template(&chi0_new, &valuation)
+                - &eval_template(&phi0_old, &valuation);
+            let exceeded = &difference - &LinForm::constant(Rational::from_int(threshold + 1));
+            let mut candidate_set = set.clone();
+            candidate_set.push(UnknownConstraint::ge(exceeded, "refutation"));
+            match self.solve_lp(&factory, &candidate_set, None, start) {
+                Ok((_, assignment, stats)) => {
+                    return Ok(RefutationResult {
+                        witness_input: candidate,
+                        anti_potential_new: templates_new.instantiate(&assignment),
+                        potential_old: templates_old.instantiate(&assignment),
+                        stats,
+                    })
+                }
+                Err(AnalysisError::NoThresholdFound) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(AnalysisError::RefutationFailed)
+    }
+
+    /// Single-program precision analysis (Section 7): simultaneously computes an upper
+    /// bound `φ` and a lower bound `χ` on the program's cost and minimizes the precision
+    /// gap `p` with `φ(ℓ0,x) − χ(ℓ0,x) ≤ p` on `Θ0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NoThresholdFound`] if no pair of polynomial bounds of the
+    /// configured degree exists.
+    pub fn precision(&self, program: &AnalyzedProgram) -> Result<PrecisionResult, AnalysisError> {
+        let result = self.solve(program, program)?;
+        Ok(PrecisionResult {
+            precision: result.threshold,
+            upper: result.potential_new,
+            lower: result.anti_potential_old,
+            stats: result.stats,
+        })
+    }
+
+    // ----- internal helpers -------------------------------------------------------------
+
+    fn collect_both(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        factory: &mut UnknownFactory,
+    ) -> (ProgramTemplates, ProgramTemplates, ConstraintSet) {
+        let templates_new = ProgramTemplates::allocate(
+            &new.ts,
+            self.options.degree,
+            self.options.include_cost_in_template,
+            factory,
+            "phi_new",
+        );
+        let templates_old = ProgramTemplates::allocate(
+            &old.ts,
+            self.options.degree,
+            self.options.include_cost_in_template,
+            factory,
+            "chi_old",
+        );
+        let mut set = ConstraintSet::new();
+        collect_program_constraints(
+            &new.ts,
+            &new.invariants,
+            &templates_new,
+            TemplateRole::Potential,
+            self.options.max_products,
+            factory,
+            &mut set,
+        );
+        collect_program_constraints(
+            &old.ts,
+            &old.invariants,
+            &templates_old,
+            TemplateRole::AntiPotential,
+            self.options.max_products,
+            factory,
+            &mut set,
+        );
+        (templates_new, templates_old, set)
+    }
+
+    /// Builds `φ_new(ℓ0)`, the remapped `χ_old(ℓ0)` and the shared Θ0 over the new
+    /// program's variable space.
+    fn initial_difference(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        templates_new: &ProgramTemplates,
+        templates_old: &ProgramTemplates,
+    ) -> (TemplatePolynomial, TemplatePolynomial, Vec<LinExpr>) {
+        let mapping = variable_mapping(old, new);
+        let phi0 = templates_new.at(new.ts.initial()).clone();
+        let chi0 = remap_template_vars(templates_old.at(old.ts.initial()), &mapping);
+        let mut theta0: Vec<LinExpr> = new.ts.theta0().to_vec();
+        for constraint in old.ts.theta0() {
+            let remapped = remap_linexpr_vars(constraint, &mapping);
+            if !theta0.contains(&remapped) {
+                theta0.push(remapped);
+            }
+        }
+        (phi0, chi0, theta0)
+    }
+
+    fn solve_lp(
+        &self,
+        factory: &UnknownFactory,
+        set: &ConstraintSet,
+        objective: Option<UnknownId>,
+        start: Instant,
+    ) -> Result<(f64, BTreeMap<UnknownId, Rational>, SolveStats), AnalysisError> {
+        let mut lp = LpProblem::new();
+        let lp_vars: Vec<LpVar> = factory
+            .iter()
+            .map(|u| {
+                let kind = match factory.kind(u) {
+                    UnknownKind::Free => VarKind::Free,
+                    UnknownKind::NonNegative => VarKind::NonNegative,
+                };
+                lp.add_var(factory.name(u), kind)
+            })
+            .collect();
+        for constraint in set.constraints() {
+            let terms: Vec<(LpVar, Rational)> = constraint
+                .form
+                .iter()
+                .map(|(u, c)| (lp_vars[u.index()], c.clone()))
+                .collect();
+            let rhs = -constraint.form.constant_term().clone();
+            let op = match constraint.sense {
+                ConstraintSense::Eq => ConstraintOp::Eq,
+                ConstraintSense::Ge => ConstraintOp::Ge,
+            };
+            lp.add_constraint(terms, op, rhs);
+        }
+        if let Some(objective) = objective {
+            lp.set_objective(vec![(lp_vars[objective.index()], Rational::one())]);
+        }
+
+        let stats = |duration| SolveStats {
+            lp_variables: lp.num_vars(),
+            lp_constraints: lp.num_constraints(),
+            duration,
+        };
+        let solve_exact = |lp: &LpProblem| {
+            let solution = lp.solve_exact();
+            match solution.status {
+                LpStatus::Optimal => {
+                    let assignment: BTreeMap<UnknownId, Rational> = factory
+                        .iter()
+                        .map(|u| (u, solution.values[u.index()].clone()))
+                        .collect();
+                    let objective_value = solution
+                        .objective
+                        .as_ref()
+                        .map(Rational::to_f64)
+                        .unwrap_or(0.0);
+                    Ok((objective_value, assignment, stats(start.elapsed())))
+                }
+                LpStatus::Infeasible => Err(AnalysisError::NoThresholdFound),
+                LpStatus::Unbounded => Err(AnalysisError::Unbounded),
+                LpStatus::IterationLimit => Err(AnalysisError::IterationLimit),
+            }
+        };
+        match self.options.backend {
+            LpBackend::F64 => {
+                let solution = lp.solve_f64();
+                match solution.status {
+                    LpStatus::Optimal => {
+                        let assignment: BTreeMap<UnknownId, Rational> = factory
+                            .iter()
+                            .map(|u| (u, Rational::from_f64(solution.values[u.index()])))
+                            .collect();
+                        let objective_value = solution.objective.unwrap_or(0.0);
+                        Ok((objective_value, assignment, stats(start.elapsed())))
+                    }
+                    LpStatus::Infeasible => Err(AnalysisError::NoThresholdFound),
+                    // Spurious unboundedness / stalling can occur in floating point on
+                    // badly conditioned instances; fall back to the exact backend before
+                    // giving up.
+                    LpStatus::Unbounded | LpStatus::IterationLimit => solve_exact(&lp),
+                }
+            }
+            LpBackend::Exact => solve_exact(&lp),
+        }
+    }
+}
+
+/// Evaluates a template polynomial at a concrete valuation, producing an affine form over
+/// the LP unknowns.
+fn eval_template(template: &TemplatePolynomial, valuation: &dca_poly::Valuation) -> LinForm {
+    let mut result = LinForm::zero();
+    for (mono, form) in template.iter() {
+        result = &result + &form.scale(&mono.eval(valuation));
+    }
+    result
+}
+
+/// Maps the old program's variables onto the new program's variables by name; names that
+/// only exist in the old program keep their (disjoint) identity shifted beyond the new
+/// pool so they cannot collide.
+fn variable_mapping(old: &AnalyzedProgram, new: &AnalyzedProgram) -> BTreeMap<VarId, VarId> {
+    let mut mapping = BTreeMap::new();
+    let offset = new.ts.pool().len() as u32 + 8192;
+    for old_var in old.ts.vars() {
+        let name = old.ts.pool().name(old_var);
+        match new.ts.pool().lookup(name) {
+            Some(new_var) => {
+                mapping.insert(old_var, new_var);
+            }
+            None => {
+                mapping.insert(old_var, VarId(offset + old_var.0));
+            }
+        }
+    }
+    mapping
+}
+
+/// Derives candidate corner inputs from the new program's Θ0 by bounding every data
+/// variable with two LPs (minimum and maximum); returns the all-minimum corner, the
+/// all-maximum corner and the mixed corners obtained by flipping one variable at a time.
+fn default_corner_inputs(program: &AnalyzedProgram) -> Vec<IntValuation> {
+    let theta0 = program.ts.theta0();
+    let data_vars = program.ts.data_vars();
+    let mut bounds: Vec<(VarId, i64, i64)> = Vec::new();
+    for var in &data_vars {
+        let lower = optimize_var(theta0, *var, true).unwrap_or(0);
+        let upper = optimize_var(theta0, *var, false).unwrap_or(lower.max(0));
+        bounds.push((*var, lower, upper));
+    }
+    let mut corners = Vec::new();
+    let lower_corner: IntValuation = bounds.iter().map(|&(v, lo, _)| (v, lo)).collect();
+    let upper_corner: IntValuation = bounds.iter().map(|&(v, _, hi)| (v, hi)).collect();
+    corners.push(upper_corner.clone());
+    corners.push(lower_corner.clone());
+    for &(flip, lo, _) in &bounds {
+        let mut mixed = upper_corner.clone();
+        mixed.insert(flip, lo);
+        if !corners.contains(&mixed) {
+            corners.push(mixed);
+        }
+    }
+    // cost starts at 0 in every candidate.
+    for corner in &mut corners {
+        corner.insert(program.ts.cost_var(), 0);
+    }
+    corners
+}
+
+/// Minimizes (or maximizes) a single variable over the Θ0 polytope.
+fn optimize_var(theta0: &[LinExpr], var: VarId, minimize: bool) -> Option<i64> {
+    let mut vars: Vec<VarId> = theta0.iter().flat_map(LinExpr::vars).collect();
+    vars.push(var);
+    vars.sort();
+    vars.dedup();
+    let mut lp = LpProblem::new();
+    let lp_vars: BTreeMap<VarId, LpVar> = vars
+        .iter()
+        .map(|&v| (v, lp.add_var(format!("x{}", v.0), VarKind::Free)))
+        .collect();
+    for constraint in theta0 {
+        let terms: Vec<_> = constraint
+            .iter()
+            .map(|(v, c)| (lp_vars[v], c.clone()))
+            .collect();
+        lp.add_constraint(terms, ConstraintOp::Ge, -constraint.constant_term().clone());
+    }
+    let sign = if minimize { Rational::one() } else { Rational::from_int(-1) };
+    lp.set_objective(vec![(lp_vars[&var], sign)]);
+    let solution = lp.solve_f64();
+    if solution.status != LpStatus::Optimal {
+        return None;
+    }
+    Some(solution.values[lp_vars[&var].index()].round() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(source: &str) -> AnalyzedProgram {
+        AnalyzedProgram::from_source(source).unwrap()
+    }
+
+    const COUNT_TICK1: &str = r#"
+        proc count(n) {
+            assume(n >= 1 && n <= 100);
+            i = 0;
+            while (i < n) { tick(1); i = i + 1; }
+        }
+    "#;
+    const COUNT_TICK2: &str = r#"
+        proc count(n) {
+            assume(n >= 1 && n <= 100);
+            i = 0;
+            while (i < n) { tick(2); i = i + 1; }
+        }
+    "#;
+
+    #[test]
+    fn doubling_cost_gives_threshold_n_max() {
+        let old = analyzed(COUNT_TICK1);
+        let new = analyzed(COUNT_TICK2);
+        let solver = DiffCostSolver::default();
+        let result = solver.solve(&new, &old).expect("threshold should exist");
+        // CostSup_new - CostInf_old = 2n - n = n <= 100; the tight threshold is 100.
+        assert!(
+            (result.threshold - 100.0).abs() < 0.5,
+            "threshold = {}",
+            result.threshold
+        );
+        assert_eq!(result.threshold_int(), 100);
+        assert!(result.stats.lp_variables > 0);
+        assert!(result.stats.lp_constraints > 0);
+    }
+
+    #[test]
+    fn identical_programs_give_zero_threshold() {
+        let old = analyzed(COUNT_TICK1);
+        let new = analyzed(COUNT_TICK1);
+        let solver = DiffCostSolver::default();
+        let result = solver.solve(&new, &old).expect("threshold should exist");
+        assert!(result.threshold.abs() < 0.5, "threshold = {}", result.threshold);
+        assert_eq!(result.threshold_int(), 0);
+    }
+
+    #[test]
+    fn cheaper_new_version_gives_negative_or_zero_threshold() {
+        let old = analyzed(COUNT_TICK2);
+        let new = analyzed(COUNT_TICK1);
+        let solver = DiffCostSolver::default();
+        let result = solver.solve(&new, &old).expect("threshold should exist");
+        // New is cheaper by n >= 1, so the tightest threshold is -1 (on n = 1).
+        assert!(result.threshold <= 0.5, "threshold = {}", result.threshold);
+    }
+
+    #[test]
+    fn precision_analysis_on_deterministic_loop_is_tight() {
+        let program = analyzed(COUNT_TICK1);
+        let solver = DiffCostSolver::default();
+        let result = solver.precision(&program).expect("precision bound should exist");
+        // The loop is deterministic with cost exactly n, so upper and lower bounds can
+        // coincide: precision 0 (up to LP tolerance).
+        assert!(result.precision.abs() < 0.5, "precision = {}", result.precision);
+    }
+
+    #[test]
+    fn symbolic_bound_is_provable() {
+        let old = analyzed(COUNT_TICK1);
+        let new = analyzed(COUNT_TICK2);
+        let solver = DiffCostSolver::default();
+        // The difference is exactly n, so the symbolic bound p(x) = n is provable...
+        let n = new.ts.pool().lookup("n").unwrap();
+        let bound = Polynomial::var(n);
+        assert!(solver.prove_symbolic_bound(&new, &old, &bound).is_ok());
+        // ...but p(x) = n - 1 is not.
+        let too_small = Polynomial::var(n) - Polynomial::from_int(1);
+        assert!(matches!(
+            solver.prove_symbolic_bound(&new, &old, &too_small),
+            Err(AnalysisError::NoThresholdFound)
+        ));
+    }
+
+    #[test]
+    fn refutation_of_too_small_threshold() {
+        let old = analyzed(COUNT_TICK1);
+        let new = analyzed(COUNT_TICK2);
+        let solver = DiffCostSolver::default();
+        // 99 is not a threshold (difference reaches 100 at n = 100).
+        let refutation = solver
+            .refute_threshold(&new, &old, 99, &[])
+            .expect("99 should be refutable");
+        let n = new.ts.pool().lookup("n").unwrap();
+        assert_eq!(refutation.witness_input.get(&n), Some(&100));
+        // 100 is a genuine threshold and must not be refutable.
+        assert!(matches!(
+            solver.refute_threshold(&new, &old, 100, &[]),
+            Err(AnalysisError::RefutationFailed)
+        ));
+    }
+
+    #[test]
+    fn corner_input_derivation() {
+        let program = analyzed(COUNT_TICK1);
+        let corners = default_corner_inputs(&program);
+        let n = program.ts.pool().lookup("n").unwrap();
+        assert!(corners.iter().any(|c| c.get(&n) == Some(&100)));
+        assert!(corners.iter().any(|c| c.get(&n) == Some(&1)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(AnalysisError::NoThresholdFound.to_string().contains("threshold"));
+        assert!(AnalysisError::RefutationFailed.to_string().contains("refuted"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Allocation of LP unknowns shared across the constraint-generation pipeline.
+
+use dca_poly::UnknownId;
+
+/// Sign restriction of an LP unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownKind {
+    /// Unrestricted in sign (template coefficients, the threshold `t`).
+    Free,
+    /// Constrained to be non-negative (Handelman multipliers).
+    NonNegative,
+}
+
+/// Allocates [`UnknownId`]s with names and sign restrictions.
+///
+/// The factory is the single source of truth for how many unknowns exist; the core
+/// solver turns every allocated unknown into one LP variable of the matching kind.
+///
+/// # Examples
+///
+/// ```
+/// use dca_handelman::{UnknownFactory, UnknownKind};
+/// let mut factory = UnknownFactory::new();
+/// let t = factory.fresh("t", UnknownKind::Free);
+/// let c = factory.fresh("lambda", UnknownKind::NonNegative);
+/// assert_ne!(t, c);
+/// assert_eq!(factory.len(), 2);
+/// assert_eq!(factory.kind(c), UnknownKind::NonNegative);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnknownFactory {
+    names: Vec<String>,
+    kinds: Vec<UnknownKind>,
+}
+
+impl UnknownFactory {
+    /// Creates an empty factory.
+    pub fn new() -> UnknownFactory {
+        UnknownFactory::default()
+    }
+
+    /// Allocates a fresh unknown.
+    pub fn fresh(&mut self, name: &str, kind: UnknownKind) -> UnknownId {
+        let id = UnknownId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Number of allocated unknowns.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no unknowns have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The display name of an unknown.
+    pub fn name(&self, id: UnknownId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The sign restriction of an unknown.
+    pub fn kind(&self, id: UnknownId) -> UnknownKind {
+        self.kinds[id.index()]
+    }
+
+    /// Iterates over all allocated unknowns.
+    pub fn iter(&self) -> impl Iterator<Item = UnknownId> + '_ {
+        (0..self.names.len() as u32).map(UnknownId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_sequential() {
+        let mut f = UnknownFactory::new();
+        assert!(f.is_empty());
+        let a = f.fresh("a", UnknownKind::Free);
+        let b = f.fresh("b", UnknownKind::NonNegative);
+        assert_eq!(a, UnknownId(0));
+        assert_eq!(b, UnknownId(1));
+        assert_eq!(f.name(a), "a");
+        assert_eq!(f.kind(a), UnknownKind::Free);
+        assert_eq!(f.kind(b), UnknownKind::NonNegative);
+        assert_eq!(f.iter().count(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Handelman-style positivity certificates (Step 3 of the paper's algorithm).
+//!
+//! Every constraint collected in Step 2 has the shape
+//!
+//! ```text
+//! aff_1(x) ≥ 0 ∧ ... ∧ aff_k(x) ≥ 0   ⟹   poly(x) ≥ 0
+//! ```
+//!
+//! where the `aff_i` are concrete affine expressions (invariants, guards, Θ0) and `poly`
+//! is a polynomial that is *linear in the LP unknowns* (template coefficients, the
+//! threshold, ...). Following Handelman's theorem, the implication is soundly replaced by
+//! the requirement that `poly` be a non-negative linear combination of products of at
+//! most `K` of the `aff_i`:
+//!
+//! ```text
+//! poly  =  Σ_{g ∈ Prod_K(Aff)} c_g · g        with  c_g ≥ 0.
+//! ```
+//!
+//! Equating the coefficient of every monomial on both sides yields purely existential
+//! *linear* equalities over the unknowns — exactly what the LP solver consumes.
+//!
+//! The crate provides the product enumeration ([`products_up_to`]), the unknown
+//! allocator shared with the rest of the pipeline ([`UnknownFactory`]), and the encoder
+//! ([`encode_nonnegativity`]) that emits the linear constraints.
+
+mod encode;
+mod factory;
+
+pub use encode::{
+    check_certificate, encode_nonnegativity, products_up_to, ConstraintSense, HandelmanEncoding,
+    UnknownConstraint,
+};
+pub use factory::{UnknownFactory, UnknownKind};

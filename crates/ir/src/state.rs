@@ -1,0 +1,105 @@
+//! Concrete program states and integer valuations.
+
+use std::collections::BTreeMap;
+
+use dca_numeric::Rational;
+use dca_poly::{LinExpr, Polynomial, Valuation, VarId};
+
+use crate::system::LocId;
+
+/// A concrete integer valuation of program variables.
+pub type IntValuation = BTreeMap<VarId, i64>;
+
+/// Converts an integer valuation into the rational [`Valuation`] used by `dca-poly`.
+pub fn to_rational_valuation(vals: &IntValuation) -> Valuation {
+    vals.iter()
+        .map(|(&v, &x)| (v, Rational::from_int(x)))
+        .collect()
+}
+
+/// Evaluates a polynomial at an integer valuation, returning an exact rational.
+pub fn eval_polynomial(p: &Polynomial, vals: &IntValuation) -> Rational {
+    p.eval(&to_rational_valuation(vals))
+}
+
+/// Evaluates a polynomial at an integer valuation and truncates to `i64`.
+///
+/// The updates produced by the language frontend always have integer values on integer
+/// inputs; the truncation only matters for hand-built systems with rational coefficients.
+pub fn eval_polynomial_int(p: &Polynomial, vals: &IntValuation) -> i64 {
+    eval_polynomial(p, vals).round().to_i64().unwrap_or(0)
+}
+
+/// Checks whether an affine inequality `expr ≥ 0` holds at an integer valuation.
+pub fn satisfies(expr: &LinExpr, vals: &IntValuation) -> bool {
+    !expr.eval(&to_rational_valuation(vals)).is_negative()
+}
+
+/// Checks whether a conjunction of affine inequalities holds at an integer valuation.
+pub fn satisfies_all(exprs: &[LinExpr], vals: &IntValuation) -> bool {
+    exprs.iter().all(|e| satisfies(e, vals))
+}
+
+/// A concrete state of a transition system: a location paired with a valuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Current location.
+    pub loc: LocId,
+    /// Current values of all program variables.
+    pub vals: IntValuation,
+}
+
+impl State {
+    /// Creates a state.
+    pub fn new(loc: LocId, vals: IntValuation) -> State {
+        State { loc, vals }
+    }
+
+    /// The value of a variable (0 if unset).
+    pub fn value(&self, v: VarId) -> i64 {
+        self.vals.get(&v).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_poly::VarPool;
+
+    #[test]
+    fn polynomial_evaluation_at_state() {
+        let mut pool = VarPool::new();
+        let x = pool.intern("x");
+        let y = pool.intern("y");
+        let p = Polynomial::var(x) * Polynomial::var(y) + Polynomial::from_int(1);
+        let mut vals = IntValuation::new();
+        vals.insert(x, 3);
+        vals.insert(y, 4);
+        assert_eq!(eval_polynomial(&p, &vals), Rational::from_int(13));
+        assert_eq!(eval_polynomial_int(&p, &vals), 13);
+    }
+
+    #[test]
+    fn guard_satisfaction() {
+        let mut pool = VarPool::new();
+        let x = pool.intern("x");
+        let mut vals = IntValuation::new();
+        vals.insert(x, 5);
+        // x - 5 >= 0 holds, x - 6 >= 0 does not
+        assert!(satisfies(&(LinExpr::var(x) - LinExpr::from_int(5)), &vals));
+        assert!(!satisfies(&(LinExpr::var(x) - LinExpr::from_int(6)), &vals));
+        assert!(satisfies_all(
+            &[
+                LinExpr::var(x),
+                LinExpr::from_int(10) - LinExpr::var(x)
+            ],
+            &vals
+        ));
+    }
+
+    #[test]
+    fn state_value_defaults_to_zero() {
+        let s = State::new(LocId(0), IntValuation::new());
+        assert_eq!(s.value(VarId(3)), 0);
+    }
+}

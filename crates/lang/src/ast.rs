@@ -1,0 +1,329 @@
+//! Abstract syntax tree of the mini-language.
+
+use std::fmt;
+
+/// Arithmetic binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Integer-valued expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Non-deterministic integer (`nondet()`); only allowed as a full assignment
+    /// right-hand side.
+    Nondet,
+}
+
+impl Expr {
+    /// Convenience constructor for a variable expression.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Convenience constructor for an addition.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a subtraction.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a multiplication.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Returns `true` if the expression mentions `nondet()`.
+    pub fn has_nondet(&self) -> bool {
+        match self {
+            Expr::Nondet => true,
+            Expr::Int(_) | Expr::Var(_) => false,
+            Expr::Neg(e) => e.has_nondet(),
+            Expr::Bin(_, a, b) => a.has_nondet() || b.has_nondet(),
+        }
+    }
+
+    /// All variables mentioned by the expression.
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) | Expr::Nondet => {}
+            Expr::Var(name) => out.push(name.clone()),
+            Expr::Neg(e) => e.vars(out),
+            Expr::Bin(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Nondet => write!(f, "nondet()"),
+        }
+    }
+}
+
+/// Boolean conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// Comparison of two integer expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Literal true.
+    True,
+    /// Literal false.
+    False,
+    /// Non-deterministic condition `*`.
+    Nondet,
+}
+
+impl BoolExpr {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> BoolExpr {
+        BoolExpr::Cmp(lhs, op, rhs)
+    }
+
+    /// Convenience constructor for a conjunction.
+    pub fn and(lhs: BoolExpr, rhs: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a disjunction.
+    pub fn or(lhs: BoolExpr, rhs: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Logical negation (push-down happens at lowering time).
+    pub fn negate(self) -> BoolExpr {
+        BoolExpr::Not(Box::new(self))
+    }
+
+    /// Returns `true` if the condition contains a non-deterministic choice.
+    pub fn has_nondet(&self) -> bool {
+        match self {
+            BoolExpr::Nondet => true,
+            BoolExpr::True | BoolExpr::False | BoolExpr::Cmp(..) => false,
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => a.has_nondet() || b.has_nondet(),
+            BoolExpr::Not(a) => a.has_nondet(),
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Cmp(a, op, b) => write!(f, "{a} {op} {b}"),
+            BoolExpr::And(a, b) => write!(f, "({a} && {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} || {b})"),
+            BoolExpr::Not(a) => write!(f, "!({a})"),
+            BoolExpr::True => write!(f, "true"),
+            BoolExpr::False => write!(f, "false"),
+            BoolExpr::Nondet => write!(f, "*"),
+        }
+    }
+}
+
+/// A sequence of statements.
+pub type Block = Vec<Stmt>;
+
+/// Statements of the mini-language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// No-op.
+    Skip,
+    /// Assignment `x = e;` (the right-hand side may be `nondet()`).
+    Assign(String, Expr),
+    /// `assume(c);` — a precondition when leading the procedure body, a path restriction
+    /// otherwise.
+    Assume(BoolExpr),
+    /// `tick(e);` — incur cost `e`.
+    Tick(Expr),
+    /// `if (c) { .. } else { .. }` (the else-branch may be empty).
+    If(BoolExpr, Block, Block),
+    /// `while (c) invariant(e, ..) { .. }`; the invariant annotations are affine
+    /// conditions trusted by the invariant generator.
+    While(BoolExpr, Vec<BoolExpr>, Block),
+}
+
+/// A procedure: name, parameter list and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Procedure name.
+    pub name: String,
+    /// Parameter names (the analysis inputs).
+    pub params: Vec<String>,
+    /// Procedure body.
+    pub body: Block,
+}
+
+impl Program {
+    /// Collects every variable name used in the program (parameters and locals).
+    pub fn all_variables(&self) -> Vec<String> {
+        let mut names = self.params.clone();
+        fn visit_block(block: &Block, names: &mut Vec<String>) {
+            for stmt in block {
+                visit_stmt(stmt, names);
+            }
+        }
+        fn visit_bool(b: &BoolExpr, names: &mut Vec<String>) {
+            match b {
+                BoolExpr::Cmp(a, _, c) => {
+                    a.vars(names);
+                    c.vars(names);
+                }
+                BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                    visit_bool(a, names);
+                    visit_bool(b, names);
+                }
+                BoolExpr::Not(a) => visit_bool(a, names),
+                BoolExpr::True | BoolExpr::False | BoolExpr::Nondet => {}
+            }
+        }
+        fn visit_stmt(stmt: &Stmt, names: &mut Vec<String>) {
+            match stmt {
+                Stmt::Skip => {}
+                Stmt::Assign(name, e) => {
+                    names.push(name.clone());
+                    e.vars(names);
+                }
+                Stmt::Assume(c) => visit_bool(c, names),
+                Stmt::Tick(e) => e.vars(names),
+                Stmt::If(c, then_block, else_block) => {
+                    visit_bool(c, names);
+                    visit_block(then_block, names);
+                    visit_block(else_block, names);
+                }
+                Stmt::While(c, invs, body) => {
+                    visit_bool(c, names);
+                    for inv in invs {
+                        visit_bool(inv, names);
+                    }
+                    visit_block(body, names);
+                }
+            }
+        }
+        visit_block(&self.body, &mut names);
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_and_vars() {
+        let e = Expr::add(Expr::var("x"), Expr::mul(Expr::Int(2), Expr::var("y")));
+        assert_eq!(e.to_string(), "(x + (2 * y))");
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+        assert!(!e.has_nondet());
+        assert!(Expr::Nondet.has_nondet());
+        assert!(Expr::Neg(Box::new(Expr::Nondet)).has_nondet());
+    }
+
+    #[test]
+    fn bool_display() {
+        let c = BoolExpr::and(
+            BoolExpr::cmp(Expr::var("x"), CmpOp::Lt, Expr::Int(5)),
+            BoolExpr::cmp(Expr::var("y"), CmpOp::Ge, Expr::Int(0)),
+        );
+        assert_eq!(c.to_string(), "(x < 5 && y >= 0)");
+        assert!(!c.has_nondet());
+        assert!(BoolExpr::Nondet.has_nondet());
+        assert!(BoolExpr::or(BoolExpr::True, BoolExpr::Nondet).has_nondet());
+    }
+
+    #[test]
+    fn all_variables_collects_params_and_locals() {
+        let program = Program {
+            name: "p".into(),
+            params: vec!["n".into()],
+            body: vec![
+                Stmt::Assign("i".into(), Expr::Int(0)),
+                Stmt::While(
+                    BoolExpr::cmp(Expr::var("i"), CmpOp::Lt, Expr::var("n")),
+                    vec![],
+                    vec![
+                        Stmt::Tick(Expr::Int(1)),
+                        Stmt::Assign("i".into(), Expr::add(Expr::var("i"), Expr::Int(1))),
+                    ],
+                ),
+            ],
+        };
+        assert_eq!(program.all_variables(), vec!["i".to_string(), "n".to_string()]);
+    }
+}

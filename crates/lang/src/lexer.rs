@@ -1,0 +1,324 @@
+//! Tokenizer for the mini-language.
+
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Source line number (1-based).
+    pub line: usize,
+}
+
+/// Error produced during tokenization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub character: char,
+    /// Source line (1-based).
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.character, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes source text. `//` line comments and `/* ... */` block comments are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on the first character that cannot start a token.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut index = 0usize;
+    let mut line = 1usize;
+    while index < chars.len() {
+        let c = chars[index];
+        match c {
+            '\n' => {
+                line += 1;
+                index += 1;
+            }
+            c if c.is_whitespace() => index += 1,
+            '/' if chars.get(index + 1) == Some(&'/') => {
+                while index < chars.len() && chars[index] != '\n' {
+                    index += 1;
+                }
+            }
+            '/' if chars.get(index + 1) == Some(&'*') => {
+                index += 2;
+                while index + 1 < chars.len() && !(chars[index] == '*' && chars[index + 1] == '/')
+                {
+                    if chars[index] == '\n' {
+                        line += 1;
+                    }
+                    index += 1;
+                }
+                index = (index + 2).min(chars.len());
+            }
+            c if c.is_ascii_digit() => {
+                let start = index;
+                while index < chars.len() && chars[index].is_ascii_digit() {
+                    index += 1;
+                }
+                let text: String = chars[start..index].iter().collect();
+                let value = text.parse::<i64>().unwrap_or(i64::MAX);
+                tokens.push(Token { kind: TokenKind::Int(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = index;
+                while index < chars.len()
+                    && (chars[index].is_ascii_alphanumeric() || chars[index] == '_')
+                {
+                    index += 1;
+                }
+                let text: String = chars[start..index].iter().collect();
+                tokens.push(Token { kind: TokenKind::Ident(text), line });
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                index += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                index += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                index += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                index += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                index += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                index += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, line });
+                index += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, line });
+                index += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, line });
+                index += 1;
+            }
+            '<' => {
+                if chars.get(index + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::Le, line });
+                    index += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, line });
+                    index += 1;
+                }
+            }
+            '>' => {
+                if chars.get(index + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, line });
+                    index += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, line });
+                    index += 1;
+                }
+            }
+            '=' => {
+                if chars.get(index + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, line });
+                    index += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Assign, line });
+                    index += 1;
+                }
+            }
+            '!' => {
+                if chars.get(index + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, line });
+                    index += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, line });
+                    index += 1;
+                }
+            }
+            '&' if chars.get(index + 1) == Some(&'&') => {
+                tokens.push(Token { kind: TokenKind::AndAnd, line });
+                index += 2;
+            }
+            '|' if chars.get(index + 1) == Some(&'|') => {
+                tokens.push(Token { kind: TokenKind::OrOr, line });
+                index += 2;
+            }
+            other => return Err(LexError { character: other, line }),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_simple_statement() {
+        let toks = kinds("x = x + 1;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("x".into()),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn two_character_operators() {
+        let toks = kinds("<= >= == != && || < > = !");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Assign,
+                TokenKind::Bang,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("x // comment\n = /* block \n comment */ 3;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(3),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = tokenize("x\n\ny").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = tokenize("x = $;").unwrap_err();
+        assert_eq!(err.character, '$');
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains('$'));
+    }
+}

@@ -1,0 +1,74 @@
+//! The `dca` imperative mini-language: lexer, parser, AST and lowering to transition
+//! systems.
+//!
+//! The paper analyses numerical C functions that are translated to transition systems by
+//! the (unavailable) C2fsm tool. This crate plays that role: it defines a small
+//! imperative language covering exactly the constructs the paper's program model supports
+//! — integer variables, polynomial assignments, non-deterministic assignment and
+//! branching, `if`/`while`/`for`, `assume` for input preconditions, and `tick(e)` for
+//! incurring cost — and lowers it to the [`dca_ir::TransitionSystem`] model of Section 3.
+//!
+//! # Syntax overview
+//!
+//! ```text
+//! proc join(lenA, lenB) {
+//!     assume(lenA >= 1 && lenA <= 100 && lenB >= 1 && lenB <= 100);
+//!     i = 0;
+//!     while (i < lenA) {
+//!         j = 0;
+//!         while (j < lenB) {
+//!             tick(1);
+//!             j = j + 1;
+//!         }
+//!         i = i + 1;
+//!     }
+//! }
+//! ```
+//!
+//! * leading `assume(...)` statements define the initial condition `Θ0`;
+//! * `tick(e)` adds `e` to the implicit `cost` variable (negative and symbolic amounts
+//!   are allowed);
+//! * `x = nondet();` is a non-deterministic (havoc) assignment, `if (*)` / `while (*)`
+//!   are non-deterministic branches;
+//! * `while (c) invariant(e1, e2, ...) { ... }` attaches user-supplied loop invariants
+//!   that are conjoined with the automatically generated ones (the paper's `*`-marked
+//!   benchmarks needed the same manual strengthening);
+//! * `for (i = a; i < b; i = i + 1) { ... }` is sugar for the corresponding `while`.
+//!
+//! # Example
+//!
+//! ```
+//! use dca_lang::parse_program;
+//!
+//! let source = r#"
+//!     proc count(n) {
+//!         assume(n >= 1 && n <= 100);
+//!         i = 0;
+//!         while (i < n) { tick(1); i = i + 1; }
+//!     }
+//! "#;
+//! let program = parse_program(source).unwrap();
+//! let lowered = dca_lang::lower_program(&program).unwrap();
+//! assert_eq!(lowered.ts.name(), "count");
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinOp, Block, BoolExpr, CmpOp, Expr, Program, Stmt};
+
+pub use lexer::{tokenize, LexError, Token, TokenKind};
+pub use lower::{lower_program, LowerError, LoweredProgram};
+pub use parser::{parse_program, ParseError};
+
+/// Parses and lowers a program in one step.
+///
+/// # Errors
+///
+/// Returns a human-readable error string if parsing or lowering fails.
+pub fn compile(source: &str) -> Result<LoweredProgram, String> {
+    let program = parse_program(source).map_err(|e| e.to_string())?;
+    lower_program(&program).map_err(|e| e.to_string())
+}

@@ -1,0 +1,753 @@
+//! Lowering from the AST to the transition-system model of Section 3.
+//!
+//! The lowering performs straight-line compression: consecutive assignments and `tick`s
+//! are composed into a single transition (sequential composition by substitution), so the
+//! number of locations — and therefore the number of template unknowns in the synthesis
+//! LP — stays close to the number of control-flow points of the source program.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use dca_ir::{LocId, TransitionSystem, TsBuilder, Update};
+use dca_numeric::Rational;
+use dca_poly::{LinExpr, Polynomial, VarId};
+
+use crate::ast::{BinOp, BoolExpr, CmpOp, Expr, Program, Stmt};
+
+/// Error produced during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// `nondet()` used inside a compound expression rather than as a whole right-hand side.
+    NondetInExpression(String),
+    /// A condition (guard, assume, invariant) is not affine.
+    NonAffineCondition(String),
+    /// A non-deterministic `*` condition was nested inside a boolean formula.
+    NestedNondetCondition(String),
+    /// The leading `assume` defining `Θ0` contains a disjunction.
+    DisjunctiveTheta0(String),
+    /// The underlying transition-system builder rejected the program.
+    Builder(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::NondetInExpression(e) => {
+                write!(f, "nondet() may only be the whole right-hand side: {e}")
+            }
+            LowerError::NonAffineCondition(e) => {
+                write!(f, "condition must be affine (degree <= 1): {e}")
+            }
+            LowerError::NestedNondetCondition(e) => {
+                write!(f, "`*` may only be used as the entire condition: {e}")
+            }
+            LowerError::DisjunctiveTheta0(e) => {
+                write!(f, "the leading assume defining the input set must be a conjunction: {e}")
+            }
+            LowerError::Builder(e) => write!(f, "malformed program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// The result of lowering: the transition system plus user-supplied loop invariants.
+#[derive(Debug, Clone)]
+pub struct LoweredProgram {
+    /// The transition system modelling the procedure.
+    pub ts: TransitionSystem,
+    /// `invariant(...)` annotations, attached to their loop-head locations.
+    pub annotations: Vec<(LocId, Vec<LinExpr>)>,
+}
+
+/// Lowers a parsed program to a transition system.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the program uses `nondet()` inside compound expressions,
+/// non-affine conditions, nested `*` conditions, or a disjunctive input assumption.
+pub fn lower_program(program: &Program) -> Result<LoweredProgram, LowerError> {
+    let mut lowerer = Lowerer::new(program);
+    lowerer.run(program)
+}
+
+/// A disjunct of a condition in guard normal form: a conjunction of `expr ≥ 0`.
+type Disjunct = Vec<LinExpr>;
+
+struct Lowerer {
+    builder: TsBuilder,
+    vars: HashMap<String, VarId>,
+    annotations: Vec<(LocId, Vec<LinExpr>)>,
+    location_counter: usize,
+}
+
+impl Lowerer {
+    fn new(program: &Program) -> Lowerer {
+        let mut builder = TsBuilder::new();
+        builder.name(&program.name);
+        let mut vars = HashMap::new();
+        for name in program.all_variables() {
+            let id = builder.var(&name);
+            vars.insert(name, id);
+        }
+        Lowerer { builder, vars, annotations: Vec::new(), location_counter: 0 }
+    }
+
+    fn fresh_location(&mut self, hint: &str) -> LocId {
+        let name = format!("l{}_{}", self.location_counter, hint);
+        self.location_counter += 1;
+        self.builder.location(&name)
+    }
+
+    fn run(&mut self, program: &Program) -> Result<LoweredProgram, LowerError> {
+        let entry = self.fresh_location("entry");
+        self.builder.set_initial(entry);
+
+        // Leading assume statements define Θ0.
+        let mut body_start = 0usize;
+        for stmt in &program.body {
+            match stmt {
+                Stmt::Assume(cond) => {
+                    let conjuncts = self.conjunction_only(cond)?;
+                    for c in conjuncts {
+                        self.builder.add_theta0(c);
+                    }
+                    body_start += 1;
+                }
+                _ => break,
+            }
+        }
+
+        let mut pending: BTreeMap<VarId, Update> = BTreeMap::new();
+        let exit = self.lower_block(&program.body[body_start..], entry, &mut pending)?;
+        let exit = self.flush(exit, &mut pending);
+        let terminal = self.builder.terminal();
+        self.builder.transition(exit, terminal).finish();
+
+        let ts = self
+            .builder
+            .clone()
+            .build()
+            .map_err(|e| LowerError::Builder(e.to_string()))?;
+        Ok(LoweredProgram { ts, annotations: self.annotations.clone() })
+    }
+
+    /// Emits the pending straight-line updates (if any) as a single transition and returns
+    /// the location reached.
+    fn flush(&mut self, from: LocId, pending: &mut BTreeMap<VarId, Update>) -> LocId {
+        if pending.is_empty() {
+            return from;
+        }
+        let target = self.fresh_location("step");
+        let mut t = self.builder.transition(from, target);
+        for (var, update) in std::mem::take(pending) {
+            t = t.update(var, update);
+        }
+        t.finish();
+        target
+    }
+
+    fn lower_block(
+        &mut self,
+        block: &[Stmt],
+        entry: LocId,
+        pending: &mut BTreeMap<VarId, Update>,
+    ) -> Result<LocId, LowerError> {
+        let mut current = entry;
+        for stmt in block {
+            current = self.lower_stmt(stmt, current, pending)?;
+        }
+        Ok(current)
+    }
+
+    fn lower_stmt(
+        &mut self,
+        stmt: &Stmt,
+        current: LocId,
+        pending: &mut BTreeMap<VarId, Update>,
+    ) -> Result<LocId, LowerError> {
+        match stmt {
+            Stmt::Skip => Ok(current),
+            Stmt::Assign(name, value) => {
+                let var = self.vars[name];
+                if matches!(value, Expr::Nondet) {
+                    pending.insert(var, Update::Nondet);
+                    return Ok(current);
+                }
+                if value.has_nondet() {
+                    return Err(LowerError::NondetInExpression(value.to_string()));
+                }
+                let raw = self.expr_to_polynomial(value)?;
+                let composed = self.compose_with_pending(&raw, current, pending);
+                let (poly, current) = composed?;
+                pending.insert(var, Update::Assign(poly));
+                Ok(current)
+            }
+            Stmt::Tick(amount) => {
+                if amount.has_nondet() {
+                    return Err(LowerError::NondetInExpression(amount.to_string()));
+                }
+                let cost = self.builder.cost_var();
+                let raw = Polynomial::var(cost) + self.expr_to_polynomial(amount)?;
+                let (poly, current) = self.compose_with_pending(&raw, current, pending)?;
+                pending.insert(cost, Update::Assign(poly));
+                Ok(current)
+            }
+            Stmt::Assume(cond) => {
+                let current = self.flush(current, pending);
+                let disjuncts = self.to_disjuncts(cond)?;
+                let target = self.fresh_location("assume");
+                match disjuncts {
+                    None => {
+                        // Non-deterministic assume: no restriction.
+                        self.builder.transition(current, target).finish();
+                    }
+                    Some(ds) => {
+                        for d in ds {
+                            let mut t = self.builder.transition(current, target);
+                            for g in d {
+                                t = t.guard(g);
+                            }
+                            t.finish();
+                        }
+                    }
+                }
+                Ok(target)
+            }
+            Stmt::If(cond, then_block, else_block) => {
+                let current = self.flush(current, pending);
+                let join = self.fresh_location("join");
+                let positive = self.to_disjuncts(cond)?;
+                let negative = self.to_disjuncts(&cond.clone().negate())?;
+
+                let then_entry = self.fresh_location("then");
+                self.emit_branch(current, then_entry, &positive);
+                let mut then_pending = BTreeMap::new();
+                let then_exit = self.lower_block(then_block, then_entry, &mut then_pending)?;
+                let then_exit = self.flush(then_exit, &mut then_pending);
+                self.builder.transition(then_exit, join).finish();
+
+                let else_entry = self.fresh_location("else");
+                self.emit_branch(current, else_entry, &negative);
+                let mut else_pending = BTreeMap::new();
+                let else_exit = self.lower_block(else_block, else_entry, &mut else_pending)?;
+                let else_exit = self.flush(else_exit, &mut else_pending);
+                self.builder.transition(else_exit, join).finish();
+
+                Ok(join)
+            }
+            Stmt::While(cond, invariants, body) => {
+                let current = self.flush(current, pending);
+                let head = self.fresh_location("while_head");
+                self.builder.transition(current, head).finish();
+
+                if !invariants.is_empty() {
+                    let mut constraints = Vec::new();
+                    for inv in invariants {
+                        constraints.extend(self.conjunction_only(inv)?);
+                    }
+                    self.annotations.push((head, constraints));
+                }
+
+                let positive = self.to_disjuncts(cond)?;
+                let negative = self.to_disjuncts(&cond.clone().negate())?;
+
+                let body_entry = self.fresh_location("body");
+                self.emit_branch(head, body_entry, &positive);
+                let mut body_pending = BTreeMap::new();
+                let body_exit = self.lower_block(body, body_entry, &mut body_pending)?;
+                let body_exit = self.flush(body_exit, &mut body_pending);
+                self.builder.transition(body_exit, head).finish();
+
+                let exit = self.fresh_location("while_exit");
+                self.emit_branch(head, exit, &negative);
+                Ok(exit)
+            }
+        }
+    }
+
+    /// Emits one transition per disjunct (or a single unguarded transition for `*`).
+    fn emit_branch(&mut self, from: LocId, to: LocId, disjuncts: &Option<Vec<Disjunct>>) {
+        match disjuncts {
+            None => self.builder.transition(from, to).finish(),
+            Some(ds) => {
+                for d in ds {
+                    let mut t = self.builder.transition(from, to);
+                    for g in d {
+                        t = t.guard(g.clone());
+                    }
+                    t.finish();
+                }
+            }
+        }
+    }
+
+    /// Sequentially composes an expression with the pending simultaneous update.
+    ///
+    /// If the expression reads a variable whose pending update is non-deterministic, the
+    /// pending updates are flushed first (returning a new current location).
+    fn compose_with_pending(
+        &mut self,
+        raw: &Polynomial,
+        current: LocId,
+        pending: &mut BTreeMap<VarId, Update>,
+    ) -> Result<(Polynomial, LocId), LowerError> {
+        let reads_havocked = raw.vars().iter().any(|v| {
+            matches!(pending.get(v), Some(Update::Nondet))
+        });
+        let current = if reads_havocked { self.flush(current, pending) } else { current };
+        let mut substitution: BTreeMap<VarId, Polynomial> = BTreeMap::new();
+        for (&var, update) in pending.iter() {
+            if let Update::Assign(p) = update {
+                substitution.insert(var, p.clone());
+            }
+        }
+        Ok((raw.substitute(&substitution), current))
+    }
+
+    fn expr_to_polynomial(&self, expr: &Expr) -> Result<Polynomial, LowerError> {
+        match expr {
+            Expr::Int(v) => Ok(Polynomial::from_int(*v)),
+            Expr::Var(name) => Ok(Polynomial::var(self.vars[name])),
+            Expr::Neg(inner) => Ok(-self.expr_to_polynomial(inner)?),
+            Expr::Bin(op, a, b) => {
+                let pa = self.expr_to_polynomial(a)?;
+                let pb = self.expr_to_polynomial(b)?;
+                Ok(match op {
+                    BinOp::Add => pa + pb,
+                    BinOp::Sub => pa - pb,
+                    BinOp::Mul => pa * pb,
+                })
+            }
+            Expr::Nondet => Err(LowerError::NondetInExpression(expr.to_string())),
+        }
+    }
+
+    /// Converts a comparison into affine `expr ≥ 0` conjuncts (integer semantics for the
+    /// strict comparisons).
+    fn comparison_to_constraints(
+        &self,
+        lhs: &Expr,
+        op: CmpOp,
+        rhs: &Expr,
+    ) -> Result<Vec<LinExpr>, LowerError> {
+        let left = self.expr_to_polynomial(lhs)?;
+        let right = self.expr_to_polynomial(rhs)?;
+        let diff = &left - &right; // lhs - rhs
+        let to_affine = |p: &Polynomial| -> Result<LinExpr, LowerError> {
+            LinExpr::try_from_polynomial(p).ok_or_else(|| {
+                LowerError::NonAffineCondition(format!("{lhs} {op} {rhs}"))
+            })
+        };
+        let one = Polynomial::from_int(1);
+        Ok(match op {
+            CmpOp::Ge => vec![to_affine(&diff)?],
+            CmpOp::Gt => vec![to_affine(&(&diff - &one))?],
+            CmpOp::Le => vec![to_affine(&-&diff)?],
+            CmpOp::Lt => vec![to_affine(&(&-&diff - &one))?],
+            CmpOp::Eq => vec![to_affine(&diff)?, to_affine(&-&diff)?],
+            CmpOp::Ne => {
+                // Handled at the disjunct level; a bare `!=` as a conjunct is split there.
+                // This path is only reached for Θ0/invariants where we reject it.
+                return Err(LowerError::NonAffineCondition(format!(
+                    "{lhs} != {rhs} requires disjunctive reasoning"
+                )));
+            }
+        })
+    }
+
+    /// Converts a condition into disjunctive guard normal form.
+    ///
+    /// Returns `None` for the non-deterministic condition `*` (meaning "either way").
+    fn to_disjuncts(&self, cond: &BoolExpr) -> Result<Option<Vec<Disjunct>>, LowerError> {
+        if matches!(cond, BoolExpr::Nondet) {
+            return Ok(None);
+        }
+        let nnf = Self::to_nnf(cond.clone(), false);
+        if nnf == BoolExpr::Nondet {
+            // The negation of `*` is `*` again: either way, no guard.
+            return Ok(None);
+        }
+        if Self::mentions_nondet(&nnf) {
+            return Err(LowerError::NestedNondetCondition(cond.to_string()));
+        }
+        let disjuncts = self.nnf_to_dnf(&nnf)?;
+        Ok(Some(disjuncts))
+    }
+
+    fn mentions_nondet(cond: &BoolExpr) -> bool {
+        match cond {
+            BoolExpr::Nondet => true,
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+                Self::mentions_nondet(a) || Self::mentions_nondet(b)
+            }
+            BoolExpr::Not(a) => Self::mentions_nondet(a),
+            _ => false,
+        }
+    }
+
+    /// Negation normal form with comparisons as literals; `negated` tracks parity.
+    fn to_nnf(cond: BoolExpr, negated: bool) -> BoolExpr {
+        match cond {
+            BoolExpr::Not(inner) => Self::to_nnf(*inner, !negated),
+            BoolExpr::And(a, b) => {
+                let a = Self::to_nnf(*a, negated);
+                let b = Self::to_nnf(*b, negated);
+                if negated {
+                    BoolExpr::or(a, b)
+                } else {
+                    BoolExpr::and(a, b)
+                }
+            }
+            BoolExpr::Or(a, b) => {
+                let a = Self::to_nnf(*a, negated);
+                let b = Self::to_nnf(*b, negated);
+                if negated {
+                    BoolExpr::and(a, b)
+                } else {
+                    BoolExpr::or(a, b)
+                }
+            }
+            BoolExpr::True => {
+                if negated {
+                    BoolExpr::False
+                } else {
+                    BoolExpr::True
+                }
+            }
+            BoolExpr::False => {
+                if negated {
+                    BoolExpr::True
+                } else {
+                    BoolExpr::False
+                }
+            }
+            BoolExpr::Nondet => BoolExpr::Nondet,
+            BoolExpr::Cmp(a, op, b) => {
+                if !negated {
+                    BoolExpr::Cmp(a, op, b)
+                } else {
+                    let flipped = match op {
+                        CmpOp::Lt => CmpOp::Ge,
+                        CmpOp::Le => CmpOp::Gt,
+                        CmpOp::Gt => CmpOp::Le,
+                        CmpOp::Ge => CmpOp::Lt,
+                        CmpOp::Eq => CmpOp::Ne,
+                        CmpOp::Ne => CmpOp::Eq,
+                    };
+                    BoolExpr::Cmp(a, flipped, b)
+                }
+            }
+        }
+    }
+
+    /// Distributes an NNF formula into a list of conjunctive disjuncts of affine guards.
+    fn nnf_to_dnf(&self, cond: &BoolExpr) -> Result<Vec<Disjunct>, LowerError> {
+        match cond {
+            BoolExpr::True => Ok(vec![Vec::new()]),
+            BoolExpr::False => Ok(vec![vec![LinExpr::from_int(-1)]]),
+            BoolExpr::Cmp(a, CmpOp::Ne, b) => {
+                // a != b becomes (a < b) or (a > b).
+                let less = self.comparison_to_constraints(a, CmpOp::Lt, b)?;
+                let greater = self.comparison_to_constraints(a, CmpOp::Gt, b)?;
+                Ok(vec![less, greater])
+            }
+            BoolExpr::Cmp(a, op, b) => Ok(vec![self.comparison_to_constraints(a, *op, b)?]),
+            BoolExpr::Or(x, y) => {
+                let mut result = self.nnf_to_dnf(x)?;
+                result.extend(self.nnf_to_dnf(y)?);
+                Ok(result)
+            }
+            BoolExpr::And(x, y) => {
+                let left = self.nnf_to_dnf(x)?;
+                let right = self.nnf_to_dnf(y)?;
+                let mut result = Vec::with_capacity(left.len() * right.len());
+                for l in &left {
+                    for r in &right {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        result.push(combined);
+                    }
+                }
+                Ok(result)
+            }
+            BoolExpr::Not(_) => unreachable!("negations removed by NNF"),
+            BoolExpr::Nondet => Err(LowerError::NestedNondetCondition(cond.to_string())),
+        }
+    }
+
+    /// For Θ0 and invariant annotations: only conjunctions of affine comparisons.
+    fn conjunction_only(&self, cond: &BoolExpr) -> Result<Vec<LinExpr>, LowerError> {
+        let disjuncts = self
+            .to_disjuncts(cond)?
+            .ok_or_else(|| LowerError::DisjunctiveTheta0(cond.to_string()))?;
+        match disjuncts.len() {
+            1 => Ok(disjuncts.into_iter().next().unwrap()),
+            _ => Err(LowerError::DisjunctiveTheta0(cond.to_string())),
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn rational(n: i64) -> Rational {
+    Rational::from_int(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use dca_ir::{CostExplorer, FixedOracle, Interpreter, IntValuation, RunOutcome};
+
+    fn compile(source: &str) -> LoweredProgram {
+        lower_program(&parse_program(source).unwrap()).unwrap()
+    }
+
+    fn initial(ts: &TransitionSystem, assignments: &[(&str, i64)]) -> IntValuation {
+        let mut vals = IntValuation::new();
+        for v in ts.vars() {
+            vals.insert(v, 0);
+        }
+        for (name, value) in assignments {
+            vals.insert(ts.pool().lookup(name).unwrap(), *value);
+        }
+        vals
+    }
+
+    const JOIN_OLD: &str = r#"
+        proc join_old(lenA, lenB) {
+            assume(lenA >= 1 && lenA <= 100 && lenB >= 1 && lenB <= 100);
+            i = 0;
+            while (i < lenA) {
+                j = 0;
+                while (j < lenB) {
+                    tick(1);
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+        }
+    "#;
+
+    #[test]
+    fn running_example_cost_matches_closed_form() {
+        let lowered = compile(JOIN_OLD);
+        let ts = &lowered.ts;
+        let interp = Interpreter::default();
+        for (len_a, len_b) in [(1i64, 1i64), (3, 4), (10, 7), (100, 100)] {
+            let result = interp.run(
+                ts,
+                &initial(ts, &[("lenA", len_a), ("lenB", len_b)]),
+                &mut FixedOracle(0),
+            );
+            assert_eq!(result.outcome, RunOutcome::Terminated);
+            assert_eq!(result.cost, len_a * len_b, "cost of join_old({len_a},{len_b})");
+        }
+    }
+
+    #[test]
+    fn theta0_contains_input_bounds() {
+        let lowered = compile(JOIN_OLD);
+        let ts = &lowered.ts;
+        let len_a = ts.pool().lookup("lenA").unwrap();
+        // theta0 must entail lenA >= 1 (appears literally among the conjuncts).
+        assert!(ts
+            .theta0()
+            .iter()
+            .any(|c| c.coeff(len_a) == Rational::one()
+                && *c.constant_term() == Rational::from_int(-1)));
+        // cost = 0 is forced.
+        let cost = ts.cost_var();
+        assert!(ts.theta0().iter().any(|c| c.coeff(cost) == Rational::one()));
+    }
+
+    #[test]
+    fn straight_line_statements_are_fused() {
+        // Four assignments plus a tick collapse into a single transition.
+        let lowered = compile(
+            "proc f(n) { assume(n >= 0); x = n; y = x + 1; z = y * y; tick(z); }",
+        );
+        let ts = &lowered.ts;
+        // entry -> step -> terminal: exactly 2 non-self-loop transitions.
+        let non_loop = ts
+            .transitions()
+            .iter()
+            .filter(|t| !(t.source == ts.terminal() && t.target == ts.terminal()))
+            .count();
+        assert_eq!(non_loop, 2, "{}", ts.render());
+        // The fused update must give cost = (n+1)^2 via sequential composition.
+        let interp = Interpreter::default();
+        let result = interp.run(ts, &initial(ts, &[("n", 4)]), &mut FixedOracle(0));
+        assert_eq!(result.cost, 25);
+    }
+
+    #[test]
+    fn if_else_costs() {
+        let source = r#"
+            proc f(x) {
+                assume(x >= 0 && x <= 10);
+                if (x > 5) { tick(10); } else { tick(1); }
+            }
+        "#;
+        let lowered = compile(source);
+        let interp = Interpreter::default();
+        let high = interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", 9)]), &mut FixedOracle(0));
+        let low = interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", 2)]), &mut FixedOracle(0));
+        assert_eq!(high.cost, 10);
+        assert_eq!(low.cost, 1);
+    }
+
+    #[test]
+    fn nondet_branch_explored_both_ways() {
+        let source = r#"
+            proc f(n) {
+                assume(n >= 1 && n <= 5);
+                i = 0;
+                while (i < n) {
+                    if (*) { tick(2); } else { tick(1); }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let lowered = compile(source);
+        let explorer = CostExplorer::default();
+        let bounds = explorer.explore(&lowered.ts, &initial(&lowered.ts, &[("n", 3)]));
+        assert_eq!(bounds.min, 3);
+        assert_eq!(bounds.max, 6);
+    }
+
+    #[test]
+    fn nondet_assignment_lowered_to_havoc() {
+        let source = "proc f(n) { x = nondet(); if (x >= 0) { tick(1); } }";
+        let lowered = compile(source);
+        assert!(lowered.ts.transitions().iter().any(|t| t.has_nondet()));
+    }
+
+    #[test]
+    fn for_loop_sugar_costs() {
+        let source = r#"
+            proc f(n) {
+                assume(n >= 1 && n <= 50);
+                for (i = 0; i < n; i = i + 1) { tick(3); }
+            }
+        "#;
+        let lowered = compile(source);
+        let interp = Interpreter::default();
+        let result = interp.run(&lowered.ts, &initial(&lowered.ts, &[("n", 7)]), &mut FixedOracle(0));
+        assert_eq!(result.cost, 21);
+    }
+
+    #[test]
+    fn invariant_annotations_are_collected() {
+        let source = r#"
+            proc f(n) {
+                assume(n >= 1 && n <= 100);
+                i = 0;
+                while (i < n) invariant(i >= 0, i <= n) { tick(1); i = i + 1; }
+            }
+        "#;
+        let lowered = compile(source);
+        assert_eq!(lowered.annotations.len(), 1);
+        let (loc, constraints) = &lowered.annotations[0];
+        assert!(lowered.ts.location_name(*loc).contains("while_head"));
+        assert_eq!(constraints.len(), 2);
+    }
+
+    #[test]
+    fn disjunctive_guards_become_multiple_transitions() {
+        let source = r#"
+            proc f(x) {
+                assume(x >= 0 && x <= 10);
+                if (x < 2 || x > 8) { tick(1); }
+            }
+        "#;
+        let lowered = compile(source);
+        let interp = Interpreter::default();
+        for (x, expected) in [(0i64, 1i64), (1, 1), (5, 0), (9, 1)] {
+            let result =
+                interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", x)]), &mut FixedOracle(0));
+            assert_eq!(result.outcome, RunOutcome::Terminated, "x = {x}");
+            assert_eq!(result.cost, expected, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn not_equal_condition_is_split() {
+        let source = r#"
+            proc f(x) {
+                assume(x >= 0 && x <= 4);
+                while (x != 2) { tick(1); x = x + 1; }
+            }
+        "#;
+        let lowered = compile(source);
+        let interp = Interpreter::default();
+        let result = interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", 0)]), &mut FixedOracle(0));
+        assert_eq!(result.cost, 2);
+        // Starting at 2 the loop exits immediately.
+        let result = interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", 2)]), &mut FixedOracle(0));
+        assert_eq!(result.cost, 0);
+    }
+
+    #[test]
+    fn negative_tick_allowed() {
+        let source = r#"
+            proc f(n) {
+                assume(n >= 1 && n <= 10);
+                tick(10);
+                i = 0;
+                while (i < n) { tick(-1); i = i + 1; }
+            }
+        "#;
+        let lowered = compile(source);
+        let interp = Interpreter::default();
+        let result = interp.run(&lowered.ts, &initial(&lowered.ts, &[("n", 4)]), &mut FixedOracle(0));
+        assert_eq!(result.cost, 6);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let err = lower_program(&parse_program("proc f(n) { x = nondet() + 1; }").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, LowerError::NondetInExpression(_)), "{err}");
+
+        let err = lower_program(
+            &parse_program("proc f(n) { assume(n >= 0); if (n * n > 4) { tick(1); } }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::NonAffineCondition(_)), "{err}");
+
+        let err = lower_program(
+            &parse_program("proc f(n) { assume(n >= 0 || n <= 10); tick(1); }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::DisjunctiveTheta0(_)), "{err}");
+
+        let err = lower_program(
+            &parse_program("proc f(n) { assume(n >= 0); if (* && n > 0) { tick(1); } }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::NestedNondetCondition(_)), "{err}");
+    }
+
+    #[test]
+    fn mid_body_assume_restricts_paths() {
+        let source = r#"
+            proc f(x) {
+                assume(x >= 0 && x <= 10);
+                tick(1);
+                assume(x >= 5);
+                tick(1);
+            }
+        "#;
+        let lowered = compile(source);
+        let interp = Interpreter::default();
+        // For x < 5 the mid-body assume blocks the run (stuck), which is the standard
+        // semantics of assume-as-guard.
+        let blocked = interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", 1)]), &mut FixedOracle(0));
+        assert_eq!(blocked.outcome, RunOutcome::Stuck);
+        assert_eq!(blocked.cost, 1);
+        let passes = interp.run(&lowered.ts, &initial(&lowered.ts, &[("x", 7)]), &mut FixedOracle(0));
+        assert_eq!(passes.outcome, RunOutcome::Terminated);
+        assert_eq!(passes.cost, 2);
+    }
+}

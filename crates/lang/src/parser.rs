@@ -1,0 +1,543 @@
+//! Recursive-descent parser for the mini-language.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Block, BoolExpr, CmpOp, Expr, Program, Stmt};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// Error produced by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: usize,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: usize) -> ParseError {
+        ParseError { message: message.into(), line }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string(), e.line)
+    }
+}
+
+/// Parses a complete procedure.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let p = dca_lang::parse_program("proc f(n) { tick(n); }").unwrap();
+/// assert_eq!(p.name, "f");
+/// assert_eq!(p.params, vec!["n".to_string()]);
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, position: 0 };
+    let program = parser.program()?;
+    parser.expect_eof()?;
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    position: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.position].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.position].line
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.position].kind.clone();
+        if self.position + 1 < self.tokens.len() {
+            self.position += 1;
+        }
+        kind
+    }
+
+    fn expect(&mut self, expected: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {}, found {}", expected, self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected end of input, found {}", self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(ParseError::new(format!("expected identifier, found {other}"), self.line())),
+        }
+    }
+
+    fn is_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(name) if name == keyword)
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        if self.is_keyword(keyword) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected keyword `{keyword}`, found {}", self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.eat_keyword("proc")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            params.push(self.expect_ident()?);
+            while *self.peek() == TokenKind::Comma {
+                self.advance();
+                params.push(self.expect_ident()?);
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Program { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut statements = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            statements.push(self.statement()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(statements)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => match name.as_str() {
+                "skip" => {
+                    self.advance();
+                    self.expect(TokenKind::Semicolon)?;
+                    Ok(Stmt::Skip)
+                }
+                "assume" => {
+                    self.advance();
+                    self.expect(TokenKind::LParen)?;
+                    let condition = self.bool_expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    self.expect(TokenKind::Semicolon)?;
+                    Ok(Stmt::Assume(condition))
+                }
+                "tick" => {
+                    self.advance();
+                    self.expect(TokenKind::LParen)?;
+                    let amount = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    self.expect(TokenKind::Semicolon)?;
+                    Ok(Stmt::Tick(amount))
+                }
+                "if" => self.if_statement(),
+                "while" => self.while_statement(),
+                "for" => self.for_statement(),
+                _ => {
+                    // Assignment.
+                    self.advance();
+                    self.expect(TokenKind::Assign)?;
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semicolon)?;
+                    Ok(Stmt::Assign(name, value))
+                }
+            },
+            other => Err(ParseError::new(format!("expected a statement, found {other}"), self.line())),
+        }
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_keyword("if")?;
+        self.expect(TokenKind::LParen)?;
+        let condition = self.condition()?;
+        self.expect(TokenKind::RParen)?;
+        let then_block = self.block()?;
+        let else_block = if self.is_keyword("else") {
+            self.advance();
+            if self.is_keyword("if") {
+                vec![self.if_statement()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(condition, then_block, else_block))
+    }
+
+    fn while_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_keyword("while")?;
+        self.expect(TokenKind::LParen)?;
+        let condition = self.condition()?;
+        self.expect(TokenKind::RParen)?;
+        let mut invariants = Vec::new();
+        if self.is_keyword("invariant") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            invariants.push(self.bool_expr()?);
+            while *self.peek() == TokenKind::Comma {
+                self.advance();
+                invariants.push(self.bool_expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(Stmt::While(condition, invariants, body))
+    }
+
+    /// `for (i = e1; cond; i = e2) { .. }` desugars to `i = e1; while (cond) { ..; i = e2; }`.
+    fn for_statement(&mut self) -> Result<Stmt, ParseError> {
+        self.eat_keyword("for")?;
+        self.expect(TokenKind::LParen)?;
+        let init_var = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let init_value = self.expr()?;
+        self.expect(TokenKind::Semicolon)?;
+        let condition = self.condition()?;
+        self.expect(TokenKind::Semicolon)?;
+        let step_var = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let step_value = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let mut invariants = Vec::new();
+        if self.is_keyword("invariant") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            invariants.push(self.bool_expr()?);
+            while *self.peek() == TokenKind::Comma {
+                self.advance();
+                invariants.push(self.bool_expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        let mut body = self.block()?;
+        body.push(Stmt::Assign(step_var, step_value));
+        // The desugared form is returned as a two-statement block wrapped in `If(true, ..)`
+        // is unnecessary; instead return a synthetic sequence via a `While` preceded by the
+        // init assignment. Since `Stmt` has no sequence node, we encode the pair as an
+        // `If(true, [init, while], [])`, which lowers to exactly the same transitions.
+        Ok(Stmt::If(
+            BoolExpr::True,
+            vec![Stmt::Assign(init_var, init_value), Stmt::While(condition, invariants, body)],
+            Vec::new(),
+        ))
+    }
+
+    /// A branch/loop condition: a boolean expression, possibly the non-deterministic `*`.
+    fn condition(&mut self) -> Result<BoolExpr, ParseError> {
+        self.bool_expr()
+    }
+
+    fn bool_expr(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut left = self.bool_and()?;
+        while *self.peek() == TokenKind::OrOr {
+            self.advance();
+            let right = self.bool_and()?;
+            left = BoolExpr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn bool_and(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut left = self.bool_not()?;
+        while *self.peek() == TokenKind::AndAnd {
+            self.advance();
+            let right = self.bool_not()?;
+            left = BoolExpr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn bool_not(&mut self) -> Result<BoolExpr, ParseError> {
+        if *self.peek() == TokenKind::Bang {
+            self.advance();
+            let inner = self.bool_not()?;
+            return Ok(inner.negate());
+        }
+        self.bool_atom()
+    }
+
+    fn bool_atom(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.is_keyword("true") {
+            self.advance();
+            return Ok(BoolExpr::True);
+        }
+        if self.is_keyword("false") {
+            self.advance();
+            return Ok(BoolExpr::False);
+        }
+        if *self.peek() == TokenKind::Star {
+            self.advance();
+            return Ok(BoolExpr::Nondet);
+        }
+        // `(` could open a parenthesized boolean expression or an arithmetic expression;
+        // try the boolean reading first and backtrack on failure.
+        if *self.peek() == TokenKind::LParen {
+            let saved = self.position;
+            self.advance();
+            if let Ok(inner) = self.bool_expr() {
+                if *self.peek() == TokenKind::RParen {
+                    // Only accept if what follows cannot continue a comparison.
+                    let after = self.tokens[self.position + 1].kind.clone();
+                    let continues_arithmetic = matches!(
+                        after,
+                        TokenKind::Lt
+                            | TokenKind::Le
+                            | TokenKind::Gt
+                            | TokenKind::Ge
+                            | TokenKind::EqEq
+                            | TokenKind::Ne
+                            | TokenKind::Plus
+                            | TokenKind::Minus
+                            | TokenKind::Star
+                    );
+                    if !continues_arithmetic {
+                        self.advance();
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.position = saved;
+        }
+        // Comparison of two arithmetic expressions.
+        let left = self.expr()?;
+        let op = match self.advance() {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            other => {
+                return Err(ParseError::new(
+                    format!("expected a comparison operator, found {other}"),
+                    self.line(),
+                ))
+            }
+        };
+        let right = self.expr()?;
+        Ok(BoolExpr::Cmp(left, op, right))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.advance();
+                    let right = self.term()?;
+                    left = Expr::Bin(BinOp::Add, Box::new(left), Box::new(right));
+                }
+                TokenKind::Minus => {
+                    self.advance();
+                    let right = self.term()?;
+                    left = Expr::Bin(BinOp::Sub, Box::new(left), Box::new(right));
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.factor()?;
+        while *self.peek() == TokenKind::Star {
+            self.advance();
+            let right = self.factor()?;
+            left = Expr::Bin(BinOp::Mul, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(value) => {
+                self.advance();
+                Ok(Expr::Int(value))
+            }
+            TokenKind::Minus => {
+                self.advance();
+                let inner = self.factor()?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if name == "nondet" {
+                    self.expect(TokenKind::LParen)?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::Nondet)
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(ParseError::new(format!("expected an expression, found {other}"), self.line())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_running_example() {
+        let source = r#"
+            proc join(lenA, lenB) {
+                assume(lenA >= 1 && lenA <= 100 && lenB >= 1 && lenB <= 100);
+                i = 0;
+                while (i < lenA) {
+                    j = 0;
+                    while (j < lenB) {
+                        tick(1);
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        assert_eq!(program.name, "join");
+        assert_eq!(program.params, vec!["lenA".to_string(), "lenB".to_string()]);
+        assert_eq!(program.body.len(), 3);
+        assert!(matches!(program.body[0], Stmt::Assume(_)));
+        assert!(matches!(program.body[2], Stmt::While(..)));
+    }
+
+    #[test]
+    fn parses_if_else_chains() {
+        let source = r#"
+            proc f(x) {
+                if (x > 0) { tick(1); } else if (x == 0) { tick(2); } else { skip; }
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        let Stmt::If(_, then_block, else_block) = &program.body[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(then_block.len(), 1);
+        assert_eq!(else_block.len(), 1);
+        assert!(matches!(else_block[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_nondet_forms() {
+        let source = r#"
+            proc f(n) {
+                x = nondet();
+                if (*) { tick(1); }
+                while (*) { tick(1); x = x - 1; }
+            }
+        "#;
+        let program = parse_program(source).unwrap();
+        assert!(matches!(program.body[0], Stmt::Assign(_, Expr::Nondet)));
+        let Stmt::If(condition, ..) = &program.body[1] else { panic!() };
+        assert_eq!(*condition, BoolExpr::Nondet);
+        let Stmt::While(condition, ..) = &program.body[2] else { panic!() };
+        assert_eq!(*condition, BoolExpr::Nondet);
+    }
+
+    #[test]
+    fn parses_for_loop_sugar() {
+        let source = "proc f(n) { for (i = 0; i < n; i = i + 1) { tick(1); } }";
+        let program = parse_program(source).unwrap();
+        // for desugars to If(true, [init, while], [])
+        let Stmt::If(BoolExpr::True, inner, _) = &program.body[0] else {
+            panic!("for should desugar to a guarded block");
+        };
+        assert!(matches!(inner[0], Stmt::Assign(..)));
+        let Stmt::While(_, _, body) = &inner[1] else { panic!() };
+        assert_eq!(body.len(), 2); // tick + increment
+    }
+
+    #[test]
+    fn parses_invariant_annotations() {
+        let source = "proc f(n) { i = 0; while (i < n) invariant(i >= 0, i <= n) { i = i + 1; } }";
+        let program = parse_program(source).unwrap();
+        let Stmt::While(_, invariants, _) = &program.body[1] else { panic!() };
+        assert_eq!(invariants.len(), 2);
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let source = "proc f(x, y) { assume((x >= 0 || y >= 0) && !(x > 10)); }";
+        let program = parse_program(source).unwrap();
+        let Stmt::Assume(cond) = &program.body[0] else { panic!() };
+        assert!(matches!(cond, BoolExpr::And(..)));
+    }
+
+    #[test]
+    fn parses_parenthesized_arithmetic_in_comparison() {
+        let source = "proc f(x, y) { assume((x + 1) * 2 <= y); }";
+        let program = parse_program(source).unwrap();
+        let Stmt::Assume(BoolExpr::Cmp(lhs, CmpOp::Le, _)) = &program.body[0] else {
+            panic!()
+        };
+        assert!(matches!(lhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn error_reporting_includes_line() {
+        let err = parse_program("proc f(n) {\n  x = ;\n}").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_program("f(n) {}").unwrap_err();
+        assert!(err.to_string().contains("proc"));
+        let err = parse_program("proc f(n) { tick(1) }").unwrap_err();
+        assert!(err.to_string().contains("`;`"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse_program("proc f(n) { skip; } extra").unwrap_err();
+        assert!(err.to_string().contains("end of input"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Linear programming for the diffcost analyzer.
+//!
+//! Step 4 of the paper's algorithm solves a single linear program — "minimize the
+//! threshold `t` subject to all collected linear constraints" — with an off-the-shelf
+//! solver (the paper uses Gurobi). This crate provides that substrate: a dense two-phase
+//! simplex implementation with two interchangeable numeric backends:
+//!
+//! * the default [`LpProblem::solve_f64`] backend mirrors the paper's real-valued LP and
+//!   is fast enough for the full benchmark suite;
+//! * the exact [`LpProblem::solve_exact`] backend runs the same algorithm over
+//!   [`Rational`] arithmetic with Bland's rule and is used by the test-suite to
+//!   cross-check small instances.
+//!
+//! # Example
+//!
+//! ```
+//! use dca_lp::{ConstraintOp, LpProblem, LpStatus, VarKind};
+//! use dca_numeric::Rational;
+//!
+//! // minimize x + y  s.t.  x + 2y >= 4,  3x + y >= 6,  x,y >= 0
+//! let mut lp = LpProblem::new();
+//! let x = lp.add_var("x", VarKind::NonNegative);
+//! let y = lp.add_var("y", VarKind::NonNegative);
+//! lp.add_constraint(vec![(x, Rational::one()), (y, Rational::from_int(2))],
+//!                   ConstraintOp::Ge, Rational::from_int(4));
+//! lp.add_constraint(vec![(x, Rational::from_int(3)), (y, Rational::one())],
+//!                   ConstraintOp::Ge, Rational::from_int(6));
+//! lp.set_objective(vec![(x, Rational::one()), (y, Rational::one())]);
+//! let solution = lp.solve_exact();
+//! assert_eq!(solution.status, LpStatus::Optimal);
+//! assert_eq!(solution.objective.unwrap(), Rational::new(14, 5));
+//! ```
+
+mod problem;
+mod scalar;
+mod simplex;
+
+pub use problem::{ConstraintOp, LpConstraint, LpProblem, LpResult, LpStatus, LpVar, VarKind};
+pub use scalar::Scalar;

@@ -1,0 +1,456 @@
+//! The user-facing LP model: variables, constraints, objective, and solving entry points.
+
+use std::fmt;
+
+use dca_numeric::Rational;
+
+use crate::scalar::Scalar;
+use crate::simplex::{solve_standard_form, StandardForm};
+
+/// Identifier of an LP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LpVar(pub usize);
+
+impl LpVar {
+    /// Index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Sign restriction of an LP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// The variable is constrained to be `≥ 0`.
+    NonNegative,
+    /// The variable is unrestricted in sign (internally split into a difference of two
+    /// non-negative variables).
+    Free,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢ xᵢ ≤ b`
+    Le,
+    /// `Σ aᵢ xᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢ xᵢ = b`
+    Eq,
+}
+
+/// A linear constraint `Σ aᵢ xᵢ (≤ | ≥ | =) b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpConstraint {
+    /// Terms `(variable, coefficient)`.
+    pub terms: Vec<(LpVar, Rational)>,
+    /// The comparison operator.
+    pub op: ConstraintOp,
+    /// The right-hand side.
+    pub rhs: Rational,
+}
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraint set is infeasible.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration limit was hit before convergence (floating-point backend only).
+    IterationLimit,
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration limit",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Result of an LP solve in the chosen scalar type.
+#[derive(Debug, Clone)]
+pub struct LpResult<S> {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Objective value (present iff `status == Optimal`).
+    pub objective: Option<S>,
+    /// Values of the model variables, indexed by [`LpVar`] (present iff optimal).
+    pub values: Vec<S>,
+}
+
+impl<S: Scalar> LpResult<S> {
+    /// The value of a variable in an optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solve was not optimal.
+    pub fn value(&self, var: LpVar) -> S {
+        self.values[var.index()].clone()
+    }
+
+    /// Returns `true` if an optimal solution was found.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+/// A linear program: minimize a linear objective subject to linear constraints.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    var_names: Vec<String>,
+    var_kinds: Vec<VarKind>,
+    constraints: Vec<LpConstraint>,
+    objective: Vec<(LpVar, Rational)>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem.
+    pub fn new() -> LpProblem {
+        LpProblem::default()
+    }
+
+    /// Adds a variable with the given display name and sign restriction.
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind) -> LpVar {
+        let var = LpVar(self.var_names.len());
+        self.var_names.push(name.into());
+        self.var_kinds.push(kind);
+        var
+    }
+
+    /// Adds a constraint `Σ terms (op) rhs`.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(LpVar, Rational)>,
+        op: ConstraintOp,
+        rhs: Rational,
+    ) {
+        self.constraints.push(LpConstraint { terms, op, rhs });
+    }
+
+    /// Sets the objective to *minimize* `Σ terms`.
+    pub fn set_objective(&mut self, terms: Vec<(LpVar, Rational)>) {
+        self.objective = terms;
+    }
+
+    /// Number of model variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, var: LpVar) -> &str {
+        &self.var_names[var.index()]
+    }
+
+    /// The registered constraints.
+    pub fn constraints(&self) -> &[LpConstraint] {
+        &self.constraints
+    }
+
+    /// Solves with the floating-point backend (mirrors the paper's real-valued LP).
+    pub fn solve_f64(&self) -> LpResult<f64> {
+        self.solve_generic::<f64>()
+    }
+
+    /// Solves with the exact rational backend (slower; used for cross-checking).
+    pub fn solve_exact(&self) -> LpResult<Rational> {
+        self.solve_generic::<Rational>()
+    }
+
+    /// Checks whether a candidate assignment satisfies every constraint up to `tol`.
+    ///
+    /// Used by tests and by the verifier to validate solutions independent of the solver.
+    pub fn check_feasible_f64(&self, values: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|(v, coef)| coef.to_f64() * values[v.index()])
+                .sum();
+            let rhs = c.rhs.to_f64();
+            match c.op {
+                ConstraintOp::Le => lhs <= rhs + tol,
+                ConstraintOp::Ge => lhs >= rhs - tol,
+                ConstraintOp::Eq => (lhs - rhs).abs() <= tol,
+            }
+        }) && self
+            .var_kinds
+            .iter()
+            .zip(values)
+            .all(|(kind, &v)| *kind == VarKind::Free || v >= -tol)
+    }
+
+    fn solve_generic<S: Scalar>(&self) -> LpResult<S> {
+        let standard = self.to_standard_form::<S>();
+        let raw = solve_standard_form(&standard);
+        match raw.status {
+            LpStatus::Optimal => {
+                let values = self.recover_values::<S>(&raw.values);
+                let objective = self
+                    .objective
+                    .iter()
+                    .fold(S::zero(), |acc, (v, c)| {
+                        acc.add(&S::from_rational(c).mul(&values[v.index()]))
+                    });
+                LpResult { status: LpStatus::Optimal, objective: Some(objective), values }
+            }
+            status => LpResult { status, objective: None, values: Vec::new() },
+        }
+    }
+
+    /// Standard form: minimize c'y subject to Ay = b, y >= 0, b >= 0.
+    ///
+    /// Model variables map to standard-form columns as follows: a `NonNegative` variable
+    /// maps to one column, a `Free` variable to a pair of columns (positive and negative
+    /// parts). Inequality rows receive one slack/surplus column each.
+    fn to_standard_form<S: Scalar>(&self) -> StandardForm<S> {
+        // Column layout per model variable.
+        let mut columns: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.num_vars());
+        let mut num_cols = 0usize;
+        for kind in &self.var_kinds {
+            match kind {
+                VarKind::NonNegative => {
+                    columns.push((num_cols, None));
+                    num_cols += 1;
+                }
+                VarKind::Free => {
+                    columns.push((num_cols, Some(num_cols + 1)));
+                    num_cols += 2;
+                }
+            }
+        }
+        let num_slacks = self
+            .constraints
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        let total_cols = num_cols + num_slacks;
+
+        let mut matrix: Vec<Vec<S>> = Vec::with_capacity(self.constraints.len());
+        let mut rhs: Vec<S> = Vec::with_capacity(self.constraints.len());
+        let mut slack_idx = num_cols;
+        for constraint in &self.constraints {
+            let mut row = vec![S::zero(); total_cols];
+            for (var, coef) in &constraint.terms {
+                let c = S::from_rational(coef);
+                let (pos, neg) = columns[var.index()];
+                row[pos] = row[pos].add(&c);
+                if let Some(neg) = neg {
+                    row[neg] = row[neg].sub(&c);
+                }
+            }
+            match constraint.op {
+                ConstraintOp::Le => {
+                    row[slack_idx] = S::one();
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    row[slack_idx] = S::one().neg();
+                    slack_idx += 1;
+                }
+                ConstraintOp::Eq => {}
+            }
+            let mut b = S::from_rational(&constraint.rhs);
+            // Normalize to b >= 0.
+            if b.is_negative() {
+                for cell in &mut row {
+                    *cell = cell.neg();
+                }
+                b = b.neg();
+            }
+            matrix.push(row);
+            rhs.push(b);
+        }
+
+        let mut costs = vec![S::zero(); total_cols];
+        for (var, coef) in &self.objective {
+            let c = S::from_rational(coef);
+            let (pos, neg) = columns[var.index()];
+            costs[pos] = costs[pos].add(&c);
+            if let Some(neg) = neg {
+                costs[neg] = costs[neg].sub(&c);
+            }
+        }
+
+        StandardForm { matrix, rhs, costs, model_columns: columns }
+    }
+
+    fn recover_values<S: Scalar>(&self, standard_values: &[S]) -> Vec<S> {
+        let mut columns: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.num_vars());
+        let mut num_cols = 0usize;
+        for kind in &self.var_kinds {
+            match kind {
+                VarKind::NonNegative => {
+                    columns.push((num_cols, None));
+                    num_cols += 1;
+                }
+                VarKind::Free => {
+                    columns.push((num_cols, Some(num_cols + 1)));
+                    num_cols += 2;
+                }
+            }
+        }
+        columns
+            .iter()
+            .map(|&(pos, neg)| match neg {
+                None => standard_values[pos].clone(),
+                Some(neg) => standard_values[pos].sub(&standard_values[neg]),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// minimize x + y s.t. x + 2y >= 4, 3x + y >= 6
+    fn small_lp() -> (LpProblem, LpVar, LpVar) {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        let y = lp.add_var("y", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(1)), (y, r(2))], ConstraintOp::Ge, r(4));
+        lp.add_constraint(vec![(x, r(3)), (y, r(1))], ConstraintOp::Ge, r(6));
+        lp.set_objective(vec![(x, r(1)), (y, r(1))]);
+        (lp, x, y)
+    }
+
+    #[test]
+    fn exact_solution_of_small_lp() {
+        let (lp, x, y) = small_lp();
+        let sol = lp.solve_exact();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Optimum at intersection of the two constraints: x = 8/5, y = 6/5, objective 14/5.
+        assert_eq!(sol.objective.clone().unwrap(), Rational::new(14, 5));
+        assert_eq!(sol.value(x), Rational::new(8, 5));
+        assert_eq!(sol.value(y), Rational::new(6, 5));
+    }
+
+    #[test]
+    fn f64_solution_matches_exact() {
+        let (lp, _, _) = small_lp();
+        let sol = lp.solve_f64();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective.unwrap() - 2.8).abs() < 1e-6);
+        assert!(lp.check_feasible_f64(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x - y s.t. x + y = 10, x - y <= 4
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        let y = lp.add_var("y", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(1)), (y, r(1))], ConstraintOp::Eq, r(10));
+        lp.add_constraint(vec![(x, r(1)), (y, r(-1))], ConstraintOp::Le, r(4));
+        lp.set_objective(vec![(x, r(1)), (y, r(-1))]);
+        let sol = lp.solve_exact();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // x - y minimized: x = 0, y = 10 -> -10.
+        assert_eq!(sol.objective.unwrap(), r(-10));
+    }
+
+    #[test]
+    fn free_variables() {
+        // minimize t s.t. t >= x - 5, t >= 5 - x, x = 2  (t is the absolute gap, x fixed)
+        let mut lp = LpProblem::new();
+        let t = lp.add_var("t", VarKind::Free);
+        let x = lp.add_var("x", VarKind::NonNegative);
+        lp.add_constraint(vec![(t, r(1)), (x, r(-1))], ConstraintOp::Ge, r(-5));
+        lp.add_constraint(vec![(t, r(1)), (x, r(1))], ConstraintOp::Ge, r(5));
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Eq, r(2));
+        lp.set_objective(vec![(t, r(1))]);
+        let sol = lp.solve_exact();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective.unwrap(), r(3));
+    }
+
+    #[test]
+    fn free_variable_can_go_negative() {
+        // minimize t s.t. t >= -7 has optimum t = -7 when t is free.
+        let mut lp = LpProblem::new();
+        let t = lp.add_var("t", VarKind::Free);
+        lp.add_constraint(vec![(t, r(1))], ConstraintOp::Ge, r(-7));
+        lp.set_objective(vec![(t, r(1))]);
+        let sol = lp.solve_exact();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective.clone().unwrap(), r(-7));
+        assert_eq!(sol.value(t), r(-7));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Ge, r(5));
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Le, r(3));
+        lp.set_objective(vec![(x, r(1))]);
+        assert_eq!(lp.solve_exact().status, LpStatus::Infeasible);
+        assert_eq!(lp.solve_f64().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::Free);
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Le, r(100));
+        lp.set_objective(vec![(x, r(1))]);
+        assert_eq!(lp.solve_exact().status, LpStatus::Unbounded);
+        assert_eq!(lp.solve_f64().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints meeting at the same vertex.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        let y = lp.add_var("y", VarKind::NonNegative);
+        for k in 1..=5i64 {
+            lp.add_constraint(vec![(x, r(k)), (y, r(k))], ConstraintOp::Ge, r(2 * k));
+        }
+        lp.set_objective(vec![(x, r(1)), (y, r(2))]);
+        let sol = lp.solve_exact();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective.unwrap(), r(2));
+    }
+
+    #[test]
+    fn zero_objective_feasibility_check() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(2))], ConstraintOp::Eq, r(6));
+        let sol = lp.solve_exact();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.value(x), r(3));
+        assert_eq!(sol.objective.unwrap(), Rational::zero());
+    }
+
+    #[test]
+    fn names_and_counts() {
+        let (lp, x, _) = small_lp();
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.var_name(x), "x");
+        assert_eq!(lp.constraints().len(), 2);
+        assert_eq!(LpStatus::Optimal.to_string(), "optimal");
+    }
+}

@@ -1,0 +1,163 @@
+//! The numeric abstraction shared by the `f64` and exact [`Rational`] simplex backends.
+
+use dca_numeric::Rational;
+
+/// Arithmetic required by the simplex solver.
+///
+/// The trait is sealed in spirit: the two implementations provided here (`f64` with an
+/// absolute tolerance, and [`Rational`] exactly) are the only ones the crate is tested
+/// with; the solver chooses pivoting rules based on [`Scalar::IS_EXACT`].
+pub trait Scalar: Clone + std::fmt::Debug + PartialEq {
+    /// `true` for exact arithmetic (enables Bland's anti-cycling rule unconditionally).
+    const IS_EXACT: bool;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Conversion from an exact rational coefficient.
+    fn from_rational(r: &Rational) -> Self;
+    /// Approximate conversion used for reporting.
+    fn to_f64(&self) -> f64;
+
+    /// Addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Subtraction.
+    fn sub(&self, other: &Self) -> Self;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Division.
+    fn div(&self, other: &Self) -> Self;
+    /// Negation.
+    fn neg(&self) -> Self;
+
+    /// `true` if the value is (numerically) zero.
+    fn is_zero(&self) -> bool;
+    /// `true` if the value is (numerically) strictly positive.
+    fn is_positive(&self) -> bool;
+    /// `true` if the value is (numerically) strictly negative.
+    fn is_negative(&self) -> bool;
+    /// Strict comparison used by the ratio test.
+    fn lt(&self, other: &Self) -> bool;
+}
+
+/// Absolute tolerance used by the floating-point backend.
+pub(crate) const F64_EPS: f64 = 1e-8;
+
+impl Scalar for f64 {
+    const IS_EXACT: bool = false;
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_rational(r: &Rational) -> Self {
+        r.to_f64()
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn is_zero(&self) -> bool {
+        self.abs() <= F64_EPS
+    }
+    fn is_positive(&self) -> bool {
+        *self > F64_EPS
+    }
+    fn is_negative(&self) -> bool {
+        *self < -F64_EPS
+    }
+    fn lt(&self, other: &Self) -> bool {
+        self < other
+    }
+}
+
+impl Scalar for Rational {
+    const IS_EXACT: bool = true;
+
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn from_rational(r: &Rational) -> Self {
+        r.clone()
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn neg(&self) -> Self {
+        -self.clone()
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn is_positive(&self) -> bool {
+        Rational::is_positive(self)
+    }
+    fn is_negative(&self) -> bool {
+        Rational::is_negative(self)
+    }
+    fn lt(&self, other: &Self) -> bool {
+        self < other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_tolerance() {
+        assert!(Scalar::is_zero(&1e-12));
+        assert!(!Scalar::is_positive(&1e-12));
+        assert!(Scalar::is_positive(&1e-3));
+        assert!(Scalar::is_negative(&-1e-3));
+    }
+
+    #[test]
+    fn rational_exactness() {
+        let tiny = Rational::new(1, 1_000_000_000);
+        assert!(!Scalar::is_zero(&tiny));
+        assert!(Scalar::is_positive(&tiny));
+        assert!(Rational::IS_EXACT);
+        assert!(!f64::IS_EXACT);
+    }
+
+    #[test]
+    fn conversions() {
+        let half = Rational::new(1, 2);
+        assert_eq!(<f64 as Scalar>::from_rational(&half), 0.5);
+        assert_eq!(<Rational as Scalar>::from_rational(&half), half);
+        assert_eq!(Scalar::to_f64(&half), 0.5);
+    }
+}

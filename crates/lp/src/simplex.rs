@@ -1,0 +1,328 @@
+//! Dense two-phase primal simplex over a generic scalar.
+
+use crate::problem::LpStatus;
+use crate::scalar::Scalar;
+
+/// A problem in standard form: minimize `costs · y` subject to `matrix · y = rhs`,
+/// `y ≥ 0`, with `rhs ≥ 0` componentwise.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardForm<S> {
+    /// Constraint matrix, one row per equality.
+    pub matrix: Vec<Vec<S>>,
+    /// Right-hand sides (all non-negative).
+    pub rhs: Vec<S>,
+    /// Objective coefficients.
+    pub costs: Vec<S>,
+    /// Column layout of the original model variables (positive column, optional negative
+    /// column for free variables). Carried along for diagnostics.
+    pub model_columns: Vec<(usize, Option<usize>)>,
+}
+
+/// Raw solver output over standard-form columns.
+#[derive(Debug, Clone)]
+pub(crate) struct RawSolution<S> {
+    pub status: LpStatus,
+    pub values: Vec<S>,
+}
+
+/// Internal simplex state: the tableau `B⁻¹A | B⁻¹b` plus the current basis.
+struct Tableau<S> {
+    rows: Vec<Vec<S>>,
+    rhs: Vec<S>,
+    basis: Vec<usize>,
+    num_cols: usize,
+}
+
+impl<S: Scalar> Tableau<S> {
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let pivot_value = self.rows[pivot_row][pivot_col].clone();
+        debug_assert!(!pivot_value.is_zero());
+        // Normalize the pivot row.
+        for cell in &mut self.rows[pivot_row] {
+            *cell = cell.div(&pivot_value);
+        }
+        self.rhs[pivot_row] = self.rhs[pivot_row].div(&pivot_value);
+        // Eliminate the pivot column from all other rows.
+        for row in 0..self.rows.len() {
+            if row == pivot_row {
+                continue;
+            }
+            let factor = self.rows[row][pivot_col].clone();
+            if factor.is_zero() {
+                continue;
+            }
+            for col in 0..self.num_cols {
+                let delta = factor.mul(&self.rows[pivot_row][col]);
+                self.rows[row][col] = self.rows[row][col].sub(&delta);
+            }
+            let delta = factor.mul(&self.rhs[pivot_row]);
+            self.rhs[row] = self.rhs[row].sub(&delta);
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Reduced costs `r_j = c_j - c_B · (B⁻¹ A_j)` for all columns.
+    fn reduced_costs(&self, costs: &[S]) -> Vec<S> {
+        let basic_costs: Vec<S> = self.basis.iter().map(|&b| costs[b].clone()).collect();
+        (0..self.num_cols)
+            .map(|col| {
+                let mut value = costs[col].clone();
+                for (row, bc) in basic_costs.iter().enumerate() {
+                    if !bc.is_zero() {
+                        value = value.sub(&bc.mul(&self.rows[row][col]));
+                    }
+                }
+                value
+            })
+            .collect()
+    }
+
+    fn objective_value(&self, costs: &[S]) -> S {
+        let mut value = S::zero();
+        for (row, &b) in self.basis.iter().enumerate() {
+            value = value.add(&costs[b].mul(&self.rhs[row]));
+        }
+        value
+    }
+
+    /// Runs simplex iterations with the given costs until optimality, unboundedness or
+    /// the iteration limit. Returns the status.
+    fn optimize(&mut self, costs: &[S], allowed_cols: usize, max_iters: usize) -> LpStatus {
+        let bland_after = max_iters / 2;
+        for iteration in 0..max_iters {
+            let reduced = self.reduced_costs(costs);
+            let use_bland = S::IS_EXACT || iteration >= bland_after;
+            // Entering column: negative reduced cost.
+            let entering = if use_bland {
+                (0..allowed_cols).find(|&j| reduced[j].is_negative())
+            } else {
+                // Dantzig: most negative reduced cost.
+                let mut best: Option<usize> = None;
+                for j in 0..allowed_cols {
+                    if reduced[j].is_negative()
+                        && best.map_or(true, |b| reduced[j].lt(&reduced[b]))
+                    {
+                        best = Some(j);
+                    }
+                }
+                best
+            };
+            let Some(entering) = entering else {
+                return LpStatus::Optimal;
+            };
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio: Option<S> = None;
+            for row in 0..self.rows.len() {
+                let coeff = &self.rows[row][entering];
+                if !coeff.is_positive() {
+                    continue;
+                }
+                let ratio = self.rhs[row].div(coeff);
+                let better = match &best_ratio {
+                    None => true,
+                    Some(best) => {
+                        ratio.lt(best)
+                            || (!best.lt(&ratio)
+                                && leaving.map_or(false, |l| self.basis[row] < self.basis[l]))
+                    }
+                };
+                if better {
+                    best_ratio = Some(ratio);
+                    leaving = Some(row);
+                }
+            }
+            let Some(leaving) = leaving else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(leaving, entering);
+        }
+        LpStatus::IterationLimit
+    }
+}
+
+/// Solves a standard-form problem with the two-phase simplex method.
+pub(crate) fn solve_standard_form<S: Scalar>(form: &StandardForm<S>) -> RawSolution<S> {
+    let num_rows = form.matrix.len();
+    let num_structural = form.costs.len();
+    let _ = &form.model_columns;
+
+    // Equilibration: scale columns and rows so that tableau entries stay near unit
+    // magnitude. This matters for the floating-point backend on problems whose raw
+    // coefficients span several orders of magnitude (e.g. invariant products such as
+    // (100 - n)^2). Column scaling substitutes y_j = s_j * x_j, so the solution is
+    // rescaled at the end; row scaling multiplies an equality by a positive factor and
+    // needs no compensation.
+    let mut form = form.clone();
+    let abs = |value: &S| if value.is_negative() { value.neg() } else { value.clone() };
+    let mut column_scales = vec![S::one(); num_structural];
+    for (column, scale) in column_scales.iter_mut().enumerate() {
+        let mut max_abs = S::zero();
+        for row in &form.matrix {
+            let a = abs(&row[column]);
+            if max_abs.lt(&a) {
+                max_abs = a;
+            }
+        }
+        if !max_abs.is_zero() {
+            *scale = max_abs.clone();
+            for row in &mut form.matrix {
+                row[column] = row[column].div(&max_abs);
+            }
+            form.costs[column] = form.costs[column].div(&max_abs);
+        }
+    }
+    for (row, rhs) in form.matrix.iter_mut().zip(form.rhs.iter_mut()) {
+        let mut max_abs = S::zero();
+        for cell in row.iter().chain(std::iter::once(&*rhs)) {
+            let a = abs(cell);
+            if max_abs.lt(&a) {
+                max_abs = a;
+            }
+        }
+        if max_abs.is_zero() {
+            continue;
+        }
+        for cell in row.iter_mut() {
+            *cell = cell.div(&max_abs);
+        }
+        *rhs = rhs.div(&max_abs);
+    }
+    let form = &form;
+
+    if num_rows == 0 {
+        // No constraints: the optimum is 0 unless some cost is negative (unbounded).
+        let unbounded = form.costs.iter().any(Scalar::is_negative);
+        return RawSolution {
+            status: if unbounded { LpStatus::Unbounded } else { LpStatus::Optimal },
+            values: vec![S::zero(); num_structural],
+        };
+    }
+
+    // Phase 1: add one artificial variable per row and minimize their sum.
+    let num_cols = num_structural + num_rows;
+    let mut rows = Vec::with_capacity(num_rows);
+    for (i, row) in form.matrix.iter().enumerate() {
+        let mut extended = row.clone();
+        extended.resize(num_cols, S::zero());
+        extended[num_structural + i] = S::one();
+        rows.push(extended);
+    }
+    let mut tableau = Tableau {
+        rows,
+        rhs: form.rhs.clone(),
+        basis: (num_structural..num_cols).collect(),
+        num_cols,
+    };
+    let mut phase1_costs = vec![S::zero(); num_cols];
+    for cost in phase1_costs.iter_mut().skip(num_structural) {
+        *cost = S::one();
+    }
+    let max_iters = 200 * (num_rows + num_cols) + 2000;
+    let status = tableau.optimize(&phase1_costs, num_cols, max_iters);
+    if status == LpStatus::IterationLimit {
+        return RawSolution { status, values: Vec::new() };
+    }
+    let phase1_value = tableau.objective_value(&phase1_costs);
+    if phase1_value.is_positive() {
+        return RawSolution { status: LpStatus::Infeasible, values: Vec::new() };
+    }
+
+    // Drive any remaining artificial variables out of the basis.
+    for row in 0..num_rows {
+        if tableau.basis[row] >= num_structural {
+            // Find a structural column with a non-zero entry to pivot in.
+            let pivot_col = (0..num_structural).find(|&j| !tableau.rows[row][j].is_zero());
+            match pivot_col {
+                Some(col) => tableau.pivot(row, col),
+                None => {
+                    // Redundant row: every structural coefficient is zero. The artificial
+                    // stays basic at value zero, which is harmless for phase 2 as long as
+                    // it can never re-enter (we restrict entering columns to structural).
+                }
+            }
+        }
+    }
+
+    // Phase 2: original costs (artificial columns are excluded from entering).
+    let mut phase2_costs = form.costs.clone();
+    phase2_costs.resize(num_cols, S::zero());
+    let status = tableau.optimize(&phase2_costs, num_structural, max_iters);
+    if status != LpStatus::Optimal {
+        return RawSolution { status, values: Vec::new() };
+    }
+
+    let mut values = vec![S::zero(); num_structural];
+    for (row, &basic) in tableau.basis.iter().enumerate() {
+        if basic < num_structural {
+            // Undo the column scaling: x_j = y_j / s_j.
+            values[basic] = tableau.rhs[row].div(&column_scales[basic]);
+        }
+    }
+    RawSolution { status: LpStatus::Optimal, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_numeric::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// minimize -x - y  s.t.  x + y + s = 4  (i.e. x + y <= 4), expects objective -4.
+    #[test]
+    fn standard_form_direct() {
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1), r(1, 1), r(1, 1)]],
+            rhs: vec![r(4, 1)],
+            costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
+            model_columns: vec![(0, None), (1, None)],
+        };
+        let sol = solve_standard_form(&form);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        let total = sol.values[0].clone() + sol.values[1].clone();
+        assert_eq!(total, r(4, 1));
+    }
+
+    #[test]
+    fn empty_problem() {
+        let form: StandardForm<Rational> = StandardForm {
+            matrix: vec![],
+            rhs: vec![],
+            costs: vec![Rational::one()],
+            model_columns: vec![(0, None)],
+        };
+        let sol = solve_standard_form(&form);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.values, vec![Rational::zero()]);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x = 2 stated twice; minimize x.
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1)], vec![r(1, 1)]],
+            rhs: vec![r(2, 1), r(2, 1)],
+            costs: vec![r(1, 1)],
+            model_columns: vec![(0, None)],
+        };
+        let sol = solve_standard_form(&form);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.values[0], r(2, 1));
+    }
+
+    #[test]
+    fn infeasible_standard_form() {
+        // x = 2 and x = 3 simultaneously.
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1)], vec![r(1, 1)]],
+            rhs: vec![r(2, 1), r(3, 1)],
+            costs: vec![r(1, 1)],
+            model_columns: vec![(0, None)],
+        };
+        let sol = solve_standard_form(&form);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+}

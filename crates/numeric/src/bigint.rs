@@ -1,0 +1,773 @@
+//! Sign-magnitude arbitrary-precision integers.
+//!
+//! The magnitude is stored as little-endian `u32` limbs (base 2^32) with no trailing
+//! zero limbs; a zero value has an empty limb vector and [`Sign::Zero`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use dca_numeric::BigInt;
+/// let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+/// let b = BigInt::from(2i64);
+/// assert_eq!((&a * &b).to_string(), "246913578024691357802469135780");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian base-2^32 limbs; empty iff the value is zero.
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> BigInt {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> BigInt {
+        BigInt::from(1i64)
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Returns the sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        let mut out = self.clone();
+        if out.sign == Sign::Negative {
+            out.sign = Sign::Positive;
+        }
+        out
+    }
+
+    fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> BigInt {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` of the magnitude (bit 0 is the least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Subtract magnitudes, requires `a >= b`.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(BigInt::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Shift magnitude left by one bit in place.
+    fn shl1_mag(limbs: &mut Vec<u32>) {
+        let mut carry = 0u32;
+        for l in limbs.iter_mut() {
+            let new_carry = *l >> 31;
+            *l = (*l << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+    }
+
+    /// Divide magnitudes via binary long division, returns `(quotient, remainder)`.
+    fn divrem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        if BigInt::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        // Fast path: single-limb divisor.
+        if b.len() == 1 {
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem = 0u64;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 32) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        let abits = {
+            let top = *a.last().unwrap();
+            (a.len() - 1) * 32 + (32 - top.leading_zeros() as usize)
+        };
+        let mut rem: Vec<u32> = Vec::new();
+        let mut quo = vec![0u32; a.len()];
+        for i in (0..abits).rev() {
+            BigInt::shl1_mag(&mut rem);
+            let limb = i / 32;
+            let off = i % 32;
+            if (a[limb] >> off) & 1 == 1 {
+                if rem.is_empty() {
+                    rem.push(1);
+                } else {
+                    rem[0] |= 1;
+                }
+            }
+            if BigInt::cmp_mag(&rem, b) != Ordering::Less {
+                rem = BigInt::sub_mag(&rem, b);
+                while rem.last() == Some(&0) {
+                    rem.pop();
+                }
+                quo[i / 32] |= 1 << (i % 32);
+            }
+        }
+        while quo.last() == Some(&0) {
+            quo.pop();
+        }
+        (quo, rem)
+    }
+
+    /// Truncated division with remainder: `self = q * other + r` with `|r| < |other|` and
+    /// `r` having the sign of `self` (or zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (qm, rm) = BigInt::divrem_mag(&self.limbs, &other.limbs);
+        let qsign = if qm.is_empty() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let rsign = if rm.is_empty() { Sign::Zero } else { self.sign };
+        (BigInt::from_limbs(qsign, qm), BigInt::from_limbs(rsign, rm))
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raise to a small non-negative power.
+    pub fn pow(&self, exp: u32) -> BigInt {
+        let mut result = BigInt::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Convert to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let mag: u128 = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l as u128) << (32 * i))
+            .sum();
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if mag <= i64::MAX as u128 {
+                    Some(mag as i64)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if mag <= i64::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg() as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Convert to `f64` (may lose precision; huge values map to ±inf).
+    pub fn to_f64(&self) -> f64 {
+        let mut value = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            value = value * 4294967296.0 + limb as f64;
+        }
+        match self.sign {
+            Sign::Negative => -value,
+            _ => value,
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> BigInt {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> BigInt {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> BigInt {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+        let mut mag = v.unsigned_abs();
+        let mut limbs = Vec::new();
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= 32;
+        }
+        BigInt { sign, limbs }
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseBigIntError { kind: "empty string" });
+        }
+        let mut value = BigInt::zero();
+        let ten = BigInt::from(10i64);
+        for ch in digits.chars() {
+            let d = ch.to_digit(10).ok_or(ParseBigIntError { kind: "non-digit character" })?;
+            value = &(&value * &ten) + &BigInt::from(d as i64);
+        }
+        if neg {
+            value = -value;
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        let ten = [10u32];
+        while !mag.is_empty() {
+            let (q, r) = BigInt::divrem_mag(&mag, &ten);
+            digits.push(r.first().copied().unwrap_or(0) as u8 + b'0');
+            mag = q;
+        }
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        for d in digits.iter().rev() {
+            write!(f, "{}", *d as char)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => BigInt::cmp_mag(&other.limbs, &self.limbs),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => BigInt::cmp_mag(&self.limbs, &other.limbs),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.flip();
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => {
+                BigInt::from_limbs(a, BigInt::add_mag(&self.limbs, &rhs.limbs))
+            }
+            _ => {
+                // Opposite signs: subtract the smaller magnitude from the larger.
+                match BigInt::cmp_mag(&self.limbs, &rhs.limbs) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => BigInt::from_limbs(
+                        self.sign,
+                        BigInt::sub_mag(&self.limbs, &rhs.limbs),
+                    ),
+                    Ordering::Less => BigInt::from_limbs(
+                        rhs.sign,
+                        BigInt::sub_mag(&rhs.limbs, &self.limbs),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_properties() {
+        let z = BigInt::zero();
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+        assert!(!z.is_positive());
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(z.to_i64(), Some(0));
+        assert_eq!(z.bits(), 0);
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for v in [0i128, 1, -1, 42, -42, i64::MAX as i128, i64::MIN as i128, 1 << 100] {
+            let b = bi(v);
+            let parsed: BigInt = b.to_string().parse().unwrap();
+            assert_eq!(parsed, b, "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("abc".parse::<BigInt>().is_err());
+        assert!("12x".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("+5".parse::<BigInt>().unwrap() == bi(5));
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(bi(2) + bi(3), bi(5));
+        assert_eq!(bi(2) - bi(3), bi(-1));
+        assert_eq!(bi(-2) + bi(-3), bi(-5));
+        assert_eq!(bi(-2) - bi(-3), bi(1));
+        assert_eq!(bi(7) + bi(-7), BigInt::zero());
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(bi(6) * bi(7), bi(42));
+        assert_eq!(bi(-6) * bi(7), bi(-42));
+        assert_eq!(bi(-6) * bi(-7), bi(42));
+        assert_eq!(bi(0) * bi(7), BigInt::zero());
+    }
+
+    #[test]
+    fn large_multiplication() {
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let b: BigInt = "987654321098765432109876543210".parse().unwrap();
+        let p = &a * &b;
+        assert_eq!(
+            p.to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = bi(17).div_rem(&bi(5));
+        assert_eq!((q, r), (bi(3), bi(2)));
+        let (q, r) = bi(-17).div_rem(&bi(5));
+        assert_eq!((q, r), (bi(-3), bi(-2)));
+        let (q, r) = bi(17).div_rem(&bi(-5));
+        assert_eq!((q, r), (bi(-3), bi(2)));
+        let (q, r) = bi(-17).div_rem(&bi(-5));
+        assert_eq!((q, r), (bi(3), bi(-2)));
+    }
+
+    #[test]
+    fn div_rem_large() {
+        let a: BigInt = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        let b: BigInt = "18446744073709551616".parse().unwrap(); // 2^64
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, b);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = bi(1).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(bi(48).gcd(&bi(36)), bi(12));
+        assert_eq!(bi(-48).gcd(&bi(36)), bi(12));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(5).gcd(&bi(0)), bi(5));
+    }
+
+    #[test]
+    fn pow_basic() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(-3).pow(3), bi(-27));
+        assert_eq!(bi(7).pow(0), bi(1));
+        assert_eq!(bi(2).pow(100).to_string(), "1267650600228229401496703205376");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-5) < bi(-1));
+        assert!(bi(-1) < bi(0));
+        assert!(bi(0) < bi(1));
+        assert!(bi(1) < bi(5));
+        assert!(bi(1 << 70) > bi(1 << 60));
+        assert!(bi(-(1 << 70)) < bi(-(1 << 60)));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(bi(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(bi(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(bi(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(bi(i64::MIN as i128 - 1).to_i64(), None);
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(bi(42).to_f64(), 42.0);
+        assert_eq!(bi(-42).to_f64(), -42.0);
+        let big = bi(1i128 << 100);
+        assert!((big.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-12);
+    }
+
+    #[test]
+    fn bit_width() {
+        assert_eq!(bi(1).bits(), 1);
+        assert_eq!(bi(2).bits(), 2);
+        assert_eq!(bi(255).bits(), 8);
+        assert_eq!(bi(256).bits(), 9);
+        assert_eq!(bi(1 << 40).bits(), 41);
+        assert!(bi(5).bit(0) && !bi(5).bit(1) && bi(5).bit(2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(b as i128) + bi(a as i128));
+        }
+
+        #[test]
+        fn prop_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
+        }
+
+        #[test]
+        fn prop_mul_matches_i128(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+            prop_assert_eq!(bi(a as i128) * bi(b as i128), bi(a as i128 * b as i128));
+        }
+
+        #[test]
+        fn prop_divrem_reconstructs(a in any::<i64>(), b in any::<i64>()) {
+            prop_assume!(b != 0);
+            let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
+            prop_assert_eq!(&q * &bi(b as i128) + &r, bi(a as i128));
+            prop_assert!(r.abs() < bi(b as i128).abs());
+        }
+
+        #[test]
+        fn prop_distributive(a in -10_000i64..10_000, b in -10_000i64..10_000, c in -10_000i64..10_000) {
+            let (a, b, c) = (bi(a as i128), bi(b as i128), bi(c as i128));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        }
+
+        #[test]
+        fn prop_roundtrip_string(a in any::<i128>()) {
+            let b = bi(a);
+            prop_assert_eq!(b.to_string().parse::<BigInt>().unwrap(), b);
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in 1i64..100_000, b in 1i64..100_000) {
+            let g = bi(a as i128).gcd(&bi(b as i128));
+            prop_assert!((bi(a as i128) % &g).is_zero());
+            prop_assert!((bi(b as i128) % &g).is_zero());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Exact arbitrary-precision arithmetic for the diffcost analyzer.
+//!
+//! The differential cost analysis pipeline manipulates polynomial coefficients and
+//! linear-programming tableaux whose intermediate values can exceed machine integers.
+//! This crate provides:
+//!
+//! * [`BigInt`] — a sign-magnitude arbitrary-precision integer, and
+//! * [`Rational`] — a normalized arbitrary-precision fraction built on top of it.
+//!
+//! Both types are implemented from scratch (no external numeric dependencies) and are
+//! deliberately simple: schoolbook multiplication and binary long division are more than
+//! fast enough for the problem sizes produced by the analysis (coefficients of small
+//! polynomial templates and LP pivots on a few thousand variables).
+//!
+//! # Examples
+//!
+//! ```
+//! use dca_numeric::{BigInt, Rational};
+//!
+//! let a = BigInt::from(123456789i64);
+//! let b = BigInt::from(987654321i64);
+//! assert_eq!((&a * &b).to_string(), "121932631112635269");
+//!
+//! let half = Rational::new(1, 2);
+//! let third = Rational::new(1, 3);
+//! assert_eq!(&half + &third, Rational::new(5, 6));
+//! ```
+
+mod bigint;
+mod rational;
+
+pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use rational::{ParseRationalError, Rational};
+
+/// Greatest common divisor of two non-negative machine integers.
+///
+/// Exposed as a convenience for other crates (e.g. normalizing small affine constraints
+/// without going through [`BigInt`]).
+///
+/// ```
+/// assert_eq!(dca_numeric::gcd_u64(12, 18), 6);
+/// assert_eq!(dca_numeric::gcd_u64(0, 7), 7);
+/// ```
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Greatest common divisor of two signed machine integers (result is non-negative).
+///
+/// ```
+/// assert_eq!(dca_numeric::gcd_i64(-12, 18), 6);
+/// ```
+pub fn gcd_i64(a: i64, b: i64) -> i64 {
+    gcd_u64(a.unsigned_abs(), b.unsigned_abs()) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_u64_basic() {
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(gcd_u64(1, 0), 1);
+        assert_eq!(gcd_u64(0, 1), 1);
+        assert_eq!(gcd_u64(48, 36), 12);
+        assert_eq!(gcd_u64(17, 5), 1);
+    }
+
+    #[test]
+    fn gcd_i64_signs() {
+        assert_eq!(gcd_i64(-4, -6), 2);
+        assert_eq!(gcd_i64(4, -6), 2);
+        assert_eq!(gcd_i64(i64::MIN + 1, 3), 1);
+    }
+}

@@ -1,0 +1,584 @@
+//! Arbitrary-precision rational numbers built on [`BigInt`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::{BigInt, ParseBigIntError};
+
+/// Error returned when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    kind: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl From<ParseBigIntError> for ParseRationalError {
+    fn from(e: ParseBigIntError) -> Self {
+        ParseRationalError { kind: e.to_string() }
+    }
+}
+
+/// An exact rational number `numerator / denominator`.
+///
+/// Invariants: the denominator is strictly positive, and the fraction is fully reduced
+/// (gcd of numerator and denominator is 1); zero is represented as `0 / 1`.
+///
+/// # Examples
+///
+/// ```
+/// use dca_numeric::Rational;
+/// let r = Rational::new(6, -8);
+/// assert_eq!(r.to_string(), "-3/4");
+/// assert_eq!(r + Rational::new(3, 4), Rational::zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Creates a rational from machine-integer numerator and denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Rational {
+        Rational::from_bigints(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Creates a rational from big-integer numerator and denominator, normalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational { num: BigInt::zero(), den: BigInt::one() };
+        }
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let g = num.gcd(&den);
+        let (num, _) = num.div_rem(&g);
+        let (den, _) = den.div_rem(&g);
+        Rational { num, den }
+    }
+
+    /// Creates a rational equal to the given integer.
+    pub fn from_int(v: i64) -> Rational {
+        Rational { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    /// The value `0`.
+    pub fn zero() -> Rational {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Rational {
+        Rational::from_int(1)
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always strictly positive).
+    pub fn denominator(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if the value is an integer (denominator 1).
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::from_bigints(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer less than or equal to the value.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_zero() || !self.num.is_negative() {
+            q
+        } else {
+            &q - &BigInt::one()
+        }
+    }
+
+    /// Smallest integer greater than or equal to the value.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_zero() || self.num.is_negative() {
+            q
+        } else {
+            &q + &BigInt::one()
+        }
+    }
+
+    /// Rounds to the nearest integer (half away from zero).
+    pub fn round(&self) -> BigInt {
+        let two = Rational::from_int(2);
+        if self.is_negative() {
+            -((&-self.clone() + &(Rational::one() / two)).floor())
+        } else {
+            (self + &(Rational::one() / two)).floor()
+        }
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so that both parts fit comfortably in f64 when possible.
+        let n = self.num.to_f64();
+        let d = self.den.to_f64();
+        if n.is_finite() && d.is_finite() && d != 0.0 {
+            n / d
+        } else {
+            // Fall back to a digit-level approximation for extreme magnitudes.
+            let bits = self.num.bits() as i64 - self.den.bits() as i64;
+            if self.num.is_negative() {
+                -(2f64.powi(bits.clamp(-1000, 1000) as i32))
+            } else {
+                2f64.powi(bits.clamp(-1000, 1000) as i32)
+            }
+        }
+    }
+
+    /// Creates a rational that approximates an `f64` exactly (binary expansion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is NaN or infinite.
+    pub fn from_f64(v: f64) -> Rational {
+        assert!(v.is_finite(), "cannot convert non-finite float to rational");
+        if v == 0.0 {
+            return Rational::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let mantissa = if exponent == 0 {
+            (bits & 0xf_ffff_ffff_ffff) << 1
+        } else {
+            (bits & 0xf_ffff_ffff_ffff) | 0x10_0000_0000_0000
+        };
+        // value = sign * mantissa * 2^(exponent - 1075)
+        let mut num = &BigInt::from(mantissa) * &BigInt::from(sign);
+        let mut den = BigInt::one();
+        let shift = exponent - 1075;
+        if shift >= 0 {
+            num = &num * &BigInt::from(2i64).pow(shift as u32);
+        } else {
+            den = BigInt::from(2i64).pow((-shift) as u32);
+        }
+        Rational::from_bigints(num, den)
+    }
+
+    /// Returns the smaller of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Raise to a small non-negative power.
+    pub fn pow(&self, exp: u32) -> Rational {
+        Rational { num: self.num.pow(exp), den: self.den.pow(exp) }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Rational {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Rational {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"a"`, `"a/b"`, or a decimal literal `"a.b"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse()?;
+            let den: BigInt = d.trim().parse()?;
+            if den.is_zero() {
+                return Err(ParseRationalError { kind: "zero denominator".into() });
+            }
+            return Ok(Rational::from_bigints(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse()?
+            };
+            if frac_part.is_empty() || !frac_part.chars().all(|c| c.is_ascii_digit()) {
+                return Err(ParseRationalError { kind: "bad fractional part".into() });
+            }
+            let frac: BigInt = frac_part.parse()?;
+            let scale = BigInt::from(10i64).pow(frac_part.len() as u32);
+            let mag = &(&int.abs() * &scale) + &frac;
+            let num = if negative { -mag } else { mag };
+            return Ok(Rational::from_bigints(num, scale));
+        }
+        Ok(Rational::from(s.parse::<BigInt>()?))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({})", self)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -self.clone()
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        let num = &(&self.num * &rhs.den) + &(&rhs.num * &self.den);
+        let den = &self.den * &rhs.den;
+        Rational::from_bigints(num, den)
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        Rational::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = &*self * &rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(6, 8), r(3, 4));
+        assert_eq!(r(6, -8), r(-3, 4));
+        assert_eq!(r(-6, -8), r(3, 4));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(0, -5), Rational::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 3), r(1, 2));
+        assert_eq!(-r(2, 3), r(-2, 3));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 1) > r(13, 2));
+        assert_eq!(r(2, 4).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3i64));
+        assert_eq!(r(5, 2).round(), BigInt::from(3i64));
+        assert_eq!(r(-5, 2).round(), BigInt::from(-3i64));
+        assert_eq!(r(9, 4).round(), BigInt::from(2i64));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(r(3, 4).to_string(), "3/4");
+        assert_eq!(r(8, 4).to_string(), "2");
+        assert_eq!("3/4".parse::<Rational>().unwrap(), r(3, 4));
+        assert_eq!("-3/4".parse::<Rational>().unwrap(), r(-3, 4));
+        assert_eq!("7".parse::<Rational>().unwrap(), r(7, 1));
+        assert_eq!("2.5".parse::<Rational>().unwrap(), r(5, 2));
+        assert_eq!("-0.25".parse::<Rational>().unwrap(), r(-1, 4));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn f64_conversions() {
+        assert_eq!(Rational::from_f64(0.5), r(1, 2));
+        assert_eq!(Rational::from_f64(-0.25), r(-1, 4));
+        assert_eq!(Rational::from_f64(3.0), r(3, 1));
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(Rational::from_f64(0.0), Rational::zero());
+    }
+
+    #[test]
+    fn recip_and_pow() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+        assert_eq!(r(2, 3).pow(0), Rational::one());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 3);
+        assert_eq!(x, r(5, 6));
+        x -= r(1, 6);
+        assert_eq!(x, r(2, 3));
+        x *= r(3, 2);
+        assert_eq!(x, Rational::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in -1000i64..1000, b in 1i64..1000, c in -1000i64..1000, d in 1i64..1000) {
+            prop_assert_eq!(r(a, b) + r(c, d), r(c, d) + r(a, b));
+        }
+
+        #[test]
+        fn prop_add_assoc(a in -100i64..100, b in 1i64..100, c in -100i64..100,
+                          d in 1i64..100, e in -100i64..100, f in 1i64..100) {
+            let (x, y, z) = (r(a, b), r(c, d), r(e, f));
+            prop_assert_eq!((&x + &y) + &z, &x + &(&y + &z));
+        }
+
+        #[test]
+        fn prop_mul_inverse(a in -1000i64..1000, b in 1i64..1000) {
+            prop_assume!(a != 0);
+            prop_assert_eq!(r(a, b) * r(a, b).recip(), Rational::one());
+        }
+
+        #[test]
+        fn prop_sub_is_add_neg(a in -1000i64..1000, b in 1i64..1000, c in -1000i64..1000, d in 1i64..1000) {
+            prop_assert_eq!(r(a, b) - r(c, d), r(a, b) + (-r(c, d)));
+        }
+
+        #[test]
+        fn prop_floor_le_value_le_ceil(a in -10_000i64..10_000, b in 1i64..1000) {
+            let x = r(a, b);
+            let fl = Rational::from(x.floor());
+            let ce = Rational::from(x.ceil());
+            prop_assert!(fl <= x && x <= ce);
+            prop_assert!(&ce - &fl <= Rational::one());
+        }
+
+        #[test]
+        fn prop_f64_roundtrip_close(a in -1_000_000i64..1_000_000, b in 1i64..1000) {
+            let x = r(a, b);
+            let back = Rational::from_f64(x.to_f64());
+            let diff = (&x - &back).abs();
+            prop_assert!(diff < r(1, 1_000_000));
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_f64(a in -1000i64..1000, b in 1i64..100, c in -1000i64..1000, d in 1i64..100) {
+            let (x, y) = (r(a, b), r(c, d));
+            if x < y {
+                prop_assert!(x.to_f64() <= y.to_f64());
+            }
+        }
+    }
+}

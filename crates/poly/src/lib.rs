@@ -1,0 +1,43 @@
+//! Polynomial arithmetic for the diffcost analyzer.
+//!
+//! The synthesis algorithm of the paper manipulates three flavours of symbolic
+//! expressions over program variables:
+//!
+//! * [`LinExpr`] — affine expressions (degree ≤ 1), used for transition guards, initial
+//!   conditions `Θ0`, and the affine invariants assumed in Section 5;
+//! * [`Polynomial`] — concrete multivariate polynomials with rational coefficients, used
+//!   for transition updates and for the products `Prod_K(Aff)` of Handelman's theorem;
+//! * [`TemplatePolynomial`] — polynomials whose coefficients are themselves affine forms
+//!   over *LP unknowns* ([`LinForm`]), used for the potential / anti-potential templates
+//!   `Σ u_{ℓ,m}·m` of Step 1 and all constraint expressions of Step 2.
+//!
+//! Variables are interned in a [`VarPool`] and referenced by the compact [`VarId`].
+//!
+//! # Example
+//!
+//! ```
+//! use dca_poly::{Polynomial, VarPool};
+//!
+//! let mut pool = VarPool::new();
+//! let x = pool.intern("x");
+//! let y = pool.intern("y");
+//! // (x + y)^2 = x^2 + 2xy + y^2
+//! let p = (Polynomial::var(x) + Polynomial::var(y)).pow(2);
+//! assert_eq!(p.degree(), 2);
+//! assert_eq!(p.to_string(&pool), "x^2 + 2*x*y + y^2");
+//! ```
+
+mod linexpr;
+mod monomial;
+mod polynomial;
+mod template;
+mod vars;
+
+pub use linexpr::LinExpr;
+pub use monomial::{monomials_up_to_degree, Monomial};
+pub use polynomial::Polynomial;
+pub use template::{LinForm, TemplatePolynomial, UnknownId};
+pub use vars::{VarId, VarPool};
+
+/// A variable assignment mapping [`VarId`]s to exact rational values.
+pub type Valuation = std::collections::HashMap<VarId, dca_numeric::Rational>;

@@ -1,0 +1,304 @@
+//! Monomials: products of variable powers.
+
+use std::cmp::Ordering;
+use std::fmt::Write as _;
+
+use dca_numeric::Rational;
+
+use crate::vars::{VarId, VarPool};
+use crate::Valuation;
+
+/// A monomial `x1^e1 * x2^e2 * ...` over program variables.
+///
+/// The representation is a sorted list of `(variable, exponent)` pairs with strictly
+/// positive exponents; the empty list is the constant monomial `1`.
+///
+/// # Examples
+///
+/// ```
+/// use dca_poly::{Monomial, VarPool};
+/// let mut pool = VarPool::new();
+/// let x = pool.intern("x");
+/// let y = pool.intern("y");
+/// let m = Monomial::var(x).mul(&Monomial::var(y)).mul(&Monomial::var(x));
+/// assert_eq!(m.degree(), 3);
+/// assert_eq!(m.to_string(&pool), "x^2*y");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Monomial {
+    /// Sorted by variable id; exponents are strictly positive.
+    powers: Vec<(VarId, u32)>,
+}
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn unit() -> Monomial {
+        Monomial { powers: Vec::new() }
+    }
+
+    /// The monomial consisting of a single variable to the first power.
+    pub fn var(v: VarId) -> Monomial {
+        Monomial { powers: vec![(v, 1)] }
+    }
+
+    /// Builds a monomial from `(variable, exponent)` pairs; zero exponents are dropped.
+    pub fn from_powers(mut powers: Vec<(VarId, u32)>) -> Monomial {
+        powers.retain(|&(_, e)| e > 0);
+        powers.sort_by_key(|&(v, _)| v);
+        // Merge duplicates.
+        let mut merged: Vec<(VarId, u32)> = Vec::with_capacity(powers.len());
+        for (v, e) in powers {
+            match merged.last_mut() {
+                Some((lv, le)) if *lv == v => *le += e,
+                _ => merged.push((v, e)),
+            }
+        }
+        Monomial { powers: merged }
+    }
+
+    /// Returns `true` if this is the constant monomial `1`.
+    pub fn is_unit(&self) -> bool {
+        self.powers.is_empty()
+    }
+
+    /// Total degree (sum of exponents).
+    pub fn degree(&self) -> u32 {
+        self.powers.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Exponent of a particular variable (0 if absent).
+    pub fn exponent(&self, v: VarId) -> u32 {
+        self.powers
+            .iter()
+            .find(|&&(pv, _)| pv == v)
+            .map(|&(_, e)| e)
+            .unwrap_or(0)
+    }
+
+    /// The `(variable, exponent)` pairs of this monomial.
+    pub fn powers(&self) -> &[(VarId, u32)] {
+        &self.powers
+    }
+
+    /// Variables occurring in this monomial.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.powers.iter().map(|&(v, _)| v)
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut powers = self.powers.clone();
+        powers.extend_from_slice(&other.powers);
+        Monomial::from_powers(powers)
+    }
+
+    /// Evaluates the monomial at a valuation.
+    ///
+    /// Missing variables are treated as `0` (so any monomial mentioning them evaluates to 0,
+    /// except the unit monomial).
+    pub fn eval(&self, valuation: &Valuation) -> Rational {
+        let mut acc = Rational::one();
+        for &(v, e) in &self.powers {
+            match valuation.get(&v) {
+                Some(val) => acc = &acc * &val.pow(e),
+                None => return Rational::zero(),
+            }
+        }
+        acc
+    }
+
+    /// Renders the monomial using variable names from the pool.
+    pub fn to_string(&self, pool: &VarPool) -> String {
+        if self.is_unit() {
+            return "1".to_string();
+        }
+        let mut out = String::new();
+        for (i, &(v, e)) in self.powers.iter().enumerate() {
+            if i > 0 {
+                out.push('*');
+            }
+            if e == 1 {
+                let _ = write!(out, "{}", pool.name(v));
+            } else {
+                let _ = write!(out, "{}^{}", pool.name(v), e);
+            }
+        }
+        out
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// Graded lexicographic order: first by total degree, then lexicographically on the
+    /// exponent vector (a higher power of an earlier variable sorts first). This yields
+    /// the conventional rendering `x^2 + 2*x*y + y^2`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.degree().cmp(&other.degree()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        // Walk variables in ascending id order over the union of both monomials; at the
+        // first differing exponent, the monomial with the larger exponent sorts first.
+        let mut vars: Vec<VarId> = self.vars().chain(other.vars()).collect();
+        vars.sort();
+        vars.dedup();
+        for v in vars {
+            match other.exponent(v).cmp(&self.exponent(v)) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// Enumerates all monomials of total degree at most `max_degree` over the given variables.
+///
+/// The result includes the unit monomial and is ordered by the monomial ordering
+/// (graded lexicographic). The number of monomials is `C(n + d, d)` for `n` variables and
+/// degree bound `d`.
+///
+/// # Examples
+///
+/// ```
+/// use dca_poly::{monomials_up_to_degree, VarPool};
+/// let mut pool = VarPool::new();
+/// let x = pool.intern("x");
+/// let y = pool.intern("y");
+/// let monos = monomials_up_to_degree(&[x, y], 2);
+/// assert_eq!(monos.len(), 6); // 1, x, y, x^2, xy, y^2
+/// ```
+pub fn monomials_up_to_degree(vars: &[VarId], max_degree: u32) -> Vec<Monomial> {
+    let mut result = Vec::new();
+    let mut current: Vec<(VarId, u32)> = Vec::new();
+    fn recurse(
+        vars: &[VarId],
+        idx: usize,
+        remaining: u32,
+        current: &mut Vec<(VarId, u32)>,
+        out: &mut Vec<Monomial>,
+    ) {
+        if idx == vars.len() {
+            out.push(Monomial::from_powers(current.clone()));
+            return;
+        }
+        for e in 0..=remaining {
+            if e > 0 {
+                current.push((vars[idx], e));
+            }
+            recurse(vars, idx + 1, remaining - e, current, out);
+            if e > 0 {
+                current.pop();
+            }
+        }
+    }
+    recurse(vars, 0, max_degree, &mut current, &mut result);
+    result.sort();
+    result.dedup();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool3() -> (VarPool, VarId, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let x = pool.intern("x");
+        let y = pool.intern("y");
+        let z = pool.intern("z");
+        (pool, x, y, z)
+    }
+
+    #[test]
+    fn unit_monomial() {
+        let m = Monomial::unit();
+        assert!(m.is_unit());
+        assert_eq!(m.degree(), 0);
+        assert_eq!(m.eval(&Valuation::new()), Rational::one());
+    }
+
+    #[test]
+    fn from_powers_normalizes() {
+        let (_, x, y, _) = pool3();
+        let m = Monomial::from_powers(vec![(y, 1), (x, 2), (y, 0), (x, 1)]);
+        assert_eq!(m.powers(), &[(x, 3), (y, 1)]);
+        assert_eq!(m.degree(), 4);
+        assert_eq!(m.exponent(x), 3);
+        assert_eq!(m.exponent(y), 1);
+    }
+
+    #[test]
+    fn multiplication_merges_exponents() {
+        let (pool, x, y, _) = pool3();
+        let m = Monomial::var(x).mul(&Monomial::var(y)).mul(&Monomial::var(x));
+        assert_eq!(m.to_string(&pool), "x^2*y");
+        assert_eq!(m.mul(&Monomial::unit()), m);
+    }
+
+    #[test]
+    fn eval_monomial() {
+        let (_, x, y, _) = pool3();
+        let m = Monomial::from_powers(vec![(x, 2), (y, 1)]);
+        let mut val = Valuation::new();
+        val.insert(x, Rational::from_int(3));
+        val.insert(y, Rational::from_int(5));
+        assert_eq!(m.eval(&val), Rational::from_int(45));
+    }
+
+    #[test]
+    fn eval_missing_variable_is_zero() {
+        let (_, x, _, _) = pool3();
+        let m = Monomial::var(x);
+        assert_eq!(m.eval(&Valuation::new()), Rational::zero());
+    }
+
+    #[test]
+    fn ordering_graded() {
+        let (_, x, y, _) = pool3();
+        let unit = Monomial::unit();
+        let mx = Monomial::var(x);
+        let my = Monomial::var(y);
+        let mxy = mx.mul(&my);
+        let mx2 = mx.mul(&mx);
+        assert!(unit < mx);
+        assert!(mx < my);
+        assert!(my < mx2);
+        assert!(mx2 < mxy);
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let (_, x, y, z) = pool3();
+        // C(n+d, d) monomials over n vars up to degree d.
+        assert_eq!(monomials_up_to_degree(&[x], 3).len(), 4);
+        assert_eq!(monomials_up_to_degree(&[x, y], 2).len(), 6);
+        assert_eq!(monomials_up_to_degree(&[x, y, z], 2).len(), 10);
+        assert_eq!(monomials_up_to_degree(&[x, y, z], 3).len(), 20);
+        assert_eq!(monomials_up_to_degree(&[], 5), vec![Monomial::unit()]);
+    }
+
+    #[test]
+    fn enumeration_degrees_bounded() {
+        let (_, x, y, z) = pool3();
+        for m in monomials_up_to_degree(&[x, y, z], 3) {
+            assert!(m.degree() <= 3);
+        }
+    }
+
+    #[test]
+    fn display() {
+        let (pool, x, y, _) = pool3();
+        assert_eq!(Monomial::unit().to_string(&pool), "1");
+        assert_eq!(Monomial::var(x).to_string(&pool), "x");
+        assert_eq!(
+            Monomial::from_powers(vec![(x, 2), (y, 3)]).to_string(&pool),
+            "x^2*y^3"
+        );
+    }
+}

@@ -1,0 +1,458 @@
+//! Multivariate polynomials with exact rational coefficients.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use dca_numeric::Rational;
+
+use crate::monomial::Monomial;
+use crate::vars::{VarId, VarPool};
+use crate::Valuation;
+
+/// A multivariate polynomial with [`Rational`] coefficients.
+///
+/// Stored as a map from [`Monomial`] to non-zero coefficient; the zero polynomial has an
+/// empty map.
+///
+/// # Examples
+///
+/// ```
+/// use dca_poly::{Polynomial, VarPool};
+/// use dca_numeric::Rational;
+///
+/// let mut pool = VarPool::new();
+/// let x = pool.intern("x");
+/// let p = Polynomial::var(x) * Polynomial::var(x) - Polynomial::constant(Rational::from_int(1));
+/// assert_eq!(p.degree(), 2);
+/// let mut val = dca_poly::Valuation::new();
+/// val.insert(x, Rational::from_int(3));
+/// assert_eq!(p.eval(&val), Rational::from_int(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Polynomial {
+        Polynomial { terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Polynomial {
+        Polynomial::constant(Rational::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> Polynomial {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::unit(), c);
+        }
+        Polynomial { terms }
+    }
+
+    /// A constant polynomial from a machine integer.
+    pub fn from_int(c: i64) -> Polynomial {
+        Polynomial::constant(Rational::from_int(c))
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: VarId) -> Polynomial {
+        Polynomial::from_monomial(Monomial::var(v), Rational::one())
+    }
+
+    /// A polynomial with a single term `coeff * mono`.
+    pub fn from_monomial(mono: Monomial, coeff: Rational) -> Polynomial {
+        let mut terms = BTreeMap::new();
+        if !coeff.is_zero() {
+            terms.insert(mono, coeff);
+        }
+        Polynomial { terms }
+    }
+
+    /// Builds a polynomial from `(monomial, coefficient)` pairs, summing duplicates.
+    pub fn from_terms(pairs: impl IntoIterator<Item = (Monomial, Rational)>) -> Polynomial {
+        let mut p = Polynomial::zero();
+        for (m, c) in pairs {
+            p.add_term(m, c);
+        }
+        p
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` if the polynomial is a constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(Monomial::is_unit)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> Rational {
+        self.terms.get(&Monomial::unit()).cloned().unwrap_or_default()
+    }
+
+    /// Total degree of the polynomial (0 for constants and for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Coefficient of a monomial (zero if absent).
+    pub fn coeff(&self, mono: &Monomial) -> Rational {
+        self.terms.get(mono).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The set of variables mentioned by the polynomial.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.vars().collect::<Vec<_>>())
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Adds `coeff * mono` to the polynomial in place.
+    pub fn add_term(&mut self, mono: Monomial, coeff: Rational) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(mono.clone()).or_default();
+        *entry = &*entry + &coeff;
+        if entry.is_zero() {
+            self.terms.remove(&mono);
+        }
+    }
+
+    /// Multiplies the polynomial by a scalar.
+    pub fn scale(&self, factor: &Rational) -> Polynomial {
+        if factor.is_zero() {
+            return Polynomial::zero();
+        }
+        Polynomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, c)| (m.clone(), c * factor))
+                .collect(),
+        }
+    }
+
+    /// Raises the polynomial to a non-negative power.
+    pub fn pow(&self, exp: u32) -> Polynomial {
+        let mut acc = Polynomial::one();
+        for _ in 0..exp {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial at a valuation (missing variables default to 0).
+    pub fn eval(&self, valuation: &Valuation) -> Rational {
+        let mut acc = Rational::zero();
+        for (m, c) in &self.terms {
+            acc = &acc + &(c * &m.eval(valuation));
+        }
+        acc
+    }
+
+    /// Substitutes polynomials for variables.
+    ///
+    /// Variables not present in `subst` are left unchanged.
+    pub fn substitute(&self, subst: &BTreeMap<VarId, Polynomial>) -> Polynomial {
+        let mut result = Polynomial::zero();
+        for (m, c) in &self.terms {
+            let mut term = Polynomial::constant(c.clone());
+            for &(v, e) in m.powers() {
+                let base = subst
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| Polynomial::var(v));
+                term = &term * &base.pow(e);
+            }
+            result = &result + &term;
+        }
+        result
+    }
+
+    /// Renders the polynomial using variable names from the pool.
+    pub fn to_string(&self, pool: &VarPool) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut out = String::new();
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            let coeff_abs = c.abs();
+            if i == 0 {
+                if c.is_negative() {
+                    out.push('-');
+                }
+            } else if c.is_negative() {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            if m.is_unit() {
+                let _ = write!(out, "{}", coeff_abs);
+            } else if coeff_abs == Rational::one() {
+                let _ = write!(out, "{}", m.to_string(pool));
+            } else {
+                let _ = write!(out, "{}*{}", coeff_abs, m.to_string(pool));
+            }
+        }
+        out
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), c.clone());
+        }
+        out
+    }
+}
+
+impl Sub for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(m.clone(), -c.clone());
+        }
+        out
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &rhs.terms {
+                out.add_term(m1.mul(m2), c1 * c2);
+            }
+        }
+        out
+    }
+}
+
+impl Neg for &Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        self.scale(&-Rational::one())
+    }
+}
+
+impl Neg for Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        -&self
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Polynomial {
+            type Output = Polynomial;
+            fn $method(self, rhs: Polynomial) -> Polynomial {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Polynomial> for Polynomial {
+            type Output = Polynomial;
+            fn $method(self, rhs: &Polynomial) -> Polynomial {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Polynomial> for &Polynomial {
+            type Output = Polynomial;
+            fn $method(self, rhs: Polynomial) -> Polynomial {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl AddAssign<&Polynomial> for Polynomial {
+    fn add_assign(&mut self, rhs: &Polynomial) {
+        for (m, c) in &rhs.terms {
+            self.add_term(m.clone(), c.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn setup() -> (VarPool, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let x = pool.intern("x");
+        let y = pool.intern("y");
+        (pool, x, y)
+    }
+
+    fn val(pairs: &[(VarId, i64)]) -> Valuation {
+        pairs
+            .iter()
+            .map(|&(v, c)| (v, Rational::from_int(c)))
+            .collect()
+    }
+
+    #[test]
+    fn constants() {
+        let p = Polynomial::from_int(5);
+        assert!(p.is_constant());
+        assert_eq!(p.constant_term(), Rational::from_int(5));
+        assert_eq!(p.degree(), 0);
+        assert!(Polynomial::zero().is_zero());
+        assert!(Polynomial::constant(Rational::zero()).is_zero());
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let (_, x, _) = setup();
+        let p = Polynomial::var(x) + Polynomial::from_int(1);
+        let q = -&Polynomial::var(x) + Polynomial::from_int(2);
+        let s = &p + &q;
+        assert_eq!(s, Polynomial::from_int(3));
+        assert_eq!((&p - &p), Polynomial::zero());
+    }
+
+    #[test]
+    fn multiplication_expands() {
+        let (pool, x, y) = setup();
+        // (x + y) * (x - y) = x^2 - y^2
+        let p = Polynomial::var(x) + Polynomial::var(y);
+        let q = Polynomial::var(x) - Polynomial::var(y);
+        let prod = &p * &q;
+        assert_eq!(prod.to_string(&pool), "x^2 - y^2");
+        assert_eq!(prod.degree(), 2);
+        assert_eq!(prod.num_terms(), 2);
+    }
+
+    #[test]
+    fn binomial_square() {
+        let (pool, x, y) = setup();
+        let p = (Polynomial::var(x) + Polynomial::var(y)).pow(2);
+        assert_eq!(p.to_string(&pool), "x^2 + 2*x*y + y^2");
+    }
+
+    #[test]
+    fn evaluation() {
+        let (_, x, y) = setup();
+        // 2x^2 - 3y + 1 at x=2, y=3 -> 8 - 9 + 1 = 0
+        let p = Polynomial::var(x).pow(2).scale(&Rational::from_int(2))
+            - Polynomial::var(y).scale(&Rational::from_int(3))
+            + Polynomial::from_int(1);
+        assert_eq!(p.eval(&val(&[(x, 2), (y, 3)])), Rational::zero());
+        assert_eq!(p.eval(&val(&[(x, 0), (y, 0)])), Rational::one());
+    }
+
+    #[test]
+    fn substitution() {
+        let (pool, x, y) = setup();
+        // p = x^2 + y ; substitute x -> y + 1 gives y^2 + 3y + 1... check: (y+1)^2 + y = y^2 + 3y + 1
+        let p = Polynomial::var(x).pow(2) + Polynomial::var(y);
+        let mut subst = BTreeMap::new();
+        subst.insert(x, Polynomial::var(y) + Polynomial::from_int(1));
+        let q = p.substitute(&subst);
+        assert_eq!(q.to_string(&pool), "1 + 3*y + y^2");
+    }
+
+    #[test]
+    fn substitution_identity_when_missing() {
+        let (_, x, y) = setup();
+        let p = Polynomial::var(x) * Polynomial::var(y);
+        let q = p.substitute(&BTreeMap::new());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn vars_listing() {
+        let (_, x, y) = setup();
+        let p = Polynomial::var(x) * Polynomial::var(y) + Polynomial::from_int(3);
+        assert_eq!(p.vars(), vec![x, y]);
+        assert!(Polynomial::from_int(3).vars().is_empty());
+    }
+
+    #[test]
+    fn display_signs() {
+        let (pool, x, _) = setup();
+        let p = -&Polynomial::var(x) + Polynomial::from_int(2);
+        assert_eq!(p.to_string(&pool), "2 - x");
+        let q = Polynomial::var(x).scale(&Rational::new(-3, 2));
+        assert_eq!(q.to_string(&pool), "-3/2*x");
+        assert_eq!(Polynomial::zero().to_string(&pool), "0");
+    }
+
+    #[test]
+    fn scale_by_zero() {
+        let (_, x, _) = setup();
+        assert!(Polynomial::var(x).scale(&Rational::zero()).is_zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_homomorphic_add(a in -20i64..20, b in -20i64..20, c in -20i64..20, d in -20i64..20,
+                                     vx in -10i64..10, vy in -10i64..10) {
+            let (_, x, y) = setup();
+            let p = Polynomial::var(x).scale(&Rational::from_int(a)) + Polynomial::from_int(b);
+            let q = Polynomial::var(y).scale(&Rational::from_int(c)) + Polynomial::from_int(d);
+            let v = val(&[(x, vx), (y, vy)]);
+            prop_assert_eq!((&p + &q).eval(&v), &p.eval(&v) + &q.eval(&v));
+            prop_assert_eq!((&p * &q).eval(&v), &p.eval(&v) * &q.eval(&v));
+            prop_assert_eq!((&p - &q).eval(&v), &p.eval(&v) - &q.eval(&v));
+        }
+
+        #[test]
+        fn prop_substitution_commutes_with_eval(a in -5i64..5, b in -5i64..5, vx in -5i64..5, vy in -5i64..5) {
+            let (_, x, y) = setup();
+            // p(x, y) = a*x^2 + b*x*y + y
+            let p = Polynomial::var(x).pow(2).scale(&Rational::from_int(a))
+                + (Polynomial::var(x) * Polynomial::var(y)).scale(&Rational::from_int(b))
+                + Polynomial::var(y);
+            // substitute x -> y + 1
+            let mut subst = BTreeMap::new();
+            subst.insert(x, Polynomial::var(y) + Polynomial::from_int(1));
+            let q = p.substitute(&subst);
+            // evaluating q at y = vy must equal evaluating p at x = vy + 1, y = vy
+            let v_q = val(&[(y, vy), (x, vx)]);
+            let v_p = val(&[(x, vy + 1), (y, vy)]);
+            prop_assert_eq!(q.eval(&v_q), p.eval(&v_p));
+        }
+
+        #[test]
+        fn prop_pow_matches_repeated_mul(e in 0u32..5, a in -5i64..5, vx in -5i64..5) {
+            let (_, x, _) = setup();
+            let p = Polynomial::var(x) + Polynomial::from_int(a);
+            let v = val(&[(x, vx)]);
+            prop_assert_eq!(p.pow(e).eval(&v), p.eval(&v).pow(e));
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Template polynomials: polynomials whose coefficients are affine forms over LP unknowns.
+//!
+//! Step 1 of the paper's algorithm fixes, for every program location, a symbolic
+//! polynomial `Σ_{m ∈ Mono_d(V)} u_{ℓ,m} · m` whose coefficients `u_{ℓ,m}` are fresh LP
+//! unknowns. All subsequent constraint manipulation (substituting transition updates,
+//! subtracting incurred cost, forming the differential constraint with the threshold
+//! unknown `t`) stays *linear* in these unknowns. [`TemplatePolynomial`] captures exactly
+//! this shape: a polynomial over program variables whose coefficient at each monomial is
+//! a [`LinForm`] — an affine combination of [`UnknownId`]s.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::ops::{Add, Neg, Sub};
+
+use dca_numeric::Rational;
+
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use crate::vars::{VarId, VarPool};
+
+/// Identifier of an LP unknown (template coefficient, threshold, or Handelman multiplier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnknownId(pub u32);
+
+impl UnknownId {
+    /// Index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for UnknownId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// An affine form `c0 + c1*u1 + ... + cn*un` over LP unknowns.
+///
+/// # Examples
+///
+/// ```
+/// use dca_poly::{LinForm, UnknownId};
+/// use dca_numeric::Rational;
+///
+/// let u = UnknownId(0);
+/// let f = LinForm::unknown(u).scale(&Rational::from_int(2)) + LinForm::constant(Rational::one());
+/// assert_eq!(f.coeff(u), Rational::from_int(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinForm {
+    constant: Rational,
+    coeffs: BTreeMap<UnknownId, Rational>,
+}
+
+impl LinForm {
+    /// The zero form.
+    pub fn zero() -> LinForm {
+        LinForm::default()
+    }
+
+    /// A constant form.
+    pub fn constant(c: Rational) -> LinForm {
+        LinForm { constant: c, coeffs: BTreeMap::new() }
+    }
+
+    /// The form consisting of a single unknown with coefficient one.
+    pub fn unknown(u: UnknownId) -> LinForm {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(u, Rational::one());
+        LinForm { constant: Rational::zero(), coeffs }
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// Coefficient of an unknown (zero if absent).
+    pub fn coeff(&self, u: UnknownId) -> Rational {
+        self.coeffs.get(&u).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over `(unknown, coefficient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&UnknownId, &Rational)> {
+        self.coeffs.iter()
+    }
+
+    /// Unknowns with non-zero coefficients.
+    pub fn unknowns(&self) -> Vec<UnknownId> {
+        self.coeffs.keys().copied().collect()
+    }
+
+    /// Returns `true` if the form is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant.is_zero() && self.coeffs.is_empty()
+    }
+
+    /// Returns `true` if the form mentions no unknowns.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Adds `c * u` to the form in place.
+    pub fn add_unknown(&mut self, u: UnknownId, c: Rational) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.coeffs.entry(u).or_default();
+        *entry = &*entry + &c;
+        if entry.is_zero() {
+            self.coeffs.remove(&u);
+        }
+    }
+
+    /// Adds a constant to the form in place.
+    pub fn add_constant(&mut self, c: &Rational) {
+        self.constant = &self.constant + c;
+    }
+
+    /// Multiplies the form by a scalar.
+    pub fn scale(&self, factor: &Rational) -> LinForm {
+        if factor.is_zero() {
+            return LinForm::zero();
+        }
+        LinForm {
+            constant: &self.constant * factor,
+            coeffs: self.coeffs.iter().map(|(u, c)| (*u, c * factor)).collect(),
+        }
+    }
+
+    /// Evaluates the form under an assignment of values to unknowns.
+    ///
+    /// Unknowns missing from the assignment default to 0.
+    pub fn eval(&self, assignment: &BTreeMap<UnknownId, Rational>) -> Rational {
+        let mut acc = self.constant.clone();
+        for (u, c) in &self.coeffs {
+            if let Some(x) = assignment.get(u) {
+                acc = &acc + &(c * x);
+            }
+        }
+        acc
+    }
+
+    /// Human-readable rendering (`u3` style names for unknowns).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut first = true;
+        for (u, c) in &self.coeffs {
+            let mag = c.abs();
+            if first {
+                if c.is_negative() {
+                    out.push('-');
+                }
+                first = false;
+            } else if c.is_negative() {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            if mag == Rational::one() {
+                let _ = write!(out, "{}", u);
+            } else {
+                let _ = write!(out, "{}*{}", mag, u);
+            }
+        }
+        if first {
+            let _ = write!(out, "{}", self.constant);
+        } else if !self.constant.is_zero() {
+            if self.constant.is_negative() {
+                let _ = write!(out, " - {}", self.constant.abs());
+            } else {
+                let _ = write!(out, " + {}", self.constant);
+            }
+        }
+        out
+    }
+}
+
+impl Add for &LinForm {
+    type Output = LinForm;
+    fn add(self, rhs: &LinForm) -> LinForm {
+        let mut out = self.clone();
+        out.constant = &out.constant + &rhs.constant;
+        for (u, c) in &rhs.coeffs {
+            out.add_unknown(*u, c.clone());
+        }
+        out
+    }
+}
+
+impl Sub for &LinForm {
+    type Output = LinForm;
+    fn sub(self, rhs: &LinForm) -> LinForm {
+        self + &rhs.scale(&-Rational::one())
+    }
+}
+
+impl Neg for &LinForm {
+    type Output = LinForm;
+    fn neg(self) -> LinForm {
+        self.scale(&-Rational::one())
+    }
+}
+
+impl Neg for LinForm {
+    type Output = LinForm;
+    fn neg(self) -> LinForm {
+        -&self
+    }
+}
+
+macro_rules! forward_owned_binop_linform {
+    ($trait:ident, $method:ident) => {
+        impl $trait for LinForm {
+            type Output = LinForm;
+            fn $method(self, rhs: LinForm) -> LinForm {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&LinForm> for LinForm {
+            type Output = LinForm;
+            fn $method(self, rhs: &LinForm) -> LinForm {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<LinForm> for &LinForm {
+            type Output = LinForm;
+            fn $method(self, rhs: LinForm) -> LinForm {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop_linform!(Add, add);
+forward_owned_binop_linform!(Sub, sub);
+
+/// A polynomial over program variables whose coefficients are [`LinForm`]s over unknowns.
+///
+/// # Examples
+///
+/// ```
+/// use dca_poly::{LinForm, Monomial, TemplatePolynomial, UnknownId, VarPool};
+/// use dca_numeric::Rational;
+///
+/// let mut pool = VarPool::new();
+/// let x = pool.intern("x");
+/// // template: u0 + u1*x
+/// let mut t = TemplatePolynomial::zero();
+/// t.add_term(Monomial::unit(), LinForm::unknown(UnknownId(0)));
+/// t.add_term(Monomial::var(x), LinForm::unknown(UnknownId(1)));
+/// assert_eq!(t.num_terms(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TemplatePolynomial {
+    terms: BTreeMap<Monomial, LinForm>,
+}
+
+impl TemplatePolynomial {
+    /// The zero template polynomial.
+    pub fn zero() -> TemplatePolynomial {
+        TemplatePolynomial::default()
+    }
+
+    /// Lifts a concrete polynomial into a template polynomial with constant coefficients.
+    pub fn from_polynomial(p: &Polynomial) -> TemplatePolynomial {
+        let mut t = TemplatePolynomial::zero();
+        for (m, c) in p.iter() {
+            t.add_term(m.clone(), LinForm::constant(c.clone()));
+        }
+        t
+    }
+
+    /// A template polynomial consisting of a single unknown as its constant term.
+    pub fn from_unknown(u: UnknownId) -> TemplatePolynomial {
+        let mut t = TemplatePolynomial::zero();
+        t.add_term(Monomial::unit(), LinForm::unknown(u));
+        t
+    }
+
+    /// Builds the standard location template `Σ_m u_m · m` over the given monomials.
+    ///
+    /// `unknowns` must be the same length as `monomials`.
+    pub fn from_template(monomials: &[Monomial], unknowns: &[UnknownId]) -> TemplatePolynomial {
+        assert_eq!(monomials.len(), unknowns.len());
+        let mut t = TemplatePolynomial::zero();
+        for (m, u) in monomials.iter().zip(unknowns) {
+            t.add_term(m.clone(), LinForm::unknown(*u));
+        }
+        t
+    }
+
+    /// Adds `form * mono` to the template polynomial in place.
+    pub fn add_term(&mut self, mono: Monomial, form: LinForm) {
+        if form.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(mono.clone()).or_default();
+        *entry = &*entry + &form;
+        if entry.is_zero() {
+            self.terms.remove(&mono);
+        }
+    }
+
+    /// Returns `true` if this is the zero template polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Coefficient of a monomial (zero form if absent).
+    pub fn coeff(&self, m: &Monomial) -> LinForm {
+        self.terms.get(m).cloned().unwrap_or_default()
+    }
+
+    /// Iterates over `(monomial, coefficient-form)` pairs in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &LinForm)> {
+        self.terms.iter()
+    }
+
+    /// All monomials with non-zero coefficient forms.
+    pub fn monomials(&self) -> Vec<Monomial> {
+        self.terms.keys().cloned().collect()
+    }
+
+    /// Total degree in the program variables.
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Multiplies the template polynomial by a scalar.
+    pub fn scale(&self, factor: &Rational) -> TemplatePolynomial {
+        if factor.is_zero() {
+            return TemplatePolynomial::zero();
+        }
+        TemplatePolynomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, f)| (m.clone(), f.scale(factor)))
+                .collect(),
+        }
+    }
+
+    /// Multiplies the template polynomial by a concrete polynomial.
+    pub fn mul_polynomial(&self, p: &Polynomial) -> TemplatePolynomial {
+        let mut out = TemplatePolynomial::zero();
+        for (m1, f) in &self.terms {
+            for (m2, c) in p.iter() {
+                out.add_term(m1.mul(m2), f.scale(c));
+            }
+        }
+        out
+    }
+
+    /// Substitutes concrete polynomials for program variables.
+    ///
+    /// Variables not present in `subst` are left unchanged. The coefficients (which live
+    /// over LP unknowns) are unaffected.
+    pub fn substitute(&self, subst: &BTreeMap<VarId, Polynomial>) -> TemplatePolynomial {
+        let mut out = TemplatePolynomial::zero();
+        for (m, f) in &self.terms {
+            // Expand the monomial under the substitution into a concrete polynomial.
+            let mut expanded = Polynomial::one();
+            for &(v, e) in m.powers() {
+                let base = subst
+                    .get(&v)
+                    .cloned()
+                    .unwrap_or_else(|| Polynomial::var(v));
+                expanded = &expanded * &base.pow(e);
+            }
+            for (m2, c) in expanded.iter() {
+                out.add_term(m2.clone(), f.scale(c));
+            }
+        }
+        out
+    }
+
+    /// Instantiates the template with concrete values for the unknowns, producing a
+    /// concrete [`Polynomial`]. Unknowns missing from the assignment default to 0.
+    pub fn instantiate(&self, assignment: &BTreeMap<UnknownId, Rational>) -> Polynomial {
+        let mut p = Polynomial::zero();
+        for (m, f) in &self.terms {
+            p.add_term(m.clone(), f.eval(assignment));
+        }
+        p
+    }
+
+    /// All unknowns mentioned anywhere in the template polynomial.
+    pub fn unknowns(&self) -> Vec<UnknownId> {
+        let mut out: Vec<UnknownId> = self
+            .terms
+            .values()
+            .flat_map(|f| f.unknowns())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Human-readable rendering using variable names from the pool.
+    pub fn render(&self, pool: &VarPool) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut parts = Vec::new();
+        for (m, f) in &self.terms {
+            if m.is_unit() {
+                parts.push(format!("({})", f.render()));
+            } else {
+                parts.push(format!("({})*{}", f.render(), m.to_string(pool)));
+            }
+        }
+        parts.join(" + ")
+    }
+}
+
+impl Add for &TemplatePolynomial {
+    type Output = TemplatePolynomial;
+    fn add(self, rhs: &TemplatePolynomial) -> TemplatePolynomial {
+        let mut out = self.clone();
+        for (m, f) in &rhs.terms {
+            out.add_term(m.clone(), f.clone());
+        }
+        out
+    }
+}
+
+impl Sub for &TemplatePolynomial {
+    type Output = TemplatePolynomial;
+    fn sub(self, rhs: &TemplatePolynomial) -> TemplatePolynomial {
+        self + &rhs.scale(&-Rational::one())
+    }
+}
+
+impl Neg for &TemplatePolynomial {
+    type Output = TemplatePolynomial;
+    fn neg(self) -> TemplatePolynomial {
+        self.scale(&-Rational::one())
+    }
+}
+
+macro_rules! forward_owned_binop_tpoly {
+    ($trait:ident, $method:ident) => {
+        impl $trait for TemplatePolynomial {
+            type Output = TemplatePolynomial;
+            fn $method(self, rhs: TemplatePolynomial) -> TemplatePolynomial {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&TemplatePolynomial> for TemplatePolynomial {
+            type Output = TemplatePolynomial;
+            fn $method(self, rhs: &TemplatePolynomial) -> TemplatePolynomial {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<TemplatePolynomial> for &TemplatePolynomial {
+            type Output = TemplatePolynomial;
+            fn $method(self, rhs: TemplatePolynomial) -> TemplatePolynomial {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop_tpoly!(Add, add);
+forward_owned_binop_tpoly!(Sub, sub);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::monomials_up_to_degree;
+    use crate::Valuation;
+
+    fn setup() -> (VarPool, VarId, VarId) {
+        let mut pool = VarPool::new();
+        let x = pool.intern("x");
+        let y = pool.intern("y");
+        (pool, x, y)
+    }
+
+    #[test]
+    fn linform_arithmetic() {
+        let (u0, u1) = (UnknownId(0), UnknownId(1));
+        let f = LinForm::unknown(u0) + LinForm::unknown(u1).scale(&Rational::from_int(2));
+        let g = LinForm::unknown(u0).scale(&Rational::from_int(-1)) + LinForm::constant(Rational::from_int(3));
+        let s = &f + &g;
+        assert_eq!(s.coeff(u0), Rational::zero());
+        assert_eq!(s.coeff(u1), Rational::from_int(2));
+        assert_eq!(*s.constant_term(), Rational::from_int(3));
+        assert!( (&f - &f).is_zero() );
+    }
+
+    #[test]
+    fn linform_eval() {
+        let (u0, u1) = (UnknownId(0), UnknownId(1));
+        let f = LinForm::unknown(u0).scale(&Rational::from_int(2))
+            + LinForm::unknown(u1).scale(&Rational::from_int(-3))
+            + LinForm::constant(Rational::from_int(1));
+        let mut asg = BTreeMap::new();
+        asg.insert(u0, Rational::from_int(5));
+        asg.insert(u1, Rational::from_int(2));
+        assert_eq!(f.eval(&asg), Rational::from_int(5));
+        // missing unknowns default to zero
+        assert_eq!(LinForm::unknown(UnknownId(7)).eval(&asg), Rational::zero());
+    }
+
+    #[test]
+    fn template_from_monomials() {
+        let (_, x, y) = setup();
+        let monos = monomials_up_to_degree(&[x, y], 2);
+        let unknowns: Vec<UnknownId> = (0..monos.len() as u32).map(UnknownId).collect();
+        let t = TemplatePolynomial::from_template(&monos, &unknowns);
+        assert_eq!(t.num_terms(), 6);
+        assert_eq!(t.degree(), 2);
+        assert_eq!(t.unknowns().len(), 6);
+    }
+
+    #[test]
+    fn template_substitution_matches_concrete() {
+        let (_, x, y) = setup();
+        // template: u0*x^2 + u1*y. Substitute x -> y + 1.
+        let (u0, u1) = (UnknownId(0), UnknownId(1));
+        let mut t = TemplatePolynomial::zero();
+        t.add_term(Monomial::from_powers(vec![(x, 2)]), LinForm::unknown(u0));
+        t.add_term(Monomial::var(y), LinForm::unknown(u1));
+        let mut subst = BTreeMap::new();
+        subst.insert(x, Polynomial::var(y) + Polynomial::from_int(1));
+        let substituted = t.substitute(&subst);
+
+        // Instantiate with u0 = 2, u1 = -1 and compare against the concrete computation.
+        let mut asg = BTreeMap::new();
+        asg.insert(u0, Rational::from_int(2));
+        asg.insert(u1, Rational::from_int(-1));
+        let inst_then_subst = t.instantiate(&asg).substitute(&subst);
+        let subst_then_inst = substituted.instantiate(&asg);
+        assert_eq!(inst_then_subst, subst_then_inst);
+    }
+
+    #[test]
+    fn instantiation_evaluates() {
+        let (_, x, _) = setup();
+        let u0 = UnknownId(0);
+        let mut t = TemplatePolynomial::zero();
+        t.add_term(Monomial::var(x), LinForm::unknown(u0));
+        t.add_term(Monomial::unit(), LinForm::constant(Rational::from_int(3)));
+        let mut asg = BTreeMap::new();
+        asg.insert(u0, Rational::from_int(4));
+        let p = t.instantiate(&asg);
+        let mut v = Valuation::new();
+        v.insert(x, Rational::from_int(2));
+        assert_eq!(p.eval(&v), Rational::from_int(11));
+    }
+
+    #[test]
+    fn mul_polynomial_distributes() {
+        let (_, x, y) = setup();
+        let u0 = UnknownId(0);
+        // (u0 * x) * (x + y) = u0*x^2 + u0*x*y
+        let mut t = TemplatePolynomial::zero();
+        t.add_term(Monomial::var(x), LinForm::unknown(u0));
+        let p = Polynomial::var(x) + Polynomial::var(y);
+        let prod = t.mul_polynomial(&p);
+        assert_eq!(prod.num_terms(), 2);
+        assert_eq!(prod.coeff(&Monomial::from_powers(vec![(x, 2)])), LinForm::unknown(u0));
+        assert_eq!(
+            prod.coeff(&Monomial::from_powers(vec![(x, 1), (y, 1)])),
+            LinForm::unknown(u0)
+        );
+    }
+
+    #[test]
+    fn add_sub_cancel() {
+        let (_, x, _) = setup();
+        let u0 = UnknownId(0);
+        let mut t = TemplatePolynomial::zero();
+        t.add_term(Monomial::var(x), LinForm::unknown(u0));
+        let z = &t - &t;
+        assert!(z.is_zero());
+        let lifted = TemplatePolynomial::from_polynomial(&Polynomial::var(x));
+        assert_eq!(lifted.coeff(&Monomial::var(x)), LinForm::constant(Rational::one()));
+    }
+
+    #[test]
+    fn render_human_readable() {
+        let (pool, x, _) = setup();
+        let mut t = TemplatePolynomial::zero();
+        t.add_term(Monomial::var(x), LinForm::unknown(UnknownId(1)));
+        t.add_term(Monomial::unit(), LinForm::unknown(UnknownId(0)));
+        let s = t.render(&pool);
+        assert!(s.contains("u0"));
+        assert!(s.contains("u1"));
+        assert!(s.contains('x'));
+    }
+}

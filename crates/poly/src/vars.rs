@@ -1,0 +1,125 @@
+//! Variable identifiers and the interning pool.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for a program variable.
+///
+/// `VarId`s are produced by [`VarPool::intern`] and are only meaningful with respect to
+/// the pool that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index into the pool as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An interner mapping variable names to [`VarId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use dca_poly::VarPool;
+/// let mut pool = VarPool::new();
+/// let x = pool.intern("x");
+/// assert_eq!(pool.intern("x"), x);
+/// assert_eq!(pool.name(x), "x");
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarPool {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> VarPool {
+        VarPool::default()
+    }
+
+    /// Interns a name, returning the existing id if the name is already known.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name associated with an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this pool.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no variables have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned variable ids in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len() as u32).map(VarId)
+    }
+
+    /// All variable ids as a vector.
+    pub fn ids(&self) -> Vec<VarId> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = VarPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(pool.intern("a"), a);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.name(a), "a");
+        assert_eq!(pool.name(b), "b");
+    }
+
+    #[test]
+    fn lookup_unknown_returns_none() {
+        let pool = VarPool::new();
+        assert!(pool.lookup("missing").is_none());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn iter_order_matches_insertion() {
+        let mut pool = VarPool::new();
+        let ids: Vec<_> = ["x", "y", "z"].iter().map(|n| pool.intern(n)).collect();
+        assert_eq!(pool.ids(), ids);
+    }
+}

@@ -1,0 +1,58 @@
+//! Proving that a refactoring does not change resource usage.
+//!
+//! The second benchmark class of the paper consists of semantically equivalent program
+//! pairs (from the semantic-differencing literature). Here we prove both directions —
+//! `cost_new − cost_old ≤ 0` and `cost_old − cost_new ≤ 0` — which together show the
+//! rewrite is cost-neutral on every input. We also demonstrate the symbolic-bound mode
+//! and the single-program precision analysis of Section 7.
+//!
+//! Run with: `cargo run --release --example equivalent_rewrite`
+
+use diffcost::poly::Polynomial;
+use diffcost::prelude::*;
+
+const COUNT_UP: &str = r#"
+    proc total(n) {
+        assume(n >= 1 && n <= 100);
+        i = 0;
+        while (i < n) { tick(1); i = i + 1; }
+    }
+"#;
+
+const COUNT_DOWN: &str = r#"
+    proc total(n) {
+        assume(n >= 1 && n <= 100);
+        i = n;
+        while (i > 0) { tick(1); i = i - 1; }
+    }
+"#;
+
+fn main() {
+    let up = AnalyzedProgram::from_source(COUNT_UP).expect("count-up compiles");
+    let down = AnalyzedProgram::from_source(COUNT_DOWN).expect("count-down compiles");
+    let solver = DiffCostSolver::new(AnalysisOptions::default());
+
+    let forward = solver.solve(&down, &up).expect("forward direction solves");
+    let backward = solver.solve(&up, &down).expect("backward direction solves");
+    println!("cost(count_down) - cost(count_up) <= {}", forward.threshold_int());
+    println!("cost(count_up) - cost(count_down) <= {}", backward.threshold_int());
+    if forward.threshold_int() <= 0 && backward.threshold_int() <= 0 {
+        println!("=> the rewrite is cost-neutral on every input");
+    }
+
+    // Symbolic bound: the difference is bounded by the polynomial 0 (over the inputs).
+    let zero = Polynomial::zero();
+    match solver.prove_symbolic_bound(&down, &up, &zero) {
+        Ok(_) => println!("symbolic bound 0 proved: cost never increases"),
+        Err(error) => println!("symbolic bound 0 not provable: {error}"),
+    }
+
+    // Section 7: single-program precision — upper and lower bounds on cost(count_up)
+    // whose gap is at most the reported precision.
+    let precision = solver.precision(&up).expect("precision analysis solves");
+    println!(
+        "single-program bounds for count_up have precision gap <= {:.2}",
+        precision.precision
+    );
+    println!("upper bound at entry:\n{}", precision.upper.render(&up.ts));
+}

@@ -1,0 +1,64 @@
+//! Reproduction of the paper's running example (Fig. 1, Examples 2.2–2.3 and 4.4).
+//!
+//! These tests run the full synthesis on the `join` pair, which takes noticeably longer
+//! than the rest of the suite; they are `#[ignore]`d by default and exercised by
+//! `cargo test -- --ignored` or by the `table1` benchmark harness.
+
+use diffcost::benchmarks::running_example;
+use diffcost::prelude::*;
+
+#[test]
+#[ignore = "slow: full synthesis on the Fig. 1 pair"]
+fn join_threshold_is_ten_thousand() {
+    let benchmark = running_example();
+    let result = benchmark.solve().expect("the running example must be solvable");
+    // Example 2.3: phi_new - chi_old = lenA * lenB <= 100 * 100.
+    assert_eq!(result.threshold_int(), 10_000);
+}
+
+#[test]
+#[ignore = "slow: refutation on the Fig. 1 pair"]
+fn join_9999_is_not_a_threshold() {
+    let benchmark = running_example();
+    let old = benchmark.old_program();
+    let new = benchmark.new_program();
+    let solver = DiffCostSolver::new(benchmark.options());
+    // Example 4.4: 9999 can be exceeded (at lenA = lenB = 100).
+    let refutation = solver
+        .refute_threshold(&new, &old, 9_999, &[])
+        .expect("9999 must be refutable");
+    let len_a = new.ts.pool().lookup("lenA").unwrap();
+    let len_b = new.ts.pool().lookup("lenB").unwrap();
+    assert_eq!(refutation.witness_input.get(&len_a), Some(&100));
+    assert_eq!(refutation.witness_input.get(&len_b), Some(&100));
+}
+
+#[test]
+fn join_concrete_costs_match_closed_forms() {
+    use diffcost::ir::{FixedOracle, Interpreter};
+    let benchmark = running_example();
+    let old = benchmark.old_program();
+    let new = benchmark.new_program();
+    let interpreter = Interpreter::default();
+    for (len_a, len_b) in [(1i64, 1i64), (7, 3), (100, 100)] {
+        let mut vals = diffcost::ir::IntValuation::new();
+        for v in old.ts.vars() {
+            vals.insert(v, 0);
+        }
+        vals.insert(old.ts.pool().lookup("lenA").unwrap(), len_a);
+        vals.insert(old.ts.pool().lookup("lenB").unwrap(), len_b);
+        let old_run = interpreter.run(&old.ts, &vals, &mut FixedOracle(0));
+        assert_eq!(old_run.cost, len_a * len_b);
+
+        let mut vals = diffcost::ir::IntValuation::new();
+        for v in new.ts.vars() {
+            vals.insert(v, 0);
+        }
+        vals.insert(new.ts.pool().lookup("lenA").unwrap(), len_a);
+        vals.insert(new.ts.pool().lookup("lenB").unwrap(), len_b);
+        let new_run = interpreter.run(&new.ts, &vals, &mut FixedOracle(0));
+        assert_eq!(new_run.cost, 2 * len_a * len_b);
+        // The difference never exceeds the Fig. 1 threshold 10000.
+        assert!(new_run.cost - old_run.cost <= 10_000);
+    }
+}
