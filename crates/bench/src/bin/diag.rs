@@ -2,13 +2,14 @@
 
 use std::time::Instant;
 
-use dca_benchmarks::all_benchmarks;
+use dca_benchmarks::{all_benchmarks, running_example};
 use dca_core::DiffCostSolver;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "SimpleSingle".to_string());
     let benchmark = all_benchmarks()
         .into_iter()
+        .chain([running_example()])
         .find(|b| b.name == name)
         .expect("unknown benchmark");
     let t0 = Instant::now();

@@ -1,39 +1,80 @@
 //! Regenerates Table 1 of the paper: tightness of differential thresholds on the 19
-//! benchmark pairs (plus the Fig. 1 running example).
+//! benchmark pairs (plus the Fig. 1 running example), via the parallel batch engine.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dca-bench --bin table1 [benchmark-name ...]
+//! cargo run --release -p dca-bench --bin table1 [--jobs N] [--escalate] [--timeout SECS] [name ...]
 //! ```
 //!
-//! With no arguments every benchmark (including the running example) is analyzed; with
-//! arguments only the named benchmarks run.
+//! With no name filters every benchmark (including the running example) is analyzed.
+//! `--jobs N` sets the worker-thread count (default: one per CPU); `--escalate` ignores
+//! the per-benchmark paper degrees and lets the engine discover the degree (1 → 2 → 3);
+//! `--timeout SECS` bounds each solve attempt so pathological LPs report `x` instead of
+//! stalling the table.
 
-use dca_bench::{format_table, run_benchmark};
-use dca_benchmarks::{all_benchmarks, running_example};
+use std::process::exit;
+
+use dca_bench::{format_table, run_suite_filtered};
+use dca_benchmarks::SuiteConfig;
+
+/// Parses the value following `flag`, exiting with a clear message when the flag is
+/// present but malformed or missing its value (silently falling back to a default
+/// would e.g. disable a mistyped `--timeout` and stall the run for minutes).
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let position = args.iter().position(|a| a == flag)?;
+    let Some(value) = args.get(position + 1) else {
+        eprintln!("error: {flag} requires a value");
+        exit(2);
+    };
+    match value.parse() {
+        Ok(parsed) => Some(parsed),
+        Err(_) => {
+            eprintln!("error: invalid {flag} {value}");
+            exit(2);
+        }
+    }
+}
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).collect();
-    let mut benchmarks = all_benchmarks();
-    benchmarks.push(running_example());
-    let selected: Vec<_> = benchmarks
-        .into_iter()
-        .filter(|b| filters.is_empty() || filters.iter().any(|f| b.name.contains(f.as_str())))
-        .collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = parse_flag(&args, "--jobs").unwrap_or(0);
+    let escalate = args.iter().any(|a| a == "--escalate");
+    let time_budget =
+        parse_flag::<u64>(&args, "--timeout").map(std::time::Duration::from_secs);
+    let filters: Vec<String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.as_str() == "--jobs" || a.as_str() == "--timeout" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .cloned()
+            .collect()
+    };
 
-    let mut rows = Vec::new();
-    for benchmark in &selected {
-        eprintln!("analyzing {} ({})...", benchmark.name, benchmark.group);
-        let row = run_benchmark(benchmark);
-        eprintln!(
-            "  -> computed {:?} (tight {}), {:.2}s, LP {}x{}",
-            row.computed, row.tight, row.seconds, row.lp_size.0, row.lp_size.1
-        );
-        rows.push(row);
-    }
-    println!("\nTable 1: tightness of differential thresholds ({} benchmarks)\n", rows.len());
-    println!("{}", format_table(&rows));
-    let tight = rows.iter().filter(|r| r.is_tight()).count();
-    println!("tight thresholds: {}/{}", tight, rows.len());
+    let run = run_suite_filtered(&SuiteConfig { jobs, escalate, time_budget }, &filters);
+
+    println!(
+        "\nTable 1: tightness of differential thresholds ({} benchmarks, {} worker threads{})\n",
+        run.rows.len(),
+        run.jobs,
+        if escalate { ", degree escalation" } else { "" }
+    );
+    println!("{}", format_table(&run.rows));
+    let tight = run.rows.iter().filter(|r| r.is_tight()).count();
+    println!("tight thresholds: {}/{}", tight, run.rows.len());
+    println!(
+        "wall-clock {:.2}s, cpu {:.2}s (speedup {:.2}x over serial)",
+        run.wall_clock.as_secs_f64(),
+        run.cpu_time.as_secs_f64(),
+        run.cpu_time.as_secs_f64() / run.wall_clock.as_secs_f64().max(1e-9),
+    );
 }

@@ -1,10 +1,11 @@
-//! Benchmark harness support: runs the full pipeline on Table-1 benchmarks and formats
-//! the resulting rows.
+//! Benchmark harness support: runs the full pipeline on Table-1 benchmarks — serially
+//! or through the parallel batch engine — and formats the resulting rows.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use dca_benchmarks::Benchmark;
-use dca_core::{AnalysisError, DiffCostSolver};
+use dca_benchmarks::{Benchmark, SuiteConfig};
+use dca_core::batch::{BatchReport, PairOutcome};
+use dca_core::DiffCostSolver;
 
 /// One reproduced row of Table 1.
 #[derive(Debug, Clone)]
@@ -21,6 +22,8 @@ pub struct TableRow {
     pub computed: Option<f64>,
     /// Computed threshold rounded down to an integer (sound for integer costs).
     pub computed_int: Option<i64>,
+    /// Template degree that produced the result (the chosen degree under escalation).
+    pub degree: u32,
     /// Wall-clock time of the full pipeline (parsing, invariants, LP) in seconds.
     pub seconds: f64,
     /// Size of the synthesized LP (variables, constraints).
@@ -32,9 +35,28 @@ impl TableRow {
     pub fn is_tight(&self) -> bool {
         self.computed_int == Some(self.tight)
     }
+
+    /// Builds a row from a batch-engine outcome and the matching benchmark definition.
+    pub fn from_outcome(benchmark: &Benchmark, outcome: &PairOutcome) -> TableRow {
+        let result = outcome.result.as_ref().ok();
+        TableRow {
+            name: outcome.name.clone(),
+            group: benchmark.group.to_string(),
+            tight: benchmark.tight,
+            paper_computed: benchmark.paper_computed,
+            computed: result.map(|r| r.threshold),
+            computed_int: result.map(|r| r.threshold_int()),
+            degree: outcome.degree,
+            seconds: outcome.duration.as_secs_f64(),
+            lp_size: outcome
+                .stats()
+                .map(|s| (s.lp_variables, s.lp_constraints))
+                .unwrap_or((0, 0)),
+        }
+    }
 }
 
-/// Runs the full differential cost analysis pipeline on one benchmark.
+/// Runs the full differential cost analysis pipeline on one benchmark, serially.
 pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
     let start = Instant::now();
     let old = benchmark.old_program();
@@ -50,19 +72,68 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             paper_computed: benchmark.paper_computed,
             computed: Some(result.threshold),
             computed_int: Some(result.threshold_int()),
+            degree: benchmark.degree,
             seconds,
             lp_size: (result.stats.lp_variables, result.stats.lp_constraints),
         },
-        Err(AnalysisError::NoThresholdFound) | Err(_) => TableRow {
+        Err(_) => TableRow {
             name: benchmark.name.to_string(),
             group: benchmark.group.to_string(),
             tight: benchmark.tight,
             paper_computed: benchmark.paper_computed,
             computed: None,
             computed_int: None,
+            degree: benchmark.degree,
             seconds,
             lp_size: (0, 0),
         },
+    }
+}
+
+/// The result of a parallel suite run, ready for formatting.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// One row per benchmark (Table-1 order, running example last).
+    pub rows: Vec<TableRow>,
+    /// Wall-clock time of the whole suite.
+    pub wall_clock: Duration,
+    /// Sum of per-pair times (the serial cost the parallel run amortized).
+    pub cpu_time: Duration,
+    /// Effective number of worker threads.
+    pub jobs: usize,
+}
+
+/// Runs the full 19-pair suite (+ running example) through the parallel batch engine.
+pub fn run_suite(config: &SuiteConfig) -> SuiteRun {
+    run_suite_filtered(config, &[])
+}
+
+/// Like [`run_suite`], restricted to benchmarks whose name contains one of the given
+/// substrings (an empty list selects everything).
+pub fn run_suite_filtered(config: &SuiteConfig, filters: &[String]) -> SuiteRun {
+    let mut benchmarks = dca_benchmarks::all_benchmarks();
+    benchmarks.push(dca_benchmarks::running_example());
+    benchmarks.retain(|b| dca_benchmarks::matches_filters(b.name, filters));
+    let report: BatchReport = dca_benchmarks::run_suite_filtered(config, filters);
+    let rows = benchmarks
+        .iter()
+        .zip(&report.outcomes)
+        .map(|(benchmark, outcome)| {
+            // The benchmark list and the batch jobs are built independently; a silent
+            // zip misalignment would attribute one benchmark's threshold to another's
+            // row, so the pairing is checked by name.
+            assert_eq!(
+                benchmark.name, outcome.name,
+                "suite rows and batch outcomes diverged"
+            );
+            TableRow::from_outcome(benchmark, outcome)
+        })
+        .collect();
+    SuiteRun {
+        rows,
+        wall_clock: report.wall_clock,
+        cpu_time: report.cpu_time(),
+        jobs: report.jobs,
     }
 }
 
@@ -70,10 +141,10 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
 pub fn format_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "benchmark            | tight    | paper    | computed  | int     | tight? | time (s)\n",
+        "benchmark            | tight    | paper    | computed  | int     | d | tight? | time (s)\n",
     );
     out.push_str(
-        "---------------------+----------+----------+-----------+---------+--------+---------\n",
+        "---------------------+----------+----------+-----------+---------+---+--------+---------\n",
     );
     for row in rows {
         let paper = row
@@ -89,12 +160,13 @@ pub fn format_table(rows: &[TableRow]) -> String {
             .map(|v| v.to_string())
             .unwrap_or_else(|| "x".to_string());
         out.push_str(&format!(
-            "{:<21}| {:<9}| {:<9}| {:<10}| {:<8}| {:<7}| {:.2}\n",
+            "{:<21}| {:<9}| {:<9}| {:<10}| {:<8}| {} | {:<7}| {:.2}\n",
             row.name,
             row.tight,
             paper,
             computed,
             computed_int,
+            row.degree,
             if row.is_tight() { "yes" } else { "no" },
             row.seconds
         ));
@@ -115,6 +187,7 @@ mod tests {
             paper_computed: Some(100.0),
             computed: Some(100.0),
             computed_int: Some(100),
+            degree: 2,
             seconds: 1.5,
             lp_size: (10, 20),
         };
@@ -129,10 +202,32 @@ mod tests {
             paper_computed: None,
             computed: None,
             computed_int: None,
+            degree: 3,
             seconds: 0.1,
             lp_size: (0, 0),
         };
         assert!(!failed.is_tight());
         assert!(format_table(&[failed]).contains('x'));
+    }
+
+    #[test]
+    fn row_from_batch_outcome() {
+        use dca_core::batch::{run_batch, BatchConfig, BatchJob};
+        let benchmark = dca_benchmarks::all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "SimpleSingle")
+            .unwrap();
+        let jobs = vec![BatchJob::from_sources(
+            benchmark.name,
+            benchmark.source_new,
+            benchmark.source_old,
+        )
+        .with_options(benchmark.options())];
+        let report = run_batch(&jobs, &BatchConfig::with_jobs(1));
+        let row = TableRow::from_outcome(&benchmark, &report.outcomes[0]);
+        assert_eq!(row.name, "SimpleSingle");
+        assert_eq!(row.computed_int, Some(100));
+        assert!(row.is_tight());
+        assert!(row.lp_size.0 > 0);
     }
 }

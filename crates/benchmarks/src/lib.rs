@@ -1,8 +1,8 @@
 //! The benchmark suite of the paper's evaluation (Table 1) plus the running example.
 //!
 //! The paper evaluates on 19 program pairs drawn from the cost-analysis literature
-//! (Gulwani et al. [23], Gulwani & Zuleger [25]) and from the semantic-differencing
-//! literature (Partush & Yahav [40, 41]), plus the `join` running example of Fig. 1. The
+//! (Gulwani et al. \[23\], Gulwani & Zuleger \[25\]) and from the semantic-differencing
+//! literature (Partush & Yahav \[40, 41\]), plus the `join` running example of Fig. 1. The
 //! original C sources are not distributed with the paper, so each pair here is a
 //! *reconstruction* following the recipe of Section 6:
 //!
@@ -21,7 +21,77 @@ mod suite;
 
 pub use suite::{all_benchmarks, running_example, Benchmark, BenchmarkGroup};
 
+use dca_core::batch::{run_batch, BatchConfig, BatchJob, BatchReport};
 use dca_core::{AnalysisError, AnalysisOptions, AnalyzedProgram, DiffCostResult, DiffCostSolver};
+
+/// Configuration for [`run_suite_parallel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteConfig {
+    /// Number of worker threads (`0` = one per available CPU).
+    pub jobs: usize,
+    /// `true` replaces the per-benchmark paper degrees by the automatic `1 → 2 → 3`
+    /// escalation loop, as if the right degree were unknown.
+    pub escalate: bool,
+    /// Per-attempt wall-clock budget (`None` = unlimited); pairs whose LP exceeds it
+    /// report [`dca_core::AnalysisError::Timeout`] instead of stalling the suite.
+    pub time_budget: Option<std::time::Duration>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { jobs: 0, escalate: false, time_budget: None }
+    }
+}
+
+/// The whole evaluation as batch jobs: all 19 Table-1 pairs plus the running example,
+/// each at the degree the paper used for it (`d = K = 2`, `nested` at 3).
+pub fn suite_jobs() -> Vec<BatchJob> {
+    let mut benchmarks = all_benchmarks();
+    benchmarks.push(running_example());
+    benchmarks
+        .into_iter()
+        .map(|b| {
+            BatchJob::from_sources(b.name, b.source_new, b.source_old).with_options(b.options())
+        })
+        .collect()
+}
+
+/// Translates a [`SuiteConfig`] into the batch engine's configuration.
+fn batch_config(config: &SuiteConfig) -> BatchConfig {
+    let mut batch_config = BatchConfig::with_jobs(config.jobs);
+    if config.escalate {
+        batch_config = batch_config.escalating();
+    }
+    if let Some(budget) = config.time_budget {
+        batch_config = batch_config.with_time_budget(budget);
+    }
+    batch_config
+}
+
+/// `true` if a benchmark name passes the (possibly empty) substring filter list.
+pub fn matches_filters(name: &str, filters: &[String]) -> bool {
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+/// Runs the full evaluation (19 Table-1 pairs + running example) through the parallel
+/// batch engine and returns the per-pair outcomes in table order.
+///
+/// Sources are compiled inside the workers, so parsing, invariant generation and LP
+/// synthesis all parallelize; with `jobs = N` the suite wall-clock drops roughly by the
+/// worker count (see `EXPERIMENTS.md` for measured numbers).
+pub fn run_suite_parallel(config: &SuiteConfig) -> BatchReport {
+    run_suite_filtered(config, &[])
+}
+
+/// Like [`run_suite_parallel`], restricted to benchmarks whose name contains one of the
+/// given substrings (an empty list selects everything).
+pub fn run_suite_filtered(config: &SuiteConfig, filters: &[String]) -> BatchReport {
+    let jobs: Vec<BatchJob> = suite_jobs()
+        .into_iter()
+        .filter(|job| matches_filters(&job.name, filters))
+        .collect();
+    run_batch(&jobs, &batch_config(config))
+}
 
 impl Benchmark {
     /// The analyzed old program version.
@@ -137,13 +207,68 @@ mod tests {
     }
 
     // The full running-example synthesis is exercised by `tests/running_example.rs` and
-    // the `table1` harness; it is ignored here to keep `cargo test` fast.
+    // the `table1` harness; it is ignored here both because it is the slowest pair of
+    // the suite and because it currently fails (see EXPERIMENTS.md, "Known
+    // limitations") — the assertion encodes the target behavior.
     #[test]
-    #[ignore = "slow: full synthesis on the Fig. 1 pair (run with --ignored)"]
+    #[ignore = "known limitation: generated invariants too weak for the Fig. 1 pair (see EXPERIMENTS.md); also slow"]
     fn running_example_solves_to_ten_thousand() {
         let benchmark = running_example();
         let result = benchmark.solve().expect("the running example must be solvable");
         assert_eq!(result.threshold_int(), 10_000);
+    }
+
+    #[test]
+    fn suite_jobs_cover_the_whole_evaluation() {
+        let jobs = suite_jobs();
+        assert_eq!(jobs.len(), 20, "19 Table-1 pairs plus the running example");
+        assert_eq!(jobs.last().unwrap().name, "join");
+        let nested = jobs.iter().find(|j| j.name == "nested").unwrap();
+        assert_eq!(nested.options.degree, 3);
+        assert!(jobs.iter().filter(|j| j.name != "nested").all(|j| j.options.degree == 2));
+    }
+
+    #[test]
+    fn small_suite_subset_is_deterministic_across_worker_counts() {
+        use dca_core::batch::{run_batch, BatchConfig};
+        // Three fast rows keep this a unit test; the full parallel suite is covered by
+        // the ignored test below and by the `table1` harness.
+        let jobs: Vec<_> = suite_jobs()
+            .into_iter()
+            .filter(|j| ["SimpleSingle", "sum", "ddec modified"].contains(&j.name.as_str()))
+            .collect();
+        assert_eq!(jobs.len(), 3);
+        let serial = run_batch(&jobs, &BatchConfig::with_jobs(1));
+        let parallel = run_batch(&jobs, &BatchConfig::with_jobs(3));
+        let ints = |report: &dca_core::BatchReport| {
+            report
+                .outcomes
+                .iter()
+                .map(|o| o.result.as_ref().ok().map(|r| r.threshold_int()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ints(&serial), vec![Some(100), Some(0), Some(0)]);
+        assert_eq!(ints(&serial), ints(&parallel));
+    }
+
+    // Mirrors the paper: `nested` is the one benchmark that needs `d = K = 3`, so the
+    // escalation loop must reject degrees 1 and 2 and settle on 3. Solving the cubic
+    // pair three times is far too slow for the default test run.
+    #[test]
+    #[ignore = "slow: escalated synthesis on the cubic `nested` pair (run with --ignored)"]
+    fn escalation_discovers_degree_three_for_nested() {
+        use dca_core::escalate::{solve_with_escalation, EscalationPolicy};
+        let benchmark = all_benchmarks().into_iter().find(|b| b.name == "nested").unwrap();
+        let escalated = solve_with_escalation(
+            &benchmark.new_program(),
+            &benchmark.old_program(),
+            &AnalysisOptions::default(),
+            EscalationPolicy::default(),
+        )
+        .expect("degree 3 must witness the nested pair");
+        assert_eq!(escalated.degree, 3);
+        assert_eq!(escalated.attempts.len(), 3);
+        assert_eq!(escalated.result.threshold_int(), benchmark.tight);
     }
 
     #[test]

@@ -3,11 +3,11 @@
 /// Which part of the paper's evaluation a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchmarkGroup {
-    /// Loop-bound benchmarks from Gulwani, Mehra, Chilimbi — SPEED (POPL 2009) [23].
+    /// Loop-bound benchmarks from Gulwani, Mehra, Chilimbi — SPEED (POPL 2009) \[23\].
     Gulwani09,
-    /// Benchmarks from Gulwani & Zuleger — the reachability-bound problem (PLDI 2010) [25].
+    /// Benchmarks from Gulwani & Zuleger — the reachability-bound problem (PLDI 2010) \[25\].
     Gulwani10,
-    /// Semantically equivalent pairs from Partush & Yahav (SAS 2013 / OOPSLA 2014) [40, 41].
+    /// Semantically equivalent pairs from Partush & Yahav (SAS 2013 / OOPSLA 2014) \[40, 41\].
     PartushYahav,
     /// The `join` running example of Fig. 1.
     RunningExample,

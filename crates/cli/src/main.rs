@@ -3,38 +3,85 @@
 //! Usage:
 //!
 //! ```text
-//! dca diff <old.dca> <new.dca> [--degree D]     compute a differential threshold
-//! dca bound <program.dca> [--degree D]          single-program bounds with precision (Sec. 7)
-//! dca show <program.dca>                        print the lowered transition system
+//! dca diff <old.dca> <new.dca> [options]   compute a differential threshold
+//! dca bound <program.dca> [options]        single-program bounds with precision (Sec. 7)
+//! dca show <program.dca>                   print the lowered transition system
+//! dca suite [--jobs N] [--escalate] [--timeout SECS]
+//!                                          run the 19 Table-1 pairs + running example
+//!
+//! options for diff/bound:
+//!   --degree D          template degree d = K (default 2)
+//!   --max-products K    Handelman product bound K, overriding K = D
+//!   --backend f64|exact LP backend (default f64)
+//!   --escalate          discover the degree automatically (1 -> 2 -> 3)
 //! ```
 
 use std::process::ExitCode;
 
-use dca_core::{AnalysisOptions, AnalyzedProgram, DiffCostSolver};
+use dca_benchmarks::SuiteConfig;
+use dca_core::escalate::{solve_with_escalation, EscalationPolicy};
+use dca_core::{AnalysisOptions, AnalyzedProgram, DiffCostSolver, LpBackend};
 
 fn read_program(path: &str) -> Result<AnalyzedProgram, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     AnalyzedProgram::from_source(&source).map_err(|e| format!("{path}: {e}"))
 }
 
-fn parse_degree(args: &[String]) -> u32 {
-    args.windows(2)
-        .find(|w| w[0] == "--degree")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(2)
+/// The value following `flag`: `Ok(None)` when the flag is absent, an error when it is
+/// present without a value (silently ignoring `dca suite --timeout` would run the
+/// suite unbounded — the opposite of what the user asked for).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    let Some(position) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(position + 1) {
+        Some(value) => Ok(Some(value.as_str())),
+        None => Err(format!("{flag} requires a value")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Builds [`AnalysisOptions`] from the `--degree`, `--max-products` and `--backend`
+/// flags (defaults: `d = K = 2`, `f64`).
+fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
+    let degree: u32 = match flag_value(args, "--degree")? {
+        Some(v) => v.parse().map_err(|_| format!("invalid --degree {v}"))?,
+        None => 2,
+    };
+    let max_products: u32 = match flag_value(args, "--max-products")? {
+        Some(v) => v.parse().map_err(|_| format!("invalid --max-products {v}"))?,
+        None => degree,
+    };
+    let backend = match flag_value(args, "--backend")? {
+        Some("f64") | None => LpBackend::F64,
+        Some("exact") => LpBackend::Exact,
+        Some(other) => return Err(format!("invalid --backend {other} (expected f64 or exact)")),
+    };
+    Ok(AnalysisOptions {
+        degree,
+        max_products,
+        backend,
+        ..AnalysisOptions::default()
+    })
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: dca <diff old new | bound program | show program> [--degree D]";
+    let usage = "usage: dca <diff old new | bound program | show program | suite> \
+                 [--degree D] [--max-products K] [--backend f64|exact] [--escalate] \
+                 [--jobs N] [--timeout SECS]";
     let Some(command) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
     };
     let result = match command.as_str() {
-        "diff" if args.len() >= 3 => run_diff(&args[1], &args[2], parse_degree(&args)),
-        "bound" if args.len() >= 2 => run_bound(&args[1], parse_degree(&args)),
+        "diff" if args.len() >= 3 => run_diff(&args[1], &args[2], &args),
+        "bound" if args.len() >= 2 => run_bound(&args[1], &args),
         "show" if args.len() >= 2 => run_show(&args[1]),
+        "suite" => run_suite_command(&args),
         _ => Err(usage.to_string()),
     };
     match result {
@@ -46,13 +93,31 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_diff(old_path: &str, new_path: &str, degree: u32) -> Result<(), String> {
+fn solve_pair(
+    new: &AnalyzedProgram,
+    old: &AnalyzedProgram,
+    args: &[String],
+) -> Result<(dca_core::DiffCostResult, u32), String> {
+    let options = parse_options(args)?;
+    if has_flag(args, "--escalate") {
+        let escalated = solve_with_escalation(new, old, &options, EscalationPolicy::default())
+            .map_err(|failure| failure.error.to_string())?;
+        Ok((escalated.result, escalated.degree))
+    } else {
+        let result = DiffCostSolver::new(options)
+            .solve(new, old)
+            .map_err(|e| e.to_string())?;
+        Ok((result, options.degree))
+    }
+}
+
+fn run_diff(old_path: &str, new_path: &str, args: &[String]) -> Result<(), String> {
     let old = read_program(old_path)?;
     let new = read_program(new_path)?;
-    let solver = DiffCostSolver::new(AnalysisOptions::with_degree(degree));
-    let result = solver.solve(&new, &old).map_err(|e| e.to_string())?;
+    let (result, degree) = solve_pair(&new, &old, args)?;
     println!("differential threshold: {:.4}", result.threshold);
     println!("integer threshold:      {}", result.threshold_int());
+    println!("template degree:        {degree}");
     println!("LP: {} variables, {} constraints, {:?}",
         result.stats.lp_variables, result.stats.lp_constraints, result.stats.duration);
     println!("\npotential function (new version):\n{}", result.potential_new.render(&new.ts));
@@ -60,13 +125,13 @@ fn run_diff(old_path: &str, new_path: &str, degree: u32) -> Result<(), String> {
     Ok(())
 }
 
-fn run_bound(path: &str, degree: u32) -> Result<(), String> {
+fn run_bound(path: &str, args: &[String]) -> Result<(), String> {
     let program = read_program(path)?;
-    let solver = DiffCostSolver::new(AnalysisOptions::with_degree(degree));
-    let result = solver.precision(&program).map_err(|e| e.to_string())?;
-    println!("precision gap: {:.4}", result.precision);
-    println!("\nupper cost bound:\n{}", result.upper.render(&program.ts));
-    println!("lower cost bound:\n{}", result.lower.render(&program.ts));
+    let (result, degree) = solve_pair(&program, &program, args)?;
+    println!("precision gap: {:.4}", result.threshold);
+    println!("template degree: {degree}");
+    println!("\nupper cost bound:\n{}", result.potential_new.render(&program.ts));
+    println!("lower cost bound:\n{}", result.anti_potential_old.render(&program.ts));
     Ok(())
 }
 
@@ -74,5 +139,53 @@ fn run_show(path: &str) -> Result<(), String> {
     let program = read_program(path)?;
     println!("{}", program.ts.render());
     println!("invariants:\n{}", program.invariants.render(&program.ts));
+    Ok(())
+}
+
+fn run_suite_command(args: &[String]) -> Result<(), String> {
+    let jobs: usize = match flag_value(args, "--jobs")? {
+        Some(v) => v.parse().map_err(|_| format!("invalid --jobs {v}"))?,
+        None => 0,
+    };
+    let escalate = has_flag(args, "--escalate");
+    let time_budget = match flag_value(args, "--timeout")? {
+        Some(v) => Some(std::time::Duration::from_secs(
+            v.parse().map_err(|_| format!("invalid --timeout {v}"))?,
+        )),
+        None => None,
+    };
+    let report =
+        dca_benchmarks::run_suite_parallel(&SuiteConfig { jobs, escalate, time_budget });
+    println!(
+        "{:<21} | {:>10} | {} | {:>8}",
+        "benchmark", "threshold", "d", "time (s)"
+    );
+    println!("{:-<21}-+-{:->10}-+---+-{:->8}", "", "", "");
+    for outcome in &report.outcomes {
+        let threshold = match &outcome.result {
+            Ok(result) => format!("{}", result.threshold_int()),
+            Err(error) => {
+                // Keep the table aligned; full error text goes below.
+                eprintln!("{}: {error}", outcome.name);
+                "x".to_string()
+            }
+        };
+        println!(
+            "{:<21} | {:>10} | {} | {:>8.2}",
+            outcome.name,
+            threshold,
+            outcome.degree,
+            outcome.duration.as_secs_f64()
+        );
+    }
+    println!(
+        "\n{} solved, {} failed; wall-clock {:.2}s on {} worker threads (cpu {:.2}s, speedup {:.2}x)",
+        report.solved(),
+        report.failed(),
+        report.wall_clock.as_secs_f64(),
+        report.jobs,
+        report.cpu_time().as_secs_f64(),
+        report.cpu_time().as_secs_f64() / report.wall_clock.as_secs_f64().max(1e-9),
+    );
     Ok(())
 }

@@ -1,0 +1,377 @@
+//! Parallel batch analysis over many program pairs.
+//!
+//! The paper's evaluation (Section 6) runs 19 independent program pairs — an
+//! embarrassingly parallel workload. This module provides the engine for it: a set of
+//! [`BatchJob`]s is fanned out across [`std::thread::scope`] workers pulling from a
+//! shared atomic queue, and each pair is solved either at a fixed degree or through the
+//! automatic degree-escalation loop of [`crate::escalate`].
+//!
+//! Results are deterministic: every pair is solved independently of worker scheduling,
+//! and the [`BatchReport`] lists outcomes in input order, so `jobs = 1` and `jobs = N`
+//! produce identical analyses (only the wall clock differs). One failing pair does not
+//! poison the batch — its error is recorded in its [`PairOutcome`] and every other pair
+//! still completes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::escalate::{solve_with_escalation, EscalationAttempt, EscalationPolicy};
+use crate::options::AnalysisOptions;
+use crate::program::AnalyzedProgram;
+use crate::solver::{AnalysisError, DiffCostResult, DiffCostSolver, SolveStats};
+
+/// The two program versions of a batch job, either pre-analyzed or as source text.
+///
+/// Source-text jobs are parsed, lowered and invariant-analyzed *inside* the worker, so
+/// the whole front half of the pipeline parallelizes too; pre-analyzed jobs let callers
+/// share an [`AnalyzedProgram`] they already have.
+#[derive(Debug, Clone)]
+pub enum PairInput {
+    /// Both versions already analyzed.
+    Analyzed {
+        /// The new (revised) program version.
+        new: AnalyzedProgram,
+        /// The old (baseline) program version.
+        old: AnalyzedProgram,
+    },
+    /// Both versions as source text in the mini-language.
+    Source {
+        /// Source of the new (revised) program version.
+        new: String,
+        /// Source of the old (baseline) program version.
+        old: String,
+    },
+}
+
+/// One unit of work for the batch engine: a named program pair plus analysis options.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name of the pair (e.g. the Table-1 benchmark name).
+    pub name: String,
+    /// The two program versions.
+    pub input: PairInput,
+    /// Options for the solve. Under escalation the degree fields act as the fallback
+    /// fixed degree (see [`BatchConfig::escalation`]); backend and template shape are
+    /// always honored.
+    pub options: AnalysisOptions,
+}
+
+impl BatchJob {
+    /// A job over two pre-analyzed programs, with default options.
+    pub fn from_programs(
+        name: impl Into<String>,
+        new: AnalyzedProgram,
+        old: AnalyzedProgram,
+    ) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            input: PairInput::Analyzed { new, old },
+            options: AnalysisOptions::default(),
+        }
+    }
+
+    /// A job over two source texts, with default options. The sources are compiled in
+    /// the worker; compile errors surface as [`AnalysisError::InvalidProgram`].
+    pub fn from_sources(
+        name: impl Into<String>,
+        new: impl Into<String>,
+        old: impl Into<String>,
+    ) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            input: PairInput::Source { new: new.into(), old: old.into() },
+            options: AnalysisOptions::default(),
+        }
+    }
+
+    /// Replaces the analysis options of this job.
+    pub fn with_options(mut self, options: AnalysisOptions) -> BatchJob {
+        self.options = options;
+        self
+    }
+}
+
+/// Configuration of one batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of worker threads. `0` means "one per available CPU"; the effective
+    /// count is always clamped to the number of jobs.
+    pub jobs: usize,
+    /// `Some(policy)` runs every pair through the degree-escalation loop (the job's
+    /// own `degree` is ignored); `None` solves each pair once at its job's degree.
+    pub escalation: Option<EscalationPolicy>,
+    /// Wall-clock budget applied to *each solve attempt* (`None` = unlimited). A job
+    /// whose own options already carry a budget keeps it. Under escalation every tried
+    /// degree gets its own budget, so a pair costs at most `degrees × budget`.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { jobs: 0, escalation: None, time_budget: None }
+    }
+}
+
+impl BatchConfig {
+    /// A fixed-degree configuration with the given worker count.
+    pub fn with_jobs(jobs: usize) -> BatchConfig {
+        BatchConfig { jobs, ..BatchConfig::default() }
+    }
+
+    /// Enables degree escalation with the default `1 → 2 → 3` policy.
+    pub fn escalating(mut self) -> BatchConfig {
+        self.escalation = Some(EscalationPolicy::default());
+        self
+    }
+
+    /// Sets the per-attempt wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> BatchConfig {
+        self.time_budget = Some(budget);
+        self
+    }
+}
+
+/// The outcome of one pair in a batch run.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// The job's name.
+    pub name: String,
+    /// The analysis result, or the error this pair failed with.
+    pub result: Result<DiffCostResult, AnalysisError>,
+    /// The degree that produced `result`: the chosen degree under escalation, the
+    /// job's fixed degree otherwise (for failures, the last degree tried).
+    pub degree: u32,
+    /// The escalation trail (one entry per tried degree); a single entry when the
+    /// batch ran without escalation.
+    pub attempts: Vec<EscalationAttempt>,
+    /// Wall-clock time this pair spent in its worker (compile + all solve attempts).
+    pub duration: Duration,
+}
+
+impl PairOutcome {
+    /// Statistics of the successful solve, if any.
+    pub fn stats(&self) -> Option<SolveStats> {
+        self.result.as_ref().ok().map(|r| r.stats)
+    }
+
+    /// `true` if the pair produced a threshold.
+    pub fn is_solved(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// The result of a batch run: per-pair outcomes in input order, plus totals.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per input job, in input order (independent of scheduling).
+    pub outcomes: Vec<PairOutcome>,
+    /// Wall-clock time of the whole batch.
+    pub wall_clock: Duration,
+    /// The effective number of worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchReport {
+    /// Number of pairs that produced a threshold.
+    pub fn solved(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_solved()).count()
+    }
+
+    /// Number of pairs that failed (no witness, compile error, ...).
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.solved()
+    }
+
+    /// Sum of per-pair durations: the serial cost the parallel run amortized.
+    pub fn cpu_time(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.duration).sum()
+    }
+}
+
+/// Resolves a [`BatchConfig::jobs`] request against the machine and the job count.
+fn effective_jobs(requested: usize, job_count: usize) -> usize {
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let requested = if requested == 0 { hardware } else { requested };
+    requested.clamp(1, job_count.max(1))
+}
+
+/// Runs every job and collects per-pair outcomes, fanning out across worker threads.
+///
+/// Workers pull indices from a shared atomic counter, so the distribution of pairs to
+/// threads is dynamic (long-running pairs do not stall the queue), while the analyses
+/// themselves stay deterministic.
+pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
+    let start = Instant::now();
+    let workers = effective_jobs(config.jobs, jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PairOutcome>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                let outcome = run_one(job, config);
+                *slots[index].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot is filled"))
+        .collect();
+    BatchReport { outcomes, wall_clock: start.elapsed(), jobs: workers }
+}
+
+/// Solves a single job (compile if needed, then fixed-degree or escalated solve).
+fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
+    let start = Instant::now();
+    let mut options = job.options;
+    if options.time_budget.is_none() {
+        options.time_budget = config.time_budget;
+    }
+    let compiled = match &job.input {
+        PairInput::Analyzed { new, old } => Ok((new.clone(), old.clone())),
+        PairInput::Source { new, old } => AnalyzedProgram::from_source(new)
+            .and_then(|n| AnalyzedProgram::from_source(old).map(|o| (n, o))),
+    };
+    let (new, old) = match compiled {
+        Ok(pair) => pair,
+        Err(message) => {
+            return PairOutcome {
+                name: job.name.clone(),
+                result: Err(AnalysisError::InvalidProgram(message)),
+                degree: job.options.degree,
+                attempts: Vec::new(),
+                duration: start.elapsed(),
+            }
+        }
+    };
+
+    match config.escalation {
+        Some(policy) => match solve_with_escalation(&new, &old, &options, policy) {
+            Ok(escalated) => PairOutcome {
+                name: job.name.clone(),
+                result: Ok(escalated.result),
+                degree: escalated.degree,
+                attempts: escalated.attempts,
+                duration: start.elapsed(),
+            },
+            Err(failure) => PairOutcome {
+                name: job.name.clone(),
+                result: Err(failure.error),
+                degree: failure.attempts.last().map(|a| a.degree).unwrap_or(policy.max_degree),
+                attempts: failure.attempts,
+                duration: start.elapsed(),
+            },
+        },
+        None => {
+            let attempt_start = Instant::now();
+            let result = DiffCostSolver::new(options).solve(&new, &old);
+            let attempt = EscalationAttempt {
+                degree: job.options.degree,
+                error: result.as_ref().err().cloned(),
+                duration: attempt_start.elapsed(),
+            };
+            PairOutcome {
+                name: job.name.clone(),
+                result,
+                degree: job.options.degree,
+                attempts: vec![attempt],
+                duration: start.elapsed(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK1: &str =
+        "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(1); i = i + 1; } }";
+    const TICK2: &str =
+        "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(2); i = i + 1; } }";
+    const TICK3: &str =
+        "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(3); i = i + 1; } }";
+
+    fn thresholds(report: &BatchReport) -> Vec<Option<i64>> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.result.as_ref().ok().map(|r| r.threshold_int()))
+            .collect()
+    }
+
+    #[test]
+    fn effective_jobs_clamps_to_job_count() {
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(2, 3), 2);
+        assert_eq!(effective_jobs(1, 0), 1);
+        assert!(effective_jobs(0, 64) >= 1);
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order_and_deterministic_across_jobs() {
+        let jobs = vec![
+            BatchJob::from_sources("double", TICK2, TICK1),
+            BatchJob::from_sources("triple", TICK3, TICK1),
+            BatchJob::from_sources("same", TICK1, TICK1),
+        ];
+        let serial = run_batch(&jobs, &BatchConfig::with_jobs(1));
+        let parallel = run_batch(&jobs, &BatchConfig::with_jobs(3));
+        assert_eq!(serial.jobs, 1);
+        assert_eq!(parallel.jobs, 3);
+        // thresholds: 2n - n = n <= 20; 3n - n = 2n <= 40; identical = 0.
+        assert_eq!(thresholds(&serial), vec![Some(20), Some(40), Some(0)]);
+        assert_eq!(thresholds(&serial), thresholds(&parallel));
+        let names: Vec<&str> = parallel.outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["double", "triple", "same"]);
+    }
+
+    #[test]
+    fn one_failing_pair_does_not_poison_the_batch() {
+        let jobs = vec![
+            BatchJob::from_sources("ok", TICK2, TICK1),
+            BatchJob::from_sources("broken", "proc f( {", TICK1),
+            BatchJob::from_sources("also-ok", TICK3, TICK1),
+        ];
+        let report = run_batch(&jobs, &BatchConfig::with_jobs(2));
+        assert_eq!(report.solved(), 2);
+        assert_eq!(report.failed(), 1);
+        assert!(report.outcomes[0].is_solved());
+        assert!(matches!(
+            report.outcomes[1].result,
+            Err(AnalysisError::InvalidProgram(_))
+        ));
+        assert!(report.outcomes[2].is_solved());
+    }
+
+    #[test]
+    fn escalating_batch_records_chosen_degrees() {
+        // Inner loop bounded by the outer counter: the difference is quadratic in the
+        // loop state, so degree 1 is infeasible and escalation must settle on 2.
+        let triangular = r#"proc f(n) {
+            assume(n >= 1 && n <= 20);
+            i = 0;
+            while (i < n) {
+                tick(1);
+                j = 0;
+                while (j < i) { tick(1); j = j + 1; }
+                i = i + 1;
+            }
+        }"#;
+        let jobs = vec![
+            BatchJob::from_sources("affine", TICK2, TICK1),
+            BatchJob::from_sources("triangular", triangular, TICK1),
+        ];
+        let report = run_batch(&jobs, &BatchConfig::with_jobs(2).escalating());
+        assert_eq!(report.solved(), 2);
+        assert_eq!(report.outcomes[0].degree, 1);
+        assert_eq!(report.outcomes[1].degree, 2);
+        assert_eq!(report.outcomes[1].attempts.len(), 2);
+    }
+}

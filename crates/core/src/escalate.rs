@@ -1,0 +1,242 @@
+//! Automatic template-degree escalation.
+//!
+//! The paper fixes the template degree per benchmark (`d = K = 2` everywhere except
+//! `nested`, which needs `d = K = 3`). When the right degree is *not* known in advance,
+//! the natural strategy is to start small and escalate: a degree-`d` LP is much cheaper
+//! than a degree-`d+1` LP, and [`AnalysisError::NoThresholdFound`] is a definitive
+//! "no witness of this degree exists" answer, so retrying with a larger degree is both
+//! sound and complete up to the configured ceiling.
+//!
+//! [`solve_with_escalation`] implements that loop: try `d = K = start_degree`, and on
+//! `NoThresholdFound` escalate to `d + 1` until `max_degree`. Every attempt is recorded
+//! so callers (the batch engine, the CLI, `EXPERIMENTS.md` generation) can report which
+//! degree finally succeeded and how much the failed attempts cost.
+
+use std::time::{Duration, Instant};
+
+use crate::options::AnalysisOptions;
+use crate::program::AnalyzedProgram;
+use crate::solver::{AnalysisError, DiffCostResult, DiffCostSolver};
+
+/// Controls the degree-escalation loop of [`solve_with_escalation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// First degree to try (`d = K = start_degree`).
+    pub start_degree: u32,
+    /// Largest degree to try before giving up. The paper's evaluation never needs more
+    /// than 3.
+    pub max_degree: u32,
+}
+
+impl Default for EscalationPolicy {
+    /// The policy covering the paper's whole evaluation: `1 → 2 → 3`.
+    fn default() -> Self {
+        EscalationPolicy { start_degree: 1, max_degree: 3 }
+    }
+}
+
+impl EscalationPolicy {
+    /// A policy that tries exactly one degree (no escalation).
+    pub fn fixed(degree: u32) -> EscalationPolicy {
+        EscalationPolicy { start_degree: degree, max_degree: degree }
+    }
+
+    /// The degrees this policy will try, in order.
+    pub fn degrees(&self) -> impl Iterator<Item = u32> {
+        self.start_degree..=self.max_degree.max(self.start_degree)
+    }
+}
+
+/// One attempted degree and how it went.
+#[derive(Debug, Clone)]
+pub struct EscalationAttempt {
+    /// The degree `d = K` that was tried.
+    pub degree: u32,
+    /// `None` if the attempt succeeded, otherwise the error it failed with.
+    pub error: Option<AnalysisError>,
+    /// Wall-clock time of this attempt.
+    pub duration: Duration,
+}
+
+/// A successful escalated solve: the result plus the trail of attempts.
+#[derive(Debug, Clone)]
+pub struct EscalatedResult {
+    /// The result of the successful attempt.
+    pub result: DiffCostResult,
+    /// The degree that succeeded.
+    pub degree: u32,
+    /// All attempts, in the order they were made (the last one succeeded).
+    pub attempts: Vec<EscalationAttempt>,
+}
+
+/// A failed escalated solve: every tried degree failed.
+#[derive(Debug, Clone)]
+pub struct EscalationFailure {
+    /// The error of the final (highest-degree) attempt.
+    pub error: AnalysisError,
+    /// All attempts, in the order they were made.
+    pub attempts: Vec<EscalationAttempt>,
+}
+
+/// Solves the DiffCost problem with automatic degree escalation.
+///
+/// Starting from `policy.start_degree`, each attempt runs the full simultaneous
+/// synthesis with `d = K = degree` (all other fields of `base` — LP backend, template
+/// shape — are kept). On [`AnalysisError::NoThresholdFound`] the degree is bumped;
+/// any other error aborts immediately, because it does not mean "the degree was too
+/// small" (e.g. an unbounded LP will stay unbounded at higher degrees).
+///
+/// # Errors
+///
+/// Returns an [`EscalationFailure`] carrying the final error and the full attempt
+/// trail when every degree up to `policy.max_degree` fails.
+///
+/// # Examples
+///
+/// ```
+/// use dca_core::escalate::{solve_with_escalation, EscalationPolicy};
+/// use dca_core::{AnalysisOptions, AnalyzedProgram};
+///
+/// let old = AnalyzedProgram::from_source(
+///     "proc f(n) { assume(n >= 1 && n <= 10); i = 0; while (i < n) { tick(1); i = i + 1; } }",
+/// ).unwrap();
+/// let new = AnalyzedProgram::from_source(
+///     "proc f(n) { assume(n >= 1 && n <= 10); i = 0; while (i < n) { tick(2); i = i + 1; } }",
+/// ).unwrap();
+///
+/// let escalated = solve_with_escalation(
+///     &new,
+///     &old,
+///     &AnalysisOptions::default(),
+///     EscalationPolicy::default(),
+/// ).unwrap();
+/// assert_eq!(escalated.result.threshold_int(), 10);
+/// // The trail records one attempt per tried degree, ending with the chosen one.
+/// assert_eq!(escalated.attempts.last().unwrap().degree, escalated.degree);
+/// ```
+pub fn solve_with_escalation(
+    new: &AnalyzedProgram,
+    old: &AnalyzedProgram,
+    base: &AnalysisOptions,
+    policy: EscalationPolicy,
+) -> Result<EscalatedResult, EscalationFailure> {
+    let mut attempts = Vec::new();
+    let mut last_error = AnalysisError::NoThresholdFound;
+    for degree in policy.degrees() {
+        let options = AnalysisOptions { degree, max_products: degree, ..*base };
+        let start = Instant::now();
+        let outcome = DiffCostSolver::new(options).solve(new, old);
+        let duration = start.elapsed();
+        match outcome {
+            Ok(result) => {
+                attempts.push(EscalationAttempt { degree, error: None, duration });
+                return Ok(EscalatedResult { result, degree, attempts });
+            }
+            Err(error) => {
+                attempts.push(EscalationAttempt {
+                    degree,
+                    error: Some(error.clone()),
+                    duration,
+                });
+                let fatal = error != AnalysisError::NoThresholdFound;
+                last_error = error;
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    Err(EscalationFailure { error: last_error, attempts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed(source: &str) -> AnalyzedProgram {
+        AnalyzedProgram::from_source(source).unwrap()
+    }
+
+    #[test]
+    fn policy_degree_sequences() {
+        let degrees: Vec<u32> = EscalationPolicy::default().degrees().collect();
+        assert_eq!(degrees, vec![1, 2, 3]);
+        let fixed: Vec<u32> = EscalationPolicy::fixed(2).degrees().collect();
+        assert_eq!(fixed, vec![2]);
+        // A max below the start still tries the start degree once.
+        let inverted = EscalationPolicy { start_degree: 3, max_degree: 1 };
+        assert_eq!(inverted.degrees().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn affine_pair_succeeds_at_degree_one() {
+        let old = analyzed(
+            "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(1); i = i + 1; } }",
+        );
+        let new = analyzed(
+            "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(2); i = i + 1; } }",
+        );
+        let escalated = solve_with_escalation(
+            &new,
+            &old,
+            &AnalysisOptions::default(),
+            EscalationPolicy::default(),
+        )
+        .expect("escalation must succeed");
+        // The potential 2(n - i) is affine, so the very first degree suffices.
+        assert_eq!(escalated.degree, 1);
+        assert_eq!(escalated.attempts.len(), 1);
+        assert_eq!(escalated.result.threshold_int(), 20);
+    }
+
+    /// A pair whose cost difference is genuinely quadratic *per location*: the inner
+    /// loop of the new version is bounded by the outer counter, so the potential must
+    /// mention `i*j`-shaped terms and no affine (degree-1) witness exists. (A nested
+    /// loop bounded by a second *input* does admit an affine witness over the bounded
+    /// input box, so it cannot serve here.)
+    const TRIANGULAR_NEW: &str = r#"proc f(n) {
+        assume(n >= 1 && n <= 20);
+        i = 0;
+        while (i < n) {
+            tick(1);
+            j = 0;
+            while (j < i) { tick(1); j = j + 1; }
+            i = i + 1;
+        }
+    }"#;
+    const TRIANGULAR_OLD: &str =
+        "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(1); i = i + 1; } }";
+
+    #[test]
+    fn capped_policy_fails_fast_below_the_needed_degree() {
+        let old = analyzed(TRIANGULAR_OLD);
+        let new = analyzed(TRIANGULAR_NEW);
+        let failure = solve_with_escalation(
+            &new,
+            &old,
+            &AnalysisOptions::default(),
+            EscalationPolicy { start_degree: 1, max_degree: 1 },
+        )
+        .expect_err("degree 1 cannot witness a triangular difference");
+        assert_eq!(failure.error, AnalysisError::NoThresholdFound);
+        assert_eq!(failure.attempts.len(), 1);
+        assert_eq!(failure.attempts[0].degree, 1);
+    }
+
+    #[test]
+    fn escalation_stops_at_degree_two_for_triangular_pair() {
+        let old = analyzed(TRIANGULAR_OLD);
+        let new = analyzed(TRIANGULAR_NEW);
+        let escalated = solve_with_escalation(
+            &new,
+            &old,
+            &AnalysisOptions::default(),
+            EscalationPolicy::default(),
+        )
+        .expect("degree 2 must succeed");
+        assert_eq!(escalated.degree, 2);
+        assert_eq!(escalated.attempts.len(), 2);
+        assert!(escalated.attempts[0].error.is_some());
+        assert!(escalated.attempts[1].error.is_none());
+    }
+}

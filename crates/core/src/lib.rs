@@ -46,15 +46,24 @@
 //! assert_eq!(result.threshold_int(), 100);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod batch;
 mod constraints;
+pub mod escalate;
 mod options;
 mod potential;
 mod program;
 mod solver;
 pub mod verify;
 
+pub use batch::{run_batch, BatchConfig, BatchJob, BatchReport, PairInput, PairOutcome};
 pub use constraints::{
     collect_program_constraints, ConstraintSet, ProgramTemplates, TemplateRole,
+};
+pub use escalate::{
+    solve_with_escalation, EscalatedResult, EscalationAttempt, EscalationFailure,
+    EscalationPolicy,
 };
 pub use options::{AnalysisOptions, LpBackend};
 pub use potential::PotentialFunction;

@@ -1,5 +1,7 @@
 //! Configuration of the synthesis algorithm.
 
+use std::time::Duration;
+
 /// Which LP backend to use for Step 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpBackend {
@@ -16,6 +18,30 @@ pub enum LpBackend {
 /// `degree` is the maximal polynomial degree `d` of the potential / anti-potential
 /// templates, and `max_products` is the parameter `K` bounding how many affine
 /// expressions may be multiplied in `Prod_K(Aff)`.
+///
+/// When the right degree is unknown, pair the options with the escalation loop of
+/// [`crate::escalate`], which retries `d = K = 1, 2, 3` until a witness exists:
+///
+/// ```
+/// use dca_core::escalate::{solve_with_escalation, EscalationPolicy};
+/// use dca_core::{AnalysisOptions, AnalyzedProgram};
+///
+/// let source = |tick: u32| format!(
+///     "proc f(n) {{ assume(n >= 1 && n <= 10); i = 0; while (i < n) {{ tick({tick}); i = i + 1; }} }}",
+/// );
+/// let old = AnalyzedProgram::from_source(&source(1)).unwrap();
+/// let new = AnalyzedProgram::from_source(&source(3)).unwrap();
+///
+/// let escalated = solve_with_escalation(
+///     &new,
+///     &old,
+///     &AnalysisOptions::default(),       // backend/template shape; degree comes from the loop
+///     EscalationPolicy::default(),       // try d = K = 1, then 2, then 3
+/// ).unwrap();
+/// // The difference 2n is affine, so the loop already succeeds at degree 1.
+/// assert_eq!(escalated.degree, 1);
+/// assert_eq!(escalated.result.threshold_int(), 20);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// Maximal degree `d` of the polynomial templates (the paper uses 2 for all
@@ -29,6 +55,10 @@ pub struct AnalysisOptions {
     pub include_cost_in_template: bool,
     /// LP backend for Step 4.
     pub backend: LpBackend,
+    /// Wall-clock budget for one solve (`None` = unlimited). When set, the LP solver
+    /// polls a deadline and the solve fails with [`crate::AnalysisError::Timeout`]
+    /// instead of stalling a batch run on a pathological instance.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for AnalysisOptions {
@@ -38,19 +68,52 @@ impl Default for AnalysisOptions {
             max_products: 2,
             include_cost_in_template: false,
             backend: LpBackend::F64,
+            time_budget: None,
         }
     }
 }
 
 impl AnalysisOptions {
     /// Options with a custom template degree (and `K = degree`).
+    ///
+    /// ```
+    /// use dca_core::AnalysisOptions;
+    /// let options = AnalysisOptions::with_degree(3);
+    /// assert_eq!((options.degree, options.max_products), (3, 3));
+    /// ```
     pub fn with_degree(degree: u32) -> AnalysisOptions {
         AnalysisOptions { degree, max_products: degree, ..AnalysisOptions::default() }
     }
 
     /// Switches to the exact rational LP backend.
+    ///
+    /// The exact backend is slower but free of floating-point tolerance effects, which
+    /// makes it useful for cross-checking thresholds such as the paper's `99.94`:
+    ///
+    /// ```
+    /// use dca_core::{AnalysisOptions, AnalyzedProgram, DiffCostSolver, LpBackend};
+    ///
+    /// let old = AnalyzedProgram::from_source(
+    ///     "proc f(n) { assume(n >= 1 && n <= 10); i = 0; while (i < n) { tick(1); i = i + 1; } }",
+    /// ).unwrap();
+    /// let new = AnalyzedProgram::from_source(
+    ///     "proc f(n) { assume(n >= 1 && n <= 10); i = 0; while (i < n) { tick(2); i = i + 1; } }",
+    /// ).unwrap();
+    ///
+    /// let options = AnalysisOptions::with_degree(1).exact();
+    /// assert_eq!(options.backend, LpBackend::Exact);
+    /// let result = DiffCostSolver::new(options).solve(&new, &old).unwrap();
+    /// // The exact optimum is exactly 10 — no floating-point undershoot.
+    /// assert_eq!(result.threshold_int(), 10);
+    /// ```
     pub fn exact(mut self) -> AnalysisOptions {
         self.backend = LpBackend::Exact;
+        self
+    }
+
+    /// Sets the wall-clock budget for one solve.
+    pub fn with_time_budget(mut self, budget: Duration) -> AnalysisOptions {
+        self.time_budget = Some(budget);
         self
     }
 }

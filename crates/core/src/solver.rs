@@ -30,6 +30,10 @@ pub enum AnalysisError {
     IterationLimit,
     /// The candidate threshold could not be refuted with the given inputs.
     RefutationFailed,
+    /// A program handed to the batch engine as source text failed to compile.
+    InvalidProgram(String),
+    /// The configured wall-clock budget ([`AnalysisOptions::time_budget`]) ran out.
+    Timeout,
 }
 
 impl fmt::Display for AnalysisError {
@@ -43,6 +47,10 @@ impl fmt::Display for AnalysisError {
             AnalysisError::RefutationFailed => {
                 write!(f, "the candidate threshold could not be refuted on the tried inputs")
             }
+            AnalysisError::InvalidProgram(message) => {
+                write!(f, "the program failed to compile: {message}")
+            }
+            AnalysisError::Timeout => write!(f, "the solve exceeded its wall-clock budget"),
         }
     }
 }
@@ -419,6 +427,11 @@ impl DiffCostSolver {
         start: Instant,
     ) -> Result<(f64, BTreeMap<UnknownId, Rational>, SolveStats), AnalysisError> {
         let mut lp = LpProblem::new();
+        if let Some(budget) = self.options.time_budget {
+            // The budget covers the whole solve; constraint collection already consumed
+            // part of it, so the deadline is anchored at the caller's start time.
+            lp.set_deadline(Some(start + budget));
+        }
         let lp_vars: Vec<LpVar> = factory
             .iter()
             .map(|u| {
@@ -469,6 +482,7 @@ impl DiffCostSolver {
                 LpStatus::Infeasible => Err(AnalysisError::NoThresholdFound),
                 LpStatus::Unbounded => Err(AnalysisError::Unbounded),
                 LpStatus::IterationLimit => Err(AnalysisError::IterationLimit),
+                LpStatus::TimedOut => Err(AnalysisError::Timeout),
             }
         };
         match self.options.backend {
@@ -488,6 +502,8 @@ impl DiffCostSolver {
                     // badly conditioned instances; fall back to the exact backend before
                     // giving up.
                     LpStatus::Unbounded | LpStatus::IterationLimit => solve_exact(&lp),
+                    // A timeout is a genuine budget exhaustion: no fallback.
+                    LpStatus::TimedOut => Err(AnalysisError::Timeout),
                 }
             }
             LpBackend::Exact => solve_exact(&lp),

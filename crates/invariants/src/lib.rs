@@ -8,7 +8,7 @@
 //! * [`Polyhedron`] — a conjunction of affine inequalities with LP-backed emptiness and
 //!   entailment checks, Fourier–Motzkin projection, a sound (weak) join and widening;
 //! * [`InvariantAnalysis`] — a forward abstract-interpretation fixpoint over a
-//!   [`TransitionSystem`] producing an [`InvariantMap`];
+//!   [`TransitionSystem`](dca_ir::TransitionSystem) producing an [`InvariantMap`];
 //! * support for merging user-supplied invariants, mirroring the paper's manual
 //!   strengthening of the `*`-marked benchmarks.
 //!

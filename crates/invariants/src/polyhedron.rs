@@ -104,9 +104,14 @@ impl Polyhedron {
     }
 
     /// Returns `true` if the conjunction is satisfiable over the rationals.
+    ///
+    /// Only a definite `Infeasible` answer may collapse a polyhedron to bottom:
+    /// treating a non-converged f64 solve (iteration limit, timeout, or the
+    /// post-solve feasibility downgrade) as "empty" would mark reachable states
+    /// unreachable and make the synthesized thresholds unsound.
     fn feasible(constraints: &[LinExpr]) -> bool {
         let (lp, _) = Self::build_lp(constraints, None);
-        lp.solve_f64().status == LpStatus::Optimal
+        lp.solve_f64().status != LpStatus::Infeasible
     }
 
     /// Returns `true` if every point of the polyhedron satisfies `expr ≥ 0`.
@@ -133,8 +138,9 @@ impl Polyhedron {
                 min >= -1e-6
             }
             LpStatus::Infeasible => true,
-            // Unbounded below means some point violates expr >= 0.
-            LpStatus::Unbounded | LpStatus::IterationLimit => false,
+            // Unbounded below means some point violates expr >= 0; a non-converged
+            // solve must conservatively answer "not entailed".
+            LpStatus::Unbounded | LpStatus::IterationLimit | LpStatus::TimedOut => false,
         }
     }
 

@@ -6,11 +6,9 @@
 //! transition and every candidate value of non-deterministic updates. The explorer is the
 //! oracle the test-suite uses to check that synthesized thresholds are sound and tight.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dca_poly::VarId;
 
+use crate::rng::SmallRng;
 use crate::state::{eval_polynomial_int, satisfies_all, IntValuation, State};
 use crate::system::{TransitionSystem, Update};
 
@@ -132,7 +130,7 @@ impl CostExplorer {
         walks: usize,
         seed: u64,
     ) -> CostBounds {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let mut bounds = CostBounds { min: i64::MAX, max: i64::MIN, truncated: false };
         let initial_cost = initial_vals.get(&ts.cost_var()).copied().unwrap_or(0);
         for _ in 0..walks.max(1) {
@@ -158,7 +156,7 @@ impl CostExplorer {
                     bounds.truncated = true;
                     break;
                 }
-                let transition = enabled[rng.gen_range(0..enabled.len())];
+                let transition = enabled[rng.gen_index(enabled.len())];
                 let mut next_vals = state.vals.clone();
                 for (&var, update) in &transition.updates {
                     match update {
@@ -166,7 +164,7 @@ impl CostExplorer {
                             next_vals.insert(var, eval_polynomial_int(p, &state.vals));
                         }
                         Update::Nondet => {
-                            let idx = rng.gen_range(0..self.nondet_candidates.len().max(1));
+                            let idx = rng.gen_index(self.nondet_candidates.len().max(1));
                             next_vals
                                 .insert(var, self.nondet_candidates.get(idx).copied().unwrap_or(0));
                         }
@@ -215,7 +213,7 @@ pub fn sample_initial_states(
     count: usize,
     seed: u64,
 ) -> Vec<IntValuation> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut result = Vec::new();
     let mut attempts = 0usize;
     let max_attempts = count.saturating_mul(1000).max(1000);
@@ -223,7 +221,7 @@ pub fn sample_initial_states(
         attempts += 1;
         let mut point = IntValuation::new();
         for &(var, lo, hi) in box_bounds {
-            point.insert(var, rng.gen_range(lo..=hi));
+            point.insert(var, rng.gen_range_inclusive(lo, hi));
         }
         if satisfies_all(theta0, &point) {
             result.push(point);

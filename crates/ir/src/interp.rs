@@ -4,11 +4,9 @@
 //! test-suite and by the result verifier to compare computed thresholds against the cost
 //! of concrete executions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dca_poly::VarId;
 
+use crate::rng::SmallRng;
 use crate::state::{eval_polynomial_int, satisfies_all, IntValuation, State};
 use crate::system::{TransitionSystem, Update};
 
@@ -32,7 +30,7 @@ impl NondetOracle for FixedOracle {
 /// An oracle that draws uniformly from a closed range using a seeded RNG.
 #[derive(Debug)]
 pub struct RandomOracle {
-    rng: StdRng,
+    rng: SmallRng,
     lo: i64,
     hi: i64,
 }
@@ -41,13 +39,13 @@ impl RandomOracle {
     /// Creates an oracle drawing from `[lo, hi]` with the given seed.
     pub fn new(seed: u64, lo: i64, hi: i64) -> RandomOracle {
         assert!(lo <= hi, "empty range for RandomOracle");
-        RandomOracle { rng: StdRng::seed_from_u64(seed), lo, hi }
+        RandomOracle { rng: SmallRng::seed_from_u64(seed), lo, hi }
     }
 }
 
 impl NondetOracle for RandomOracle {
     fn choose(&mut self, _var: VarId, _state: &State) -> i64 {
-        self.rng.gen_range(self.lo..=self.hi)
+        self.rng.gen_range_inclusive(self.lo, self.hi)
     }
 }
 

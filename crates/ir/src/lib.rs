@@ -50,10 +50,12 @@
 
 mod explore;
 mod interp;
+mod rng;
 mod state;
 mod system;
 
 pub use explore::{enumerate_box, sample_initial_states, CostBounds, CostExplorer};
+pub use rng::SmallRng;
 pub use interp::{FixedOracle, Interpreter, NondetOracle, RandomOracle, RunOutcome, RunResult};
 pub use state::{
     eval_polynomial, eval_polynomial_int, satisfies, satisfies_all, to_rational_valuation,

@@ -1,0 +1,93 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The interpreter and explorer only need reproducible, reasonably-distributed draws
+//! for resolving non-determinism in *tests and verification* — never for the analysis
+//! itself — so a self-contained xorshift-style generator (seeded via SplitMix64, as in
+//! the `xoshiro` family's recommended initialization) is all the workspace depends on.
+
+/// A seeded xorshift64* generator with SplitMix64 seeding.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        // SplitMix64 step: spreads low-entropy seeds (0, 1, 2, ...) over the state space.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        // xorshift64* has a single forbidden zero state.
+        SmallRng { state: if z == 0 { 0x9E3779B97F4A7C15 } else { z } }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A uniform draw from `[lo, hi]` (inclusive on both ends).
+    pub fn gen_range_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % span;
+        (lo as i128 + draw as i128) as i64
+    }
+
+    /// A uniform index into a collection of length `len` (which must be non-zero).
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot draw an index from an empty collection");
+        (self.next_u64() % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected_and_cover_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.gen_range_inclusive(-3, 3);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "1000 draws should hit both endpoints of [-3, 3]");
+        for _ in 0..100 {
+            assert!(rng.gen_index(5) < 5);
+        }
+        // Degenerate one-point range.
+        assert_eq!(rng.gen_range_inclusive(9, 9), 9);
+    }
+
+    #[test]
+    fn zero_seed_is_not_a_fixed_point() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, second);
+    }
+}

@@ -8,7 +8,7 @@
 //! * the default [`LpProblem::solve_f64`] backend mirrors the paper's real-valued LP and
 //!   is fast enough for the full benchmark suite;
 //! * the exact [`LpProblem::solve_exact`] backend runs the same algorithm over
-//!   [`Rational`] arithmetic with Bland's rule and is used by the test-suite to
+//!   [`Rational`](dca_numeric::Rational) arithmetic with Bland’s rule and is used by the test-suite to
 //!   cross-check small instances.
 //!
 //! # Example

@@ -1,6 +1,7 @@
 //! The user-facing LP model: variables, constraints, objective, and solving entry points.
 
 use std::fmt;
+use std::time::Instant;
 
 use dca_numeric::Rational;
 
@@ -61,6 +62,8 @@ pub enum LpStatus {
     Unbounded,
     /// The iteration limit was hit before convergence (floating-point backend only).
     IterationLimit,
+    /// The solve deadline (see [`LpProblem::set_deadline`]) passed before convergence.
+    TimedOut,
 }
 
 impl fmt::Display for LpStatus {
@@ -70,6 +73,7 @@ impl fmt::Display for LpStatus {
             LpStatus::Infeasible => "infeasible",
             LpStatus::Unbounded => "unbounded",
             LpStatus::IterationLimit => "iteration limit",
+            LpStatus::TimedOut => "timed out",
         };
         write!(f, "{s}")
     }
@@ -111,6 +115,7 @@ pub struct LpProblem {
     var_kinds: Vec<VarKind>,
     constraints: Vec<LpConstraint>,
     objective: Vec<(LpVar, Rational)>,
+    deadline: Option<Instant>,
 }
 
 impl LpProblem {
@@ -142,6 +147,14 @@ impl LpProblem {
         self.objective = terms;
     }
 
+    /// Sets a wall-clock deadline for subsequent solves (`None` = no limit).
+    ///
+    /// The simplex loops poll the clock and report [`LpStatus::TimedOut`] once the
+    /// deadline passes, so one pathological instance cannot stall a batch run.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
     /// Number of model variables.
     pub fn num_vars(&self) -> usize {
         self.var_names.len()
@@ -163,8 +176,44 @@ impl LpProblem {
     }
 
     /// Solves with the floating-point backend (mirrors the paper's real-valued LP).
+    ///
+    /// An `Optimal` answer is only reported after the recovered solution has been
+    /// re-checked against the *original* (unscaled) constraints: accumulated tableau
+    /// round-off can make the simplex terminate on a basis that is not actually
+    /// feasible, and silently accepting it would be unsound. Such solves are downgraded
+    /// to [`LpStatus::IterationLimit`] so callers can fall back to the exact backend.
     pub fn solve_f64(&self) -> LpResult<f64> {
-        self.solve_generic::<f64>()
+        let result = self.solve_generic::<f64>();
+        if result.status == LpStatus::Optimal && !self.roughly_feasible_f64(&result.values) {
+            return LpResult { status: LpStatus::IterationLimit, objective: None, values: Vec::new() };
+        }
+        result
+    }
+
+    /// Feasibility re-check with a per-constraint relative tolerance (the absolute
+    /// magnitudes of Handelman constraints span several orders of magnitude).
+    fn roughly_feasible_f64(&self, values: &[f64]) -> bool {
+        const REL_TOL: f64 = 1e-6;
+        self.constraints.iter().all(|c| {
+            let mut lhs = 0.0f64;
+            let mut scale = 1.0f64;
+            for (v, coef) in &c.terms {
+                let term = coef.to_f64() * values[v.index()];
+                lhs += term;
+                scale = scale.max(term.abs());
+            }
+            let slack = lhs - c.rhs.to_f64();
+            let tol = REL_TOL * scale.max(c.rhs.to_f64().abs());
+            match c.op {
+                ConstraintOp::Le => slack <= tol,
+                ConstraintOp::Ge => slack >= -tol,
+                ConstraintOp::Eq => slack.abs() <= tol,
+            }
+        }) && self
+            .var_kinds
+            .iter()
+            .zip(values)
+            .all(|(kind, &v)| *kind == VarKind::Free || v >= -1e-6)
     }
 
     /// Solves with the exact rational backend (slower; used for cross-checking).
@@ -197,7 +246,7 @@ impl LpProblem {
 
     fn solve_generic<S: Scalar>(&self) -> LpResult<S> {
         let standard = self.to_standard_form::<S>();
-        let raw = solve_standard_form(&standard);
+        let raw = solve_standard_form(&standard, self.deadline);
         match raw.status {
             LpStatus::Optimal => {
                 let values = self.recover_values::<S>(&raw.values);

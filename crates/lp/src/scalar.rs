@@ -33,6 +33,12 @@ pub trait Scalar: Clone + std::fmt::Debug + PartialEq {
 
     /// `true` if the value is (numerically) zero.
     fn is_zero(&self) -> bool;
+    /// `true` only for the exact representation of zero. Used for sparsity skips in the
+    /// tableau updates: unlike [`Scalar::is_zero`], skipping an exactly-zero entry never
+    /// changes the arithmetic (a tolerance-zero entry times a large pivot factor would).
+    fn is_exactly_zero(&self) -> bool {
+        self.is_zero()
+    }
     /// `true` if the value is (numerically) strictly positive.
     fn is_positive(&self) -> bool;
     /// `true` if the value is (numerically) strictly negative.
@@ -76,6 +82,9 @@ impl Scalar for f64 {
     }
     fn is_zero(&self) -> bool {
         self.abs() <= F64_EPS
+    }
+    fn is_exactly_zero(&self) -> bool {
+        *self == 0.0
     }
     fn is_positive(&self) -> bool {
         *self > F64_EPS

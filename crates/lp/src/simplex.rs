@@ -1,5 +1,7 @@
 //! Dense two-phase primal simplex over a generic scalar.
 
+use std::time::Instant;
+
 use crate::problem::LpStatus;
 use crate::scalar::Scalar;
 
@@ -42,39 +44,47 @@ impl<S: Scalar> Tableau<S> {
             *cell = cell.div(&pivot_value);
         }
         self.rhs[pivot_row] = self.rhs[pivot_row].div(&pivot_value);
-        // Eliminate the pivot column from all other rows.
-        for row in 0..self.rows.len() {
+        // Eliminate the pivot column from all other rows. The pivot row is taken out of
+        // the matrix so every update runs over two independent slices (row-major, no
+        // per-element bounds checks); zero entries of the pivot row are skipped, which
+        // saves most of the work on the sparse tableaus the Handelman encoding produces.
+        let pivot_cells = std::mem::take(&mut self.rows[pivot_row]);
+        let pivot_rhs = self.rhs[pivot_row].clone();
+        for (row, (cells, rhs)) in self.rows.iter_mut().zip(self.rhs.iter_mut()).enumerate() {
             if row == pivot_row {
                 continue;
             }
-            let factor = self.rows[row][pivot_col].clone();
+            let factor = cells[pivot_col].clone();
             if factor.is_zero() {
                 continue;
             }
-            for col in 0..self.num_cols {
-                let delta = factor.mul(&self.rows[pivot_row][col]);
-                self.rows[row][col] = self.rows[row][col].sub(&delta);
+            for (cell, p) in cells.iter_mut().zip(&pivot_cells) {
+                if !p.is_exactly_zero() {
+                    *cell = cell.sub(&factor.mul(p));
+                }
             }
-            let delta = factor.mul(&self.rhs[pivot_row]);
-            self.rhs[row] = self.rhs[row].sub(&delta);
+            *rhs = rhs.sub(&factor.mul(&pivot_rhs));
         }
+        self.rows[pivot_row] = pivot_cells;
         self.basis[pivot_row] = pivot_col;
     }
 
-    /// Reduced costs `r_j = c_j - c_B · (B⁻¹ A_j)` for all columns.
+    /// Reduced costs `r_j = c_j - c_B · (B⁻¹ A_j)` for all columns, accumulated row by
+    /// row so the traversal matches the tableau's memory layout.
     fn reduced_costs(&self, costs: &[S]) -> Vec<S> {
-        let basic_costs: Vec<S> = self.basis.iter().map(|&b| costs[b].clone()).collect();
-        (0..self.num_cols)
-            .map(|col| {
-                let mut value = costs[col].clone();
-                for (row, bc) in basic_costs.iter().enumerate() {
-                    if !bc.is_zero() {
-                        value = value.sub(&bc.mul(&self.rows[row][col]));
-                    }
+        let mut reduced: Vec<S> = costs[..self.num_cols].to_vec();
+        for (row, &basic) in self.basis.iter().enumerate() {
+            let bc = &costs[basic];
+            if bc.is_zero() {
+                continue;
+            }
+            for (value, cell) in reduced.iter_mut().zip(&self.rows[row]) {
+                if !cell.is_exactly_zero() {
+                    *value = value.sub(&bc.mul(cell));
                 }
-                value
-            })
-            .collect()
+            }
+        }
+        reduced
     }
 
     fn objective_value(&self, costs: &[S]) -> S {
@@ -85,12 +95,41 @@ impl<S: Scalar> Tableau<S> {
         value
     }
 
-    /// Runs simplex iterations with the given costs until optimality, unboundedness or
-    /// the iteration limit. Returns the status.
-    fn optimize(&mut self, costs: &[S], allowed_cols: usize, max_iters: usize) -> LpStatus {
+    /// Runs simplex iterations with the given costs until optimality, unboundedness,
+    /// the iteration limit or the deadline. Returns the status.
+    ///
+    /// Reduced costs are maintained incrementally across pivots (`r' = r − r_e · ρ`
+    /// where `ρ` is the post-pivot pivot row), which halves the per-iteration work
+    /// compared to recomputing `c_j − c_B · B⁻¹A_j` from scratch. In floating point the
+    /// maintained row drifts, so it is refreshed periodically and optimality is only
+    /// reported after a confirmation pass over freshly recomputed reduced costs.
+    fn optimize(
+        &mut self,
+        costs: &[S],
+        allowed_cols: usize,
+        max_iters: usize,
+        deadline: Option<Instant>,
+    ) -> LpStatus {
+        const REFRESH_EVERY: usize = 16;
+        const DEADLINE_EVERY: usize = 64;
         let bland_after = max_iters / 2;
+        let mut reduced = self.reduced_costs(costs);
+        let mut since_refresh = 0usize;
         for iteration in 0..max_iters {
-            let reduced = self.reduced_costs(costs);
+            // Exact-backend pivots over blown-up rationals can take seconds each, so
+            // the deadline is polled every iteration there; the cheap f64 iterations
+            // amortize the clock read over a small batch.
+            if S::IS_EXACT || iteration % DEADLINE_EVERY == 0 {
+                if let Some(deadline) = deadline {
+                    if Instant::now() >= deadline {
+                        return LpStatus::TimedOut;
+                    }
+                }
+            }
+            if !S::IS_EXACT && since_refresh >= REFRESH_EVERY {
+                reduced = self.reduced_costs(costs);
+                since_refresh = 0;
+            }
             let use_bland = S::IS_EXACT || iteration >= bland_after;
             // Entering column: negative reduced cost.
             let entering = if use_bland {
@@ -108,6 +147,20 @@ impl<S: Scalar> Tableau<S> {
                 best
             };
             let Some(entering) = entering else {
+                if !S::IS_EXACT && since_refresh != 0 {
+                    // Apparent optimality on drifted data: confirm against fresh values.
+                    reduced = self.reduced_costs(costs);
+                    since_refresh = 0;
+                    if (0..allowed_cols).any(|j| reduced[j].is_negative()) {
+                        continue;
+                    }
+                }
+                // Round-off in long pivot chains can silently break primal feasibility
+                // (negative basic values); report non-convergence instead of a bogus
+                // optimum so callers fall back to the exact backend.
+                if !S::IS_EXACT && self.rhs.iter().any(Scalar::is_negative) {
+                    return LpStatus::IterationLimit;
+                }
                 return LpStatus::Optimal;
             };
             // Ratio test.
@@ -136,13 +189,29 @@ impl<S: Scalar> Tableau<S> {
                 return LpStatus::Unbounded;
             };
             self.pivot(leaving, entering);
+            // Incremental reduced-cost update from the freshly normalized pivot row.
+            let scale = reduced[entering].clone();
+            if !scale.is_exactly_zero() {
+                for (value, cell) in reduced.iter_mut().zip(&self.rows[leaving]) {
+                    if !cell.is_exactly_zero() {
+                        *value = value.sub(&scale.mul(cell));
+                    }
+                }
+            }
+            since_refresh += 1;
         }
         LpStatus::IterationLimit
     }
 }
 
 /// Solves a standard-form problem with the two-phase simplex method.
-pub(crate) fn solve_standard_form<S: Scalar>(form: &StandardForm<S>) -> RawSolution<S> {
+///
+/// When `deadline` is set, the iteration loops poll the clock and bail out with
+/// [`LpStatus::TimedOut`] once it passes.
+pub(crate) fn solve_standard_form<S: Scalar>(
+    form: &StandardForm<S>,
+    deadline: Option<Instant>,
+) -> RawSolution<S> {
     let num_rows = form.matrix.len();
     let num_structural = form.costs.len();
     let _ = &form.model_columns;
@@ -219,8 +288,8 @@ pub(crate) fn solve_standard_form<S: Scalar>(form: &StandardForm<S>) -> RawSolut
         *cost = S::one();
     }
     let max_iters = 200 * (num_rows + num_cols) + 2000;
-    let status = tableau.optimize(&phase1_costs, num_cols, max_iters);
-    if status == LpStatus::IterationLimit {
+    let status = tableau.optimize(&phase1_costs, num_cols, max_iters, deadline);
+    if status == LpStatus::IterationLimit || status == LpStatus::TimedOut {
         return RawSolution { status, values: Vec::new() };
     }
     let phase1_value = tableau.objective_value(&phase1_costs);
@@ -247,7 +316,7 @@ pub(crate) fn solve_standard_form<S: Scalar>(form: &StandardForm<S>) -> RawSolut
     // Phase 2: original costs (artificial columns are excluded from entering).
     let mut phase2_costs = form.costs.clone();
     phase2_costs.resize(num_cols, S::zero());
-    let status = tableau.optimize(&phase2_costs, num_structural, max_iters);
+    let status = tableau.optimize(&phase2_costs, num_structural, max_iters, deadline);
     if status != LpStatus::Optimal {
         return RawSolution { status, values: Vec::new() };
     }
@@ -280,7 +349,7 @@ mod tests {
             costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
             model_columns: vec![(0, None), (1, None)],
         };
-        let sol = solve_standard_form(&form);
+        let sol = solve_standard_form(&form, None);
         assert_eq!(sol.status, LpStatus::Optimal);
         let total = sol.values[0].clone() + sol.values[1].clone();
         assert_eq!(total, r(4, 1));
@@ -294,7 +363,7 @@ mod tests {
             costs: vec![Rational::one()],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form);
+        let sol = solve_standard_form(&form, None);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.values, vec![Rational::zero()]);
     }
@@ -308,7 +377,7 @@ mod tests {
             costs: vec![r(1, 1)],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form);
+        let sol = solve_standard_form(&form, None);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.values[0], r(2, 1));
     }
@@ -322,7 +391,7 @@ mod tests {
             costs: vec![r(1, 1)],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form);
+        let sol = solve_standard_form(&form, None);
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
 }

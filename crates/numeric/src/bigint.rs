@@ -585,10 +585,24 @@ impl MulAssign<&BigInt> for BigInt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn bi(v: i128) -> BigInt {
         BigInt::from(v)
+    }
+
+    /// A deterministic stream of interesting test values: boundary cases first, then a
+    /// spread of pseudo-random values (xorshift; offline stand-in for property testing).
+    fn sample_values(count: usize) -> Vec<i64> {
+        let mut values = vec![0, 1, -1, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1];
+        let mut state = 0x853C49E6748FEA9Bu64;
+        while values.len() < count {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            values.push(state.wrapping_mul(0x2545F4914F6CDD1D) as i64);
+        }
+        values.truncate(count);
+        values
     }
 
     #[test]
@@ -727,47 +741,80 @@ mod tests {
         assert!(bi(5).bit(0) && !bi(5).bit(1) && bi(5).bit(2));
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_commutes(a in any::<i64>(), b in any::<i64>()) {
-            prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(b as i128) + bi(a as i128));
+    #[test]
+    fn add_commutes_and_matches_i128() {
+        let values = sample_values(24);
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(bi(a as i128) + bi(b as i128), bi(b as i128) + bi(a as i128));
+                assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
+            }
         }
+    }
 
-        #[test]
-        fn prop_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
-            prop_assert_eq!(bi(a as i128) + bi(b as i128), bi(a as i128 + b as i128));
+    #[test]
+    fn mul_matches_i128() {
+        let values = sample_values(24);
+        for &a in &values {
+            for &b in &values {
+                let (a, b) = (a as i128 % 1_000_000_000, b as i128 % 1_000_000_000);
+                assert_eq!(bi(a) * bi(b), bi(a * b));
+            }
         }
+    }
 
-        #[test]
-        fn prop_mul_matches_i128(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
-            prop_assert_eq!(bi(a as i128) * bi(b as i128), bi(a as i128 * b as i128));
+    #[test]
+    fn divrem_reconstructs() {
+        let values = sample_values(24);
+        for &a in &values {
+            for &b in &values {
+                if b == 0 {
+                    continue;
+                }
+                let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
+                assert_eq!(&q * &bi(b as i128) + &r, bi(a as i128));
+                assert!(r.abs() < bi(b as i128).abs());
+            }
         }
+    }
 
-        #[test]
-        fn prop_divrem_reconstructs(a in any::<i64>(), b in any::<i64>()) {
-            prop_assume!(b != 0);
-            let (q, r) = bi(a as i128).div_rem(&bi(b as i128));
-            prop_assert_eq!(&q * &bi(b as i128) + &r, bi(a as i128));
-            prop_assert!(r.abs() < bi(b as i128).abs());
+    #[test]
+    fn mul_distributes_over_add() {
+        let values = sample_values(16);
+        for &a in &values {
+            for &b in &values {
+                for &c in &values {
+                    let (a, b, c) = (
+                        bi(a as i128 % 10_000),
+                        bi(b as i128 % 10_000),
+                        bi(c as i128 % 10_000),
+                    );
+                    assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+                }
+            }
         }
+    }
 
-        #[test]
-        fn prop_distributive(a in -10_000i64..10_000, b in -10_000i64..10_000, c in -10_000i64..10_000) {
-            let (a, b, c) = (bi(a as i128), bi(b as i128), bi(c as i128));
-            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    #[test]
+    fn roundtrip_string_on_samples() {
+        for &a in &sample_values(64) {
+            // Widen into genuinely multi-limb territory as well.
+            for value in [a as i128, (a as i128) << 40, i128::MAX, i128::MIN] {
+                let b = bi(value);
+                assert_eq!(b.to_string().parse::<BigInt>().unwrap(), b);
+            }
         }
+    }
 
-        #[test]
-        fn prop_roundtrip_string(a in any::<i128>()) {
-            let b = bi(a);
-            prop_assert_eq!(b.to_string().parse::<BigInt>().unwrap(), b);
-        }
-
-        #[test]
-        fn prop_gcd_divides(a in 1i64..100_000, b in 1i64..100_000) {
-            let g = bi(a as i128).gcd(&bi(b as i128));
-            prop_assert!((bi(a as i128) % &g).is_zero());
-            prop_assert!((bi(b as i128) % &g).is_zero());
+    #[test]
+    fn gcd_divides_both_operands() {
+        for &a in &sample_values(24) {
+            for &b in &sample_values(24) {
+                let (a, b) = (a.unsigned_abs() % 100_000 + 1, b.unsigned_abs() % 100_000 + 1);
+                let g = bi(a as i128).gcd(&bi(b as i128));
+                assert!((bi(a as i128) % &g).is_zero());
+                assert!((bi(b as i128) % &g).is_zero());
+            }
         }
     }
 }

@@ -308,7 +308,6 @@ impl AddAssign<&Polynomial> for Polynomial {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn setup() -> (VarPool, VarId, VarId) {
         let mut pool = VarPool::new();
@@ -417,42 +416,70 @@ mod tests {
         assert!(Polynomial::var(x).scale(&Rational::zero()).is_zero());
     }
 
-    proptest! {
-        #[test]
-        fn prop_eval_homomorphic_add(a in -20i64..20, b in -20i64..20, c in -20i64..20, d in -20i64..20,
-                                     vx in -10i64..10, vy in -10i64..10) {
-            let (_, x, y) = setup();
-            let p = Polynomial::var(x).scale(&Rational::from_int(a)) + Polynomial::from_int(b);
-            let q = Polynomial::var(y).scale(&Rational::from_int(c)) + Polynomial::from_int(d);
-            let v = val(&[(x, vx), (y, vy)]);
-            prop_assert_eq!((&p + &q).eval(&v), &p.eval(&v) + &q.eval(&v));
-            prop_assert_eq!((&p * &q).eval(&v), &p.eval(&v) * &q.eval(&v));
-            prop_assert_eq!((&p - &q).eval(&v), &p.eval(&v) - &q.eval(&v));
-        }
+    // Deterministic grid versions of what used to be property-based tests (the
+    // workspace builds offline, without a property-testing dependency). The grids cover
+    // negative, zero and positive coefficients and evaluation points.
+    const COEFFS: [i64; 6] = [-20, -3, -1, 0, 2, 19];
+    const POINTS: [i64; 5] = [-10, -2, 0, 1, 9];
 
-        #[test]
-        fn prop_substitution_commutes_with_eval(a in -5i64..5, b in -5i64..5, vx in -5i64..5, vy in -5i64..5) {
-            let (_, x, y) = setup();
-            // p(x, y) = a*x^2 + b*x*y + y
-            let p = Polynomial::var(x).pow(2).scale(&Rational::from_int(a))
-                + (Polynomial::var(x) * Polynomial::var(y)).scale(&Rational::from_int(b))
-                + Polynomial::var(y);
-            // substitute x -> y + 1
-            let mut subst = BTreeMap::new();
-            subst.insert(x, Polynomial::var(y) + Polynomial::from_int(1));
-            let q = p.substitute(&subst);
-            // evaluating q at y = vy must equal evaluating p at x = vy + 1, y = vy
-            let v_q = val(&[(y, vy), (x, vx)]);
-            let v_p = val(&[(x, vy + 1), (y, vy)]);
-            prop_assert_eq!(q.eval(&v_q), p.eval(&v_p));
+    #[test]
+    fn eval_is_homomorphic_over_ring_operations() {
+        let (_, x, y) = setup();
+        for a in COEFFS {
+            for c in COEFFS {
+                for vx in POINTS {
+                    for vy in POINTS {
+                        let p = Polynomial::var(x).scale(&Rational::from_int(a))
+                            + Polynomial::from_int(a + 1);
+                        let q = Polynomial::var(y).scale(&Rational::from_int(c))
+                            + Polynomial::from_int(c - 1);
+                        let v = val(&[(x, vx), (y, vy)]);
+                        assert_eq!((&p + &q).eval(&v), &p.eval(&v) + &q.eval(&v));
+                        assert_eq!((&p * &q).eval(&v), &p.eval(&v) * &q.eval(&v));
+                        assert_eq!((&p - &q).eval(&v), &p.eval(&v) - &q.eval(&v));
+                    }
+                }
+            }
         }
+    }
 
-        #[test]
-        fn prop_pow_matches_repeated_mul(e in 0u32..5, a in -5i64..5, vx in -5i64..5) {
-            let (_, x, _) = setup();
-            let p = Polynomial::var(x) + Polynomial::from_int(a);
-            let v = val(&[(x, vx)]);
-            prop_assert_eq!(p.pow(e).eval(&v), p.eval(&v).pow(e));
+    #[test]
+    fn substitution_commutes_with_eval() {
+        let (_, x, y) = setup();
+        for a in -5i64..5 {
+            for b in -5i64..5 {
+                for vy in -5i64..5 {
+                    // p(x, y) = a*x^2 + b*x*y + y
+                    let p = Polynomial::var(x).pow(2).scale(&Rational::from_int(a))
+                        + (Polynomial::var(x) * Polynomial::var(y))
+                            .scale(&Rational::from_int(b))
+                        + Polynomial::var(y);
+                    // substitute x -> y + 1
+                    let mut subst = BTreeMap::new();
+                    subst.insert(x, Polynomial::var(y) + Polynomial::from_int(1));
+                    let q = p.substitute(&subst);
+                    // Evaluating q at y = vy must equal evaluating p at x = vy + 1,
+                    // y = vy. The x slot of v_q is set to a nonzero value unrelated to
+                    // the substitution so any residual x term in q breaks the equality.
+                    let v_q = val(&[(y, vy), (x, 17)]);
+                    let v_p = val(&[(x, vy + 1), (y, vy)]);
+                    assert_eq!(q.eval(&v_q), p.eval(&v_p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let (_, x, _) = setup();
+        for e in 0u32..5 {
+            for a in -5i64..5 {
+                for vx in -5i64..5 {
+                    let p = Polynomial::var(x) + Polynomial::from_int(a);
+                    let v = val(&[(x, vx)]);
+                    assert_eq!(p.pow(e).eval(&v), p.eval(&v).pow(e));
+                }
+            }
         }
     }
 }

@@ -1,14 +1,18 @@
 //! Reproduction of the paper's running example (Fig. 1, Examples 2.2–2.3 and 4.4).
 //!
-//! These tests run the full synthesis on the `join` pair, which takes noticeably longer
-//! than the rest of the suite; they are `#[ignore]`d by default and exercised by
-//! `cargo test -- --ignored` or by the `table1` benchmark harness.
+//! The synthesis tests on the `join` pair are `#[ignore]`d: besides being the slowest
+//! pair of the suite (LP solves around a minute in release), the synthesis currently
+//! fails — the polyhedra-lite invariant generator does not recover invariants strong
+//! enough for the Fig. 1 pair, so the LP is infeasible at `d = K = 2` where the paper
+//! (using Sting/Aspic invariants) reports 10000. See EXPERIMENTS.md, "Known
+//! limitations". The assertions below encode the *target* behavior so the gap stays
+//! visible under `cargo test -- --ignored`.
 
 use diffcost::benchmarks::running_example;
 use diffcost::prelude::*;
 
 #[test]
-#[ignore = "slow: full synthesis on the Fig. 1 pair"]
+#[ignore = "known limitation: generated invariants too weak for the Fig. 1 pair (see EXPERIMENTS.md); also slow"]
 fn join_threshold_is_ten_thousand() {
     let benchmark = running_example();
     let result = benchmark.solve().expect("the running example must be solvable");
@@ -17,7 +21,7 @@ fn join_threshold_is_ten_thousand() {
 }
 
 #[test]
-#[ignore = "slow: refutation on the Fig. 1 pair"]
+#[ignore = "known limitation: generated invariants too weak for the Fig. 1 pair (see EXPERIMENTS.md); also slow"]
 fn join_9999_is_not_a_threshold() {
     let benchmark = running_example();
     let old = benchmark.old_program();
