@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca-29fdaa651f4a0741.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dca-29fdaa651f4a0741: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

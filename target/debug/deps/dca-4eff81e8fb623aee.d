@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca-4eff81e8fb623aee.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dca-4eff81e8fb623aee: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

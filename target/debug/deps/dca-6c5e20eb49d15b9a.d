@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca-6c5e20eb49d15b9a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libdca-6c5e20eb49d15b9a.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

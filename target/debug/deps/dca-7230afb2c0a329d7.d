@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca-7230afb2c0a329d7.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dca-7230afb2c0a329d7: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca-b9a0d7d381a51a0c.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/dca-b9a0d7d381a51a0c: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

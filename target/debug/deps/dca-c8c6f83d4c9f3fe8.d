@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca-c8c6f83d4c9f3fe8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libdca-c8c6f83d4c9f3fe8.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

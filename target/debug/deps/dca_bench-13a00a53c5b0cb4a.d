@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca_bench-13a00a53c5b0cb4a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dca_bench-13a00a53c5b0cb4a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

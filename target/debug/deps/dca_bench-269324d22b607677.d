@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca_bench-269324d22b607677.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dca_bench-269324d22b607677: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

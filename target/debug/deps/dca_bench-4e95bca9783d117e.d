@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca_bench-4e95bca9783d117e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdca_bench-4e95bca9783d117e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_bench-5994f6a975bd3300.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdca_bench-5994f6a975bd3300.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdca_bench-5994f6a975bd3300.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

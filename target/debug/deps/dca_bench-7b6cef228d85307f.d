@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dca_bench-7b6cef228d85307f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdca_bench-7b6cef228d85307f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_bench-8b3319dbe3a70a9f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdca_bench-8b3319dbe3a70a9f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdca_bench-8b3319dbe3a70a9f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dca_benchmarks-1699ed4141b53952.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/dca_benchmarks-1699ed4141b53952: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dca_benchmarks-28ee33e5f6f43a3c.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libdca_benchmarks-28ee33e5f6f43a3c.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libdca_benchmarks-28ee33e5f6f43a3c.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/suite.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dca_benchmarks-32e97126669b9fc6.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libdca_benchmarks-32e97126669b9fc6.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dca_benchmarks-73949e2ce2195ab3.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libdca_benchmarks-73949e2ce2195ab3.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/libdca_benchmarks-73949e2ce2195ab3.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/suite.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dca_benchmarks-a42e8b0cdde1e795.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/debug/deps/dca_benchmarks-a42e8b0cdde1e795: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/suite.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dca_core-61ebc6df8754103b.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libdca_core-61ebc6df8754103b.rmeta: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/batch.rs:
+crates/core/src/constraints.rs:
+crates/core/src/escalate.rs:
+crates/core/src/options.rs:
+crates/core/src/potential.rs:
+crates/core/src/program.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dca_core-b1e85871166ee7f0.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/dca_core-b1e85871166ee7f0: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/batch.rs:
+crates/core/src/constraints.rs:
+crates/core/src/escalate.rs:
+crates/core/src/options.rs:
+crates/core/src/potential.rs:
+crates/core/src/program.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dca_core-bdca462d1f3b2a5f.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libdca_core-bdca462d1f3b2a5f.rlib: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libdca_core-bdca462d1f3b2a5f.rmeta: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/batch.rs:
+crates/core/src/constraints.rs:
+crates/core/src/escalate.rs:
+crates/core/src/options.rs:
+crates/core/src/potential.rs:
+crates/core/src/program.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_handelman-042086aa6e3942d2.d: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/libdca_handelman-042086aa6e3942d2.rlib: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/libdca_handelman-042086aa6e3942d2.rmeta: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+crates/handelman/src/lib.rs:
+crates/handelman/src/encode.rs:
+crates/handelman/src/factory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_handelman-34c4d3860796606c.d: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/dca_handelman-34c4d3860796606c: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+crates/handelman/src/lib.rs:
+crates/handelman/src/encode.rs:
+crates/handelman/src/factory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_handelman-8c087938602dcb02.d: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/dca_handelman-8c087938602dcb02: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+crates/handelman/src/lib.rs:
+crates/handelman/src/encode.rs:
+crates/handelman/src/factory.rs:

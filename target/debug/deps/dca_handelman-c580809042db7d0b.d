@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_handelman-c580809042db7d0b.d: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/libdca_handelman-c580809042db7d0b.rlib: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/libdca_handelman-c580809042db7d0b.rmeta: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+crates/handelman/src/lib.rs:
+crates/handelman/src/encode.rs:
+crates/handelman/src/factory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_handelman-eef50bad34410fb7.d: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/debug/deps/libdca_handelman-eef50bad34410fb7.rmeta: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+crates/handelman/src/lib.rs:
+crates/handelman/src/encode.rs:
+crates/handelman/src/factory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_invariants-0b8fa1aa69b3f3c9.d: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libdca_invariants-0b8fa1aa69b3f3c9.rmeta: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+crates/invariants/src/lib.rs:
+crates/invariants/src/analysis.rs:
+crates/invariants/src/polyhedron.rs:

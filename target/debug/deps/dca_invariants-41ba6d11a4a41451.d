@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_invariants-41ba6d11a4a41451.d: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libdca_invariants-41ba6d11a4a41451.rlib: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libdca_invariants-41ba6d11a4a41451.rmeta: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+crates/invariants/src/lib.rs:
+crates/invariants/src/analysis.rs:
+crates/invariants/src/polyhedron.rs:

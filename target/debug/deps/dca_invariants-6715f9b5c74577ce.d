@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_invariants-6715f9b5c74577ce.d: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libdca_invariants-6715f9b5c74577ce.rlib: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libdca_invariants-6715f9b5c74577ce.rmeta: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+crates/invariants/src/lib.rs:
+crates/invariants/src/analysis.rs:
+crates/invariants/src/polyhedron.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_invariants-89e17273a7656aec.d: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libdca_invariants-89e17273a7656aec.rmeta: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+crates/invariants/src/lib.rs:
+crates/invariants/src/analysis.rs:
+crates/invariants/src/polyhedron.rs:

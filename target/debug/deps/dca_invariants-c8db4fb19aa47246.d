@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_invariants-c8db4fb19aa47246.d: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/debug/deps/dca_invariants-c8db4fb19aa47246: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+crates/invariants/src/lib.rs:
+crates/invariants/src/analysis.rs:
+crates/invariants/src/polyhedron.rs:

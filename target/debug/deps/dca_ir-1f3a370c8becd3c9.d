@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dca_ir-1f3a370c8becd3c9.d: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+/root/repo/target/debug/deps/dca_ir-1f3a370c8becd3c9: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/explore.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/rng.rs:
+crates/ir/src/state.rs:
+crates/ir/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dca_ir-24cc1e23d22c8667.d: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+/root/repo/target/debug/deps/libdca_ir-24cc1e23d22c8667.rmeta: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/explore.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/rng.rs:
+crates/ir/src/state.rs:
+crates/ir/src/system.rs:

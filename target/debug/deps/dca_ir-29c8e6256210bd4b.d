@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dca_ir-29c8e6256210bd4b.d: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+/root/repo/target/debug/deps/libdca_ir-29c8e6256210bd4b.rlib: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+/root/repo/target/debug/deps/libdca_ir-29c8e6256210bd4b.rmeta: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/explore.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/rng.rs:
+crates/ir/src/state.rs:
+crates/ir/src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_lang-31abbb87e862ef55.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+/root/repo/target/debug/deps/dca_lang-31abbb87e862ef55: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_lang-c0e765e807d8cf29.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+/root/repo/target/debug/deps/libdca_lang-c0e765e807d8cf29.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dca_lang-f6b5833769343ee4.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+/root/repo/target/debug/deps/libdca_lang-f6b5833769343ee4.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+/root/repo/target/debug/deps/libdca_lang-f6b5833769343ee4.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dca_lp-5ae7f533c763ea76.d: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libdca_lp-5ae7f533c763ea76.rmeta: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/problem.rs:
+crates/lp/src/scalar.rs:
+crates/lp/src/simplex.rs:

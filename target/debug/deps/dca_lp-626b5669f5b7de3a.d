@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dca_lp-626b5669f5b7de3a.d: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/dca_lp-626b5669f5b7de3a: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/problem.rs:
+crates/lp/src/scalar.rs:
+crates/lp/src/simplex.rs:

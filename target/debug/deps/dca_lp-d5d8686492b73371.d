@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dca_lp-d5d8686492b73371.d: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libdca_lp-d5d8686492b73371.rlib: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/libdca_lp-d5d8686492b73371.rmeta: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/problem.rs:
+crates/lp/src/scalar.rs:
+crates/lp/src/simplex.rs:

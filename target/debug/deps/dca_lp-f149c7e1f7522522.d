@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dca_lp-f149c7e1f7522522.d: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/dca_lp-f149c7e1f7522522: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/problem.rs:
+crates/lp/src/scalar.rs:
+crates/lp/src/simplex.rs:

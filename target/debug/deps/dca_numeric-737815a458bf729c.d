@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_numeric-737815a458bf729c.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/dca_numeric-737815a458bf729c: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/rational.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_numeric-887db200065cb493.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/libdca_numeric-887db200065cb493.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/rational.rs:

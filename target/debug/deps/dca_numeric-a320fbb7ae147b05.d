@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dca_numeric-a320fbb7ae147b05.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/libdca_numeric-a320fbb7ae147b05.rlib: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/libdca_numeric-a320fbb7ae147b05.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/rational.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_numeric-afb9f9c2ed96fe53.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/dca_numeric-afb9f9c2ed96fe53: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/rational.rs:

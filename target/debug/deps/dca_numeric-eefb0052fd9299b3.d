@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dca_numeric-eefb0052fd9299b3.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/debug/deps/libdca_numeric-eefb0052fd9299b3.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/rational.rs:

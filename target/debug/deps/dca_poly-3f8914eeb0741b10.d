@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dca_poly-3f8914eeb0741b10.d: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/debug/deps/libdca_poly-3f8914eeb0741b10.rlib: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/debug/deps/libdca_poly-3f8914eeb0741b10.rmeta: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/linexpr.rs:
+crates/poly/src/monomial.rs:
+crates/poly/src/polynomial.rs:
+crates/poly/src/template.rs:
+crates/poly/src/vars.rs:

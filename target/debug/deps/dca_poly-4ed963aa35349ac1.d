@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dca_poly-4ed963aa35349ac1.d: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/debug/deps/dca_poly-4ed963aa35349ac1: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/linexpr.rs:
+crates/poly/src/monomial.rs:
+crates/poly/src/polynomial.rs:
+crates/poly/src/template.rs:
+crates/poly/src/vars.rs:

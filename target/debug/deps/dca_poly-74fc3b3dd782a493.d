@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dca_poly-74fc3b3dd782a493.d: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/debug/deps/dca_poly-74fc3b3dd782a493: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/linexpr.rs:
+crates/poly/src/monomial.rs:
+crates/poly/src/polynomial.rs:
+crates/poly/src/template.rs:
+crates/poly/src/vars.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dca_poly-ea58909ab25f796a.d: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/debug/deps/libdca_poly-ea58909ab25f796a.rmeta: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/linexpr.rs:
+crates/poly/src/monomial.rs:
+crates/poly/src/polynomial.rs:
+crates/poly/src/template.rs:
+crates/poly/src/vars.rs:

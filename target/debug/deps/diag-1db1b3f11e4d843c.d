@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-1db1b3f11e4d843c.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-1db1b3f11e4d843c: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-476978a6b86769eb.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/libdiag-476978a6b86769eb.rmeta: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-60d5541c6579b208.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-60d5541c6579b208: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-6dbfd7f70d9337a4.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/libdiag-6dbfd7f70d9337a4.rmeta: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-6fe4a828901146c1.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-6fe4a828901146c1: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

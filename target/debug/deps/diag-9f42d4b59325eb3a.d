@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-9f42d4b59325eb3a.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-9f42d4b59325eb3a: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diffcost-2a4a65485c81ad3e.d: src/lib.rs
+
+/root/repo/target/debug/deps/diffcost-2a4a65485c81ad3e: src/lib.rs
+
+src/lib.rs:

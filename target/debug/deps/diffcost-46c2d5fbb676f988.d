@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diffcost-46c2d5fbb676f988.d: src/lib.rs
+
+/root/repo/target/debug/deps/diffcost-46c2d5fbb676f988: src/lib.rs
+
+src/lib.rs:

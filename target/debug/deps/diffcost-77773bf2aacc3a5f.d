@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diffcost-77773bf2aacc3a5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdiffcost-77773bf2aacc3a5f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/diffcost-85f945925411023f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdiffcost-85f945925411023f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdiffcost-85f945925411023f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diffcost-8a5e750d8ebeff06.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdiffcost-8a5e750d8ebeff06.rmeta: src/lib.rs
+
+src/lib.rs:

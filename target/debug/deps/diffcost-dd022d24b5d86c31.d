@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/diffcost-dd022d24b5d86c31.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdiffcost-dd022d24b5d86c31.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdiffcost-dd022d24b5d86c31.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5b1a16dfa7022aeb.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-5b1a16dfa7022aeb.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-abc18e421971f8a1.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-abc18e421971f8a1: tests/pipeline.rs
+
+tests/pipeline.rs:

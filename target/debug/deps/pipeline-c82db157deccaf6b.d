@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-c82db157deccaf6b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-c82db157deccaf6b: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/running_example-5e944505a18d18b8.d: tests/running_example.rs
+
+/root/repo/target/debug/deps/librunning_example-5e944505a18d18b8.rmeta: tests/running_example.rs
+
+tests/running_example.rs:

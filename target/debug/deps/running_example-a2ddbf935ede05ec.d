@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/running_example-a2ddbf935ede05ec.d: tests/running_example.rs
+
+/root/repo/target/debug/deps/running_example-a2ddbf935ede05ec: tests/running_example.rs
+
+tests/running_example.rs:

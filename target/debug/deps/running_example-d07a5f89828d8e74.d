@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/running_example-d07a5f89828d8e74.d: tests/running_example.rs
+
+/root/repo/target/debug/deps/running_example-d07a5f89828d8e74: tests/running_example.rs
+
+tests/running_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-115cfdefb0973b61.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-115cfdefb0973b61: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-26e281259103a6bf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-26e281259103a6bf.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

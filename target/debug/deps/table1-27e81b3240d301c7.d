@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-27e81b3240d301c7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-27e81b3240d301c7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

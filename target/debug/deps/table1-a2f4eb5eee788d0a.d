@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a2f4eb5eee788d0a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a2f4eb5eee788d0a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d38dca661bd83f07.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-d38dca661bd83f07.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

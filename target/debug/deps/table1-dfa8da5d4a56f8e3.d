@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-dfa8da5d4a56f8e3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-dfa8da5d4a56f8e3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_groups-7b844a07f53d1d99.d: crates/bench/benches/table1_groups.rs
+
+/root/repo/target/debug/deps/table1_groups-7b844a07f53d1d99: crates/bench/benches/table1_groups.rs
+
+crates/bench/benches/table1_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_groups-86400ec9cdd5ed93.d: crates/bench/benches/table1_groups.rs
+
+/root/repo/target/debug/deps/libtable1_groups-86400ec9cdd5ed93.rmeta: crates/bench/benches/table1_groups.rs
+
+crates/bench/benches/table1_groups.rs:

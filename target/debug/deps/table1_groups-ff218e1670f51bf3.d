@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_groups-ff218e1670f51bf3.d: crates/bench/benches/table1_groups.rs
+
+/root/repo/target/debug/deps/table1_groups-ff218e1670f51bf3: crates/bench/benches/table1_groups.rs
+
+crates/bench/benches/table1_groups.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/equivalent_rewrite-805a08181f1a66f1.d: examples/equivalent_rewrite.rs
+
+/root/repo/target/debug/examples/equivalent_rewrite-805a08181f1a66f1: examples/equivalent_rewrite.rs
+
+examples/equivalent_rewrite.rs:

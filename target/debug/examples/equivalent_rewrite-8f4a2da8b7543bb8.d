@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/equivalent_rewrite-8f4a2da8b7543bb8.d: examples/equivalent_rewrite.rs
+
+/root/repo/target/debug/examples/libequivalent_rewrite-8f4a2da8b7543bb8.rmeta: examples/equivalent_rewrite.rs
+
+examples/equivalent_rewrite.rs:

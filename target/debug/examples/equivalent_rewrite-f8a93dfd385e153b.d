@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/equivalent_rewrite-f8a93dfd385e153b.d: examples/equivalent_rewrite.rs
+
+/root/repo/target/debug/examples/equivalent_rewrite-f8a93dfd385e153b: examples/equivalent_rewrite.rs
+
+examples/equivalent_rewrite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-00d2b31402899e2a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-00d2b31402899e2a.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0c37960beba8e436.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0c37960beba8e436: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bc99afcc43c3c5e1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bc99afcc43c3c5e1: examples/quickstart.rs
+
+examples/quickstart.rs:

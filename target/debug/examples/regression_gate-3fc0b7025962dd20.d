@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regression_gate-3fc0b7025962dd20.d: examples/regression_gate.rs
+
+/root/repo/target/debug/examples/regression_gate-3fc0b7025962dd20: examples/regression_gate.rs
+
+examples/regression_gate.rs:

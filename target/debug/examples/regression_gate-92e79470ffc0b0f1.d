@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regression_gate-92e79470ffc0b0f1.d: examples/regression_gate.rs
+
+/root/repo/target/debug/examples/libregression_gate-92e79470ffc0b0f1.rmeta: examples/regression_gate.rs
+
+examples/regression_gate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/regression_gate-c87b66bc9b144cdc.d: examples/regression_gate.rs
+
+/root/repo/target/debug/examples/regression_gate-c87b66bc9b144cdc: examples/regression_gate.rs
+
+examples/regression_gate.rs:

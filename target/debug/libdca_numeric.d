@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdca_numeric.rlib: /root/repo/crates/numeric/src/bigint.rs /root/repo/crates/numeric/src/lib.rs /root/repo/crates/numeric/src/rational.rs

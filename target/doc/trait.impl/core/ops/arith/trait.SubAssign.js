@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dca_numeric",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a> for <a class=\"struct\" href=\"dca_numeric/struct.Rational.html\" title=\"struct dca_numeric::Rational\">Rational</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a>&lt;&amp;<a class=\"struct\" href=\"dca_numeric/struct.BigInt.html\" title=\"struct dca_numeric::BigInt\">BigInt</a>&gt; for <a class=\"struct\" href=\"dca_numeric/struct.BigInt.html\" title=\"struct dca_numeric::BigInt\">BigInt</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a>&lt;&amp;<a class=\"struct\" href=\"dca_numeric/struct.Rational.html\" title=\"struct dca_numeric::Rational\">Rational</a>&gt; for <a class=\"struct\" href=\"dca_numeric/struct.Rational.html\" title=\"struct dca_numeric::Rational\">Rational</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1109]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dca-6c7787aab4caadc3.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/dca-6c7787aab4caadc3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

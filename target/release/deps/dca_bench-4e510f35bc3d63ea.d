@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dca_bench-4e510f35bc3d63ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dca_bench-4e510f35bc3d63ea: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dca_bench-e13b88b390b1f8ec.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdca_bench-e13b88b390b1f8ec.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdca_bench-e13b88b390b1f8ec.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

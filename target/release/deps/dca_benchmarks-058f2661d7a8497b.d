@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dca_benchmarks-058f2661d7a8497b.d: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/release/deps/libdca_benchmarks-058f2661d7a8497b.rlib: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+/root/repo/target/release/deps/libdca_benchmarks-058f2661d7a8497b.rmeta: crates/benchmarks/src/lib.rs crates/benchmarks/src/suite.rs
+
+crates/benchmarks/src/lib.rs:
+crates/benchmarks/src/suite.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dca_core-05a93fea04868bc3.d: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libdca_core-05a93fea04868bc3.rlib: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libdca_core-05a93fea04868bc3.rmeta: crates/core/src/lib.rs crates/core/src/batch.rs crates/core/src/constraints.rs crates/core/src/escalate.rs crates/core/src/options.rs crates/core/src/potential.rs crates/core/src/program.rs crates/core/src/solver.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/batch.rs:
+crates/core/src/constraints.rs:
+crates/core/src/escalate.rs:
+crates/core/src/options.rs:
+crates/core/src/potential.rs:
+crates/core/src/program.rs:
+crates/core/src/solver.rs:
+crates/core/src/verify.rs:

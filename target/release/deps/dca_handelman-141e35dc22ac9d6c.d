@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dca_handelman-141e35dc22ac9d6c.d: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/release/deps/libdca_handelman-141e35dc22ac9d6c.rlib: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+/root/repo/target/release/deps/libdca_handelman-141e35dc22ac9d6c.rmeta: crates/handelman/src/lib.rs crates/handelman/src/encode.rs crates/handelman/src/factory.rs
+
+crates/handelman/src/lib.rs:
+crates/handelman/src/encode.rs:
+crates/handelman/src/factory.rs:

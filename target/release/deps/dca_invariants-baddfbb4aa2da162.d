@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dca_invariants-baddfbb4aa2da162.d: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/release/deps/libdca_invariants-baddfbb4aa2da162.rlib: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+/root/repo/target/release/deps/libdca_invariants-baddfbb4aa2da162.rmeta: crates/invariants/src/lib.rs crates/invariants/src/analysis.rs crates/invariants/src/polyhedron.rs
+
+crates/invariants/src/lib.rs:
+crates/invariants/src/analysis.rs:
+crates/invariants/src/polyhedron.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dca_ir-32e0f0fc8fc6b7d4.d: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+/root/repo/target/release/deps/libdca_ir-32e0f0fc8fc6b7d4.rlib: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+/root/repo/target/release/deps/libdca_ir-32e0f0fc8fc6b7d4.rmeta: crates/ir/src/lib.rs crates/ir/src/explore.rs crates/ir/src/interp.rs crates/ir/src/rng.rs crates/ir/src/state.rs crates/ir/src/system.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/explore.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/rng.rs:
+crates/ir/src/state.rs:
+crates/ir/src/system.rs:

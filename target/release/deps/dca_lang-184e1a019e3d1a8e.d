@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dca_lang-184e1a019e3d1a8e.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+/root/repo/target/release/deps/libdca_lang-184e1a019e3d1a8e.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+/root/repo/target/release/deps/libdca_lang-184e1a019e3d1a8e.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/parser.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/parser.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dca_lp-09cf4463280b4aec.d: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libdca_lp-09cf4463280b4aec.rlib: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libdca_lp-09cf4463280b4aec.rmeta: crates/lp/src/lib.rs crates/lp/src/problem.rs crates/lp/src/scalar.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/problem.rs:
+crates/lp/src/scalar.rs:
+crates/lp/src/simplex.rs:

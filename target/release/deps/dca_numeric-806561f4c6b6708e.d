@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dca_numeric-806561f4c6b6708e.d: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/release/deps/libdca_numeric-806561f4c6b6708e.rlib: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+/root/repo/target/release/deps/libdca_numeric-806561f4c6b6708e.rmeta: crates/numeric/src/lib.rs crates/numeric/src/bigint.rs crates/numeric/src/rational.rs
+
+crates/numeric/src/lib.rs:
+crates/numeric/src/bigint.rs:
+crates/numeric/src/rational.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dca_poly-bb77d2405a1a2994.d: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/release/deps/libdca_poly-bb77d2405a1a2994.rlib: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+/root/repo/target/release/deps/libdca_poly-bb77d2405a1a2994.rmeta: crates/poly/src/lib.rs crates/poly/src/linexpr.rs crates/poly/src/monomial.rs crates/poly/src/polynomial.rs crates/poly/src/template.rs crates/poly/src/vars.rs
+
+crates/poly/src/lib.rs:
+crates/poly/src/linexpr.rs:
+crates/poly/src/monomial.rs:
+crates/poly/src/polynomial.rs:
+crates/poly/src/template.rs:
+crates/poly/src/vars.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-075e78f2edb5fc27.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-075e78f2edb5fc27: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

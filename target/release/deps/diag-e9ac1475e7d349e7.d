@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-e9ac1475e7d349e7.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-e9ac1475e7d349e7: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/diffcost-d26f773bf9ecbbc6.d: src/lib.rs
+
+/root/repo/target/release/deps/libdiffcost-d26f773bf9ecbbc6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdiffcost-d26f773bf9ecbbc6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-535de25b999d3c83.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-535de25b999d3c83: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f9acf081f9ad8b7e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f9acf081f9ad8b7e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_groups-a3fac777bc8c041b.d: crates/bench/benches/table1_groups.rs
+
+/root/repo/target/release/deps/table1_groups-a3fac777bc8c041b: crates/bench/benches/table1_groups.rs
+
+crates/bench/benches/table1_groups.rs:
