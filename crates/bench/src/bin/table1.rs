@@ -4,19 +4,24 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dca-bench --bin table1 [--jobs N] [--escalate] [--timeout SECS] [name ...]
+//! cargo run --release -p dca-bench --bin table1 \
+//!     [--jobs N] [--escalate] [--timeout SECS] [--invariant-tier T] [--json [PATH]] [name ...]
 //! ```
 //!
 //! With no name filters every benchmark (including the running example) is analyzed.
 //! `--jobs N` sets the worker-thread count (default: one per CPU); `--escalate` ignores
-//! the per-benchmark paper degrees and lets the engine discover the degree (1 → 2 → 3);
-//! `--timeout SECS` bounds each solve attempt so pathological LPs report `x` instead of
-//! stalling the table.
+//! the per-benchmark paper degrees and lets the escalation ladder discover the rung
+//! (invariant tiers first, then degrees 1 → 2 → 3); `--invariant-tier T` analyzes at
+//! invariant tier `T` (0 = baseline, 1 = hull, 2 = relational); `--timeout SECS` bounds
+//! each solve attempt so pathological LPs report `x` instead of stalling the table;
+//! `--json [PATH]` additionally writes the machine-readable run record (default
+//! `BENCH_table1.json`) so the performance trajectory is tracked across PRs.
 
 use std::process::exit;
 
-use dca_bench::{format_table, run_suite_filtered};
+use dca_bench::{format_json, format_table, run_suite_filtered};
 use dca_benchmarks::SuiteConfig;
+use dca_core::InvariantTier;
 
 /// Parses the value following `flag`, exiting with a clear message when the flag is
 /// present but malformed or missing its value (silently falling back to a default
@@ -42,31 +47,68 @@ fn main() {
     let escalate = args.iter().any(|a| a == "--escalate");
     let time_budget =
         parse_flag::<u64>(&args, "--timeout").map(std::time::Duration::from_secs);
+    let invariant_tier = match parse_flag::<u32>(&args, "--invariant-tier") {
+        None => InvariantTier::Baseline,
+        Some(index) => InvariantTier::from_index(index).unwrap_or_else(|| {
+            eprintln!("error: invalid --invariant-tier {index} (expected 0, 1 or 2)");
+            exit(2);
+        }),
+    };
+    // `--json` takes an optional path, consumed only when the next argument ends in
+    // `.json` (benchmark-name filters never do, so the grammar stays unambiguous).
+    let json_takes_value = |pos: usize| {
+        args.get(pos + 1).map_or(false, |next| next.ends_with(".json"))
+    };
+    let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|pos| {
+        if json_takes_value(pos) {
+            args[pos + 1].clone()
+        } else {
+            "BENCH_table1.json".to_string()
+        }
+    });
     let filters: Vec<String> = {
         let mut skip_next = false;
         args.iter()
-            .filter(|a| {
+            .enumerate()
+            .filter(|(pos, a)| {
                 if skip_next {
                     skip_next = false;
                     return false;
                 }
-                if a.as_str() == "--jobs" || a.as_str() == "--timeout" {
+                if ["--jobs", "--timeout", "--invariant-tier"].contains(&a.as_str()) {
                     skip_next = true;
+                    return false;
+                }
+                if a.as_str() == "--json" {
+                    skip_next = json_takes_value(*pos);
                     return false;
                 }
                 !a.starts_with("--")
             })
-            .cloned()
+            .map(|(_, a)| a.clone())
             .collect()
     };
 
-    let run = run_suite_filtered(&SuiteConfig { jobs, escalate, time_budget }, &filters);
+    let run = run_suite_filtered(
+        &SuiteConfig { jobs, escalate, time_budget, invariant_tier },
+        &filters,
+    );
+    if run.rows.is_empty() && !filters.is_empty() {
+        // A silently empty run is almost always a mistyped filter (or a `--json` path
+        // that does not end in `.json` and fell through to the filters).
+        eprintln!(
+            "error: no benchmark matches the filter(s) {filters:?}; run without filters \
+             to see all names"
+        );
+        exit(2);
+    }
 
     println!(
-        "\nTable 1: tightness of differential thresholds ({} benchmarks, {} worker threads{})\n",
+        "\nTable 1: tightness of differential thresholds ({} benchmarks, {} worker threads{}, tier {})\n",
         run.rows.len(),
         run.jobs,
-        if escalate { ", degree escalation" } else { "" }
+        if escalate { ", escalation ladder" } else { "" },
+        invariant_tier,
     );
     println!("{}", format_table(&run.rows));
     let tight = run.rows.iter().filter(|r| r.is_tight()).count();
@@ -77,4 +119,13 @@ fn main() {
         run.cpu_time.as_secs_f64(),
         run.cpu_time.as_secs_f64() / run.wall_clock.as_secs_f64().max(1e-9),
     );
+    if let Some(path) = json_path {
+        match std::fs::write(&path, format_json(&run)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(error) => {
+                eprintln!("error: cannot write {path}: {error}");
+                exit(1);
+            }
+        }
+    }
 }

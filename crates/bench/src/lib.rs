@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use dca_benchmarks::{Benchmark, SuiteConfig};
 use dca_core::batch::{BatchReport, PairOutcome};
-use dca_core::DiffCostSolver;
+use dca_core::{DiffCostSolver, InvariantTier};
 
 /// One reproduced row of Table 1.
 #[derive(Debug, Clone)]
@@ -24,6 +24,8 @@ pub struct TableRow {
     pub computed_int: Option<i64>,
     /// Template degree that produced the result (the chosen degree under escalation).
     pub degree: u32,
+    /// Invariant tier that produced the result (the chosen tier under escalation).
+    pub tier: InvariantTier,
     /// Wall-clock time of the full pipeline (parsing, invariants, LP) in seconds.
     pub seconds: f64,
     /// Size of the synthesized LP (variables, constraints).
@@ -47,6 +49,7 @@ impl TableRow {
             computed: result.map(|r| r.threshold),
             computed_int: result.map(|r| r.threshold_int()),
             degree: outcome.degree,
+            tier: outcome.tier,
             seconds: outcome.duration.as_secs_f64(),
             lp_size: outcome
                 .stats()
@@ -61,7 +64,8 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
     let start = Instant::now();
     let old = benchmark.old_program();
     let new = benchmark.new_program();
-    let solver = DiffCostSolver::new(benchmark.options());
+    let options = benchmark.options();
+    let solver = DiffCostSolver::new(options);
     let outcome = solver.solve(&new, &old);
     let seconds = start.elapsed().as_secs_f64();
     match outcome {
@@ -73,6 +77,7 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             computed: Some(result.threshold),
             computed_int: Some(result.threshold_int()),
             degree: benchmark.degree,
+            tier: options.invariant_tier,
             seconds,
             lp_size: (result.stats.lp_variables, result.stats.lp_constraints),
         },
@@ -84,6 +89,7 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             computed: None,
             computed_int: None,
             degree: benchmark.degree,
+            tier: options.invariant_tier,
             seconds,
             lp_size: (0, 0),
         },
@@ -141,10 +147,10 @@ pub fn run_suite_filtered(config: &SuiteConfig, filters: &[String]) -> SuiteRun 
 pub fn format_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "benchmark            | tight    | paper    | computed  | int     | d | tight? | time (s)\n",
+        "benchmark            | tight    | paper    | computed  | int     | d | t | tight? | time (s)\n",
     );
     out.push_str(
-        "---------------------+----------+----------+-----------+---------+---+--------+---------\n",
+        "---------------------+----------+----------+-----------+---------+---+---+--------+---------\n",
     );
     for row in rows {
         let paper = row
@@ -160,18 +166,81 @@ pub fn format_table(rows: &[TableRow]) -> String {
             .map(|v| v.to_string())
             .unwrap_or_else(|| "x".to_string());
         out.push_str(&format!(
-            "{:<21}| {:<9}| {:<9}| {:<10}| {:<8}| {} | {:<7}| {:.2}\n",
+            "{:<21}| {:<9}| {:<9}| {:<10}| {:<8}| {} | {} | {:<7}| {:.2}\n",
             row.name,
             row.tight,
             paper,
             computed,
             computed_int,
             row.degree,
+            row.tier.index(),
             if row.is_tight() { "yes" } else { "no" },
             row.seconds
         ));
     }
     out
+}
+
+/// Renders a suite run as a machine-readable JSON document (no external dependencies,
+/// so the encoder is hand-rolled; the schema is stable for cross-PR tracking).
+///
+/// Top level: `{"wall_clock_s", "cpu_time_s", "jobs", "tight", "total", "rows": [...]}`;
+/// each row carries the benchmark name, the documented tight threshold, the computed
+/// threshold (`null` on failure), the degree/tier that produced it, its status
+/// (`"tight" | "loose" | "failed"`) and the wall time in seconds.
+pub fn format_json(run: &SuiteRun) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn opt_f64(v: Option<f64>) -> String {
+        v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "null".to_string())
+    }
+    fn opt_i64(v: Option<i64>) -> String {
+        v.map(|v| v.to_string()).unwrap_or_else(|| "null".to_string())
+    }
+    let rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|row| {
+            let status = if row.is_tight() {
+                "tight"
+            } else if row.computed.is_some() {
+                "loose"
+            } else {
+                "failed"
+            };
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"group\": \"{}\", \"tight\": {}, ",
+                    "\"paper\": {}, \"computed\": {}, \"computed_int\": {}, ",
+                    "\"degree\": {}, \"tier\": {}, \"status\": \"{}\", ",
+                    "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}}}"
+                ),
+                escape(&row.name),
+                escape(&row.group),
+                row.tight,
+                opt_f64(row.paper_computed),
+                opt_f64(row.computed),
+                opt_i64(row.computed_int),
+                row.degree,
+                row.tier.index(),
+                status,
+                row.seconds,
+                row.lp_size.0,
+                row.lp_size.1,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"wall_clock_s\": {:.2},\n  \"cpu_time_s\": {:.2},\n  \"jobs\": {},\n  \
+         \"tight\": {},\n  \"total\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        run.wall_clock.as_secs_f64(),
+        run.cpu_time.as_secs_f64(),
+        run.jobs,
+        run.rows.iter().filter(|r| r.is_tight()).count(),
+        run.rows.len(),
+        rows.join(",\n"),
+    )
 }
 
 #[cfg(test)]
@@ -188,11 +257,12 @@ mod tests {
             computed: Some(100.0),
             computed_int: Some(100),
             degree: 2,
+            tier: InvariantTier::Baseline,
             seconds: 1.5,
             lp_size: (10, 20),
         };
         assert!(row.is_tight());
-        let table = format_table(&[row]);
+        let table = format_table(&[row.clone()]);
         assert!(table.contains("Example"));
         assert!(table.contains("yes"));
         let failed = TableRow {
@@ -203,11 +273,26 @@ mod tests {
             computed: None,
             computed_int: None,
             degree: 3,
+            tier: InvariantTier::Hull,
             seconds: 0.1,
             lp_size: (0, 0),
         };
         assert!(!failed.is_tight());
-        assert!(format_table(&[failed]).contains('x'));
+        assert!(format_table(&[failed.clone()]).contains('x'));
+
+        // The JSON rendering carries the same information, machine-readably.
+        let run = SuiteRun {
+            rows: vec![row, failed],
+            wall_clock: Duration::from_secs_f64(1.6),
+            cpu_time: Duration::from_secs_f64(1.6),
+            jobs: 1,
+        };
+        let json = format_json(&run);
+        assert!(json.contains("\"name\": \"Example\""));
+        assert!(json.contains("\"status\": \"tight\""));
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("\"tier\": 1"));
+        assert!(json.contains("\"tight\": 1,"));
     }
 
     #[test]

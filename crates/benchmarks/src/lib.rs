@@ -22,24 +22,36 @@ mod suite;
 pub use suite::{all_benchmarks, running_example, Benchmark, BenchmarkGroup};
 
 use dca_core::batch::{run_batch, BatchConfig, BatchJob, BatchReport};
-use dca_core::{AnalysisError, AnalysisOptions, AnalyzedProgram, DiffCostResult, DiffCostSolver};
+use dca_core::{
+    AnalysisError, AnalysisOptions, AnalyzedProgram, DiffCostResult, DiffCostSolver,
+    InvariantTier,
+};
 
 /// Configuration for [`run_suite_parallel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SuiteConfig {
     /// Number of worker threads (`0` = one per available CPU).
     pub jobs: usize,
-    /// `true` replaces the per-benchmark paper degrees by the automatic `1 → 2 → 3`
-    /// escalation loop, as if the right degree were unknown.
+    /// `true` replaces the per-benchmark paper degrees by the automatic escalation
+    /// ladder (invariant tiers first, then degrees `1 → 2 → 3`), as if neither the
+    /// right degree nor the required invariant strength were known.
     pub escalate: bool,
     /// Per-attempt wall-clock budget (`None` = unlimited); pairs whose LP exceeds it
     /// report [`dca_core::AnalysisError::Timeout`] instead of stalling the suite.
     pub time_budget: Option<std::time::Duration>,
+    /// Invariant precision tier every pair is analyzed at (the escalation ladder, when
+    /// enabled, starts climbing from this tier).
+    pub invariant_tier: InvariantTier,
 }
 
 impl Default for SuiteConfig {
     fn default() -> Self {
-        SuiteConfig { jobs: 0, escalate: false, time_budget: None }
+        SuiteConfig {
+            jobs: 0,
+            escalate: false,
+            time_budget: None,
+            invariant_tier: InvariantTier::Baseline,
+        }
     }
 }
 
@@ -89,6 +101,10 @@ pub fn run_suite_filtered(config: &SuiteConfig, filters: &[String]) -> BatchRepo
     let jobs: Vec<BatchJob> = suite_jobs()
         .into_iter()
         .filter(|job| matches_filters(&job.name, filters))
+        .map(|job| {
+            let options = job.options.with_invariant_tier(config.invariant_tier);
+            job.with_options(options)
+        })
         .collect();
     run_batch(&jobs, &batch_config(config))
 }
@@ -206,12 +222,12 @@ mod tests {
         }
     }
 
-    // The full running-example synthesis is exercised by `tests/running_example.rs` and
-    // the `table1` harness; it is ignored here both because it is the slowest pair of
-    // the suite and because it currently fails (see EXPERIMENTS.md, "Known
-    // limitations") — the assertion encodes the target behavior.
+    // The full running-example synthesis passes since the LP-degeneracy fixes (see
+    // EXPERIMENTS.md) and is exercised un-ignored by `tests/running_example.rs` and
+    // the `table1` harness; this duplicate stays under `--ignored` purely because the
+    // solve takes minutes and would double the cost of the default suite.
     #[test]
-    #[ignore = "known limitation: generated invariants too weak for the Fig. 1 pair (see EXPERIMENTS.md); also slow"]
+    #[ignore = "slow: duplicate of tests/running_example.rs::join_threshold_is_ten_thousand"]
     fn running_example_solves_to_ten_thousand() {
         let benchmark = running_example();
         let result = benchmark.solve().expect("the running example must be solvable");
@@ -252,18 +268,24 @@ mod tests {
     }
 
     // Mirrors the paper: `nested` is the one benchmark that needs `d = K = 3`, so the
-    // escalation loop must reject degrees 1 and 2 and settle on 3. Solving the cubic
-    // pair three times is far too slow for the default test run.
+    // escalation loop must reject degrees 1 and 2 and settle on 3. This remains an
+    // aspirational red test — the degree-3 LP currently exceeds any practical budget
+    // (see EXPERIMENTS.md, "Known limitations") — so it stays `#[ignore]`d and the
+    // CI step running `--ignored` is non-blocking. Tier escalation is capped and a
+    // per-attempt budget is set so the test fails in bounded time instead of
+    // stalling CI for hours.
     #[test]
-    #[ignore = "slow: escalated synthesis on the cubic `nested` pair (run with --ignored)"]
+    #[ignore = "aspirational: the degree-3 `nested` LP exceeds the time budget (see EXPERIMENTS.md)"]
     fn escalation_discovers_degree_three_for_nested() {
         use dca_core::escalate::{solve_with_escalation, EscalationPolicy};
+        use dca_core::InvariantTier;
         let benchmark = all_benchmarks().into_iter().find(|b| b.name == "nested").unwrap();
         let escalated = solve_with_escalation(
             &benchmark.new_program(),
             &benchmark.old_program(),
-            &AnalysisOptions::default(),
-            EscalationPolicy::default(),
+            &AnalysisOptions::default()
+                .with_time_budget(std::time::Duration::from_secs(240)),
+            EscalationPolicy::default().with_max_tier(InvariantTier::Baseline),
         )
         .expect("degree 3 must witness the nested pair");
         assert_eq!(escalated.degree, 3);

@@ -5,26 +5,29 @@
 //! ```text
 //! dca diff <old.dca> <new.dca> [options]   compute a differential threshold
 //! dca bound <program.dca> [options]        single-program bounds with precision (Sec. 7)
-//! dca show <program.dca>                   print the lowered transition system
-//! dca suite [--jobs N] [--escalate] [--timeout SECS]
+//! dca show <program.dca> [--invariant-tier T]
+//!                                          print the lowered transition system
+//! dca suite [--jobs N] [--escalate] [--timeout SECS] [--invariant-tier T]
 //!                                          run the 19 Table-1 pairs + running example
 //!
 //! options for diff/bound:
 //!   --degree D          template degree d = K (default 2)
 //!   --max-products K    Handelman product bound K, overriding K = D
 //!   --backend f64|exact LP backend (default f64)
-//!   --escalate          discover the degree automatically (1 -> 2 -> 3)
+//!   --invariant-tier T  invariant precision: 0 baseline, 1 hull, 2 relational (default 0)
+//!   --escalate          discover degree and invariant tier automatically
+//!                       (tiers climb first, then degrees 1 -> 2 -> 3)
 //! ```
 
 use std::process::ExitCode;
 
 use dca_benchmarks::SuiteConfig;
 use dca_core::escalate::{solve_with_escalation, EscalationPolicy};
-use dca_core::{AnalysisOptions, AnalyzedProgram, DiffCostSolver, LpBackend};
+use dca_core::{AnalysisOptions, AnalyzedProgram, DiffCostSolver, InvariantTier, LpBackend};
 
-fn read_program(path: &str) -> Result<AnalyzedProgram, String> {
+fn read_program(path: &str, tier: InvariantTier) -> Result<AnalyzedProgram, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    AnalyzedProgram::from_source(&source).map_err(|e| format!("{path}: {e}"))
+    AnalyzedProgram::from_source_at_tier(&source, tier).map_err(|e| format!("{path}: {e}"))
 }
 
 /// The value following `flag`: `Ok(None)` when the flag is absent, an error when it is
@@ -44,8 +47,21 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-/// Builds [`AnalysisOptions`] from the `--degree`, `--max-products` and `--backend`
-/// flags (defaults: `d = K = 2`, `f64`).
+/// Parses `--invariant-tier` (0 = baseline, 1 = hull, 2 = relational; default 0).
+fn parse_invariant_tier(args: &[String]) -> Result<InvariantTier, String> {
+    match flag_value(args, "--invariant-tier")? {
+        None => Ok(InvariantTier::Baseline),
+        Some(v) => {
+            let index: u32 =
+                v.parse().map_err(|_| format!("invalid --invariant-tier {v}"))?;
+            InvariantTier::from_index(index)
+                .ok_or_else(|| format!("invalid --invariant-tier {v} (expected 0, 1 or 2)"))
+        }
+    }
+}
+
+/// Builds [`AnalysisOptions`] from the `--degree`, `--max-products`, `--backend` and
+/// `--invariant-tier` flags (defaults: `d = K = 2`, `f64`, baseline invariants).
 fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
     let degree: u32 = match flag_value(args, "--degree")? {
         Some(v) => v.parse().map_err(|_| format!("invalid --degree {v}"))?,
@@ -64,6 +80,7 @@ fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
         degree,
         max_products,
         backend,
+        invariant_tier: parse_invariant_tier(args)?,
         ..AnalysisOptions::default()
     })
 }
@@ -71,8 +88,8 @@ fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: dca <diff old new | bound program | show program | suite> \
-                 [--degree D] [--max-products K] [--backend f64|exact] [--escalate] \
-                 [--jobs N] [--timeout SECS]";
+                 [--degree D] [--max-products K] [--backend f64|exact] \
+                 [--invariant-tier 0|1|2] [--escalate] [--jobs N] [--timeout SECS]";
     let Some(command) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -80,7 +97,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "diff" if args.len() >= 3 => run_diff(&args[1], &args[2], &args),
         "bound" if args.len() >= 2 => run_bound(&args[1], &args),
-        "show" if args.len() >= 2 => run_show(&args[1]),
+        "show" if args.len() >= 2 => run_show(&args[1], &args),
         "suite" => run_suite_command(&args),
         _ => Err(usage.to_string()),
     };
@@ -97,48 +114,54 @@ fn solve_pair(
     new: &AnalyzedProgram,
     old: &AnalyzedProgram,
     args: &[String],
-) -> Result<(dca_core::DiffCostResult, u32), String> {
+) -> Result<(dca_core::DiffCostResult, u32, InvariantTier), String> {
     let options = parse_options(args)?;
     if has_flag(args, "--escalate") {
         let escalated = solve_with_escalation(new, old, &options, EscalationPolicy::default())
             .map_err(|failure| failure.error.to_string())?;
-        Ok((escalated.result, escalated.degree))
+        Ok((escalated.result, escalated.degree, escalated.tier))
     } else {
         let result = DiffCostSolver::new(options)
             .solve(new, old)
             .map_err(|e| e.to_string())?;
-        Ok((result, options.degree))
+        Ok((result, options.degree, options.invariant_tier))
     }
 }
 
 fn run_diff(old_path: &str, new_path: &str, args: &[String]) -> Result<(), String> {
-    let old = read_program(old_path)?;
-    let new = read_program(new_path)?;
-    let (result, degree) = solve_pair(&new, &old, args)?;
+    let tier = parse_invariant_tier(args)?;
+    let old = read_program(old_path, tier)?;
+    let new = read_program(new_path, tier)?;
+    let (result, degree, tier) = solve_pair(&new, &old, args)?;
     println!("differential threshold: {:.4}", result.threshold);
     println!("integer threshold:      {}", result.threshold_int());
     println!("template degree:        {degree}");
-    println!("LP: {} variables, {} constraints, {:?}",
-        result.stats.lp_variables, result.stats.lp_constraints, result.stats.duration);
+    println!("invariant tier:         {tier}");
+    println!("LP: {} variables, {} constraints ({} before dedup), {:?}",
+        result.stats.lp_variables, result.stats.lp_constraints,
+        result.stats.lp_constraints_raw, result.stats.duration);
     println!("\npotential function (new version):\n{}", result.potential_new.render(&new.ts));
     println!("anti-potential function (old version):\n{}", result.anti_potential_old.render(&old.ts));
     Ok(())
 }
 
 fn run_bound(path: &str, args: &[String]) -> Result<(), String> {
-    let program = read_program(path)?;
-    let (result, degree) = solve_pair(&program, &program, args)?;
+    let tier = parse_invariant_tier(args)?;
+    let program = read_program(path, tier)?;
+    let (result, degree, tier) = solve_pair(&program, &program, args)?;
     println!("precision gap: {:.4}", result.threshold);
     println!("template degree: {degree}");
+    println!("invariant tier: {tier}");
     println!("\nupper cost bound:\n{}", result.potential_new.render(&program.ts));
     println!("lower cost bound:\n{}", result.anti_potential_old.render(&program.ts));
     Ok(())
 }
 
-fn run_show(path: &str) -> Result<(), String> {
-    let program = read_program(path)?;
+fn run_show(path: &str, args: &[String]) -> Result<(), String> {
+    let tier = parse_invariant_tier(args)?;
+    let program = read_program(path, tier)?;
     println!("{}", program.ts.render());
-    println!("invariants:\n{}", program.invariants.render(&program.ts));
+    println!("invariants ({tier}):\n{}", program.invariants.render(&program.ts));
     Ok(())
 }
 
@@ -154,13 +177,18 @@ fn run_suite_command(args: &[String]) -> Result<(), String> {
         )),
         None => None,
     };
-    let report =
-        dca_benchmarks::run_suite_parallel(&SuiteConfig { jobs, escalate, time_budget });
+    let invariant_tier = parse_invariant_tier(args)?;
+    let report = dca_benchmarks::run_suite_parallel(&SuiteConfig {
+        jobs,
+        escalate,
+        time_budget,
+        invariant_tier,
+    });
     println!(
-        "{:<21} | {:>10} | {} | {:>8}",
-        "benchmark", "threshold", "d", "time (s)"
+        "{:<21} | {:>10} | {} | {} | {:>8}",
+        "benchmark", "threshold", "d", "t", "time (s)"
     );
-    println!("{:-<21}-+-{:->10}-+---+-{:->8}", "", "", "");
+    println!("{:-<21}-+-{:->10}-+---+---+-{:->8}", "", "", "");
     for outcome in &report.outcomes {
         let threshold = match &outcome.result {
             Ok(result) => format!("{}", result.threshold_int()),
@@ -171,10 +199,11 @@ fn run_suite_command(args: &[String]) -> Result<(), String> {
             }
         };
         println!(
-            "{:<21} | {:>10} | {} | {:>8.2}",
+            "{:<21} | {:>10} | {} | {} | {:>8.2}",
             outcome.name,
             threshold,
             outcome.degree,
+            outcome.tier.index(),
             outcome.duration.as_secs_f64()
         );
     }

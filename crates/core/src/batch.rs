@@ -142,8 +142,10 @@ pub struct PairOutcome {
     /// The degree that produced `result`: the chosen degree under escalation, the
     /// job's fixed degree otherwise (for failures, the last degree tried).
     pub degree: u32,
-    /// The escalation trail (one entry per tried degree); a single entry when the
-    /// batch ran without escalation.
+    /// The invariant tier that produced `result` (for failures, the last tier tried).
+    pub tier: dca_invariants::InvariantTier,
+    /// The escalation trail (one entry per tried `(degree, tier)` rung); a single
+    /// entry when the batch ran without escalation.
     pub attempts: Vec<EscalationAttempt>,
     /// Wall-clock time this pair spent in its worker (compile + all solve attempts).
     pub duration: Duration,
@@ -235,8 +237,14 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
     }
     let compiled = match &job.input {
         PairInput::Analyzed { new, old } => Ok((new.clone(), old.clone())),
-        PairInput::Source { new, old } => AnalyzedProgram::from_source(new)
-            .and_then(|n| AnalyzedProgram::from_source(old).map(|o| (n, o))),
+        // Compile directly at the configured tier; compiling at the baseline would
+        // make the solver throw the analysis away and redo it at the right tier.
+        PairInput::Source { new, old } => {
+            AnalyzedProgram::from_source_at_tier(new, options.invariant_tier).and_then(|n| {
+                AnalyzedProgram::from_source_at_tier(old, options.invariant_tier)
+                    .map(|o| (n, o))
+            })
+        }
     };
     let (new, old) = match compiled {
         Ok(pair) => pair,
@@ -245,6 +253,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
                 name: job.name.clone(),
                 result: Err(AnalysisError::InvalidProgram(message)),
                 degree: job.options.degree,
+                tier: job.options.invariant_tier,
                 attempts: Vec::new(),
                 duration: start.elapsed(),
             }
@@ -257,6 +266,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
                 name: job.name.clone(),
                 result: Ok(escalated.result),
                 degree: escalated.degree,
+                tier: escalated.tier,
                 attempts: escalated.attempts,
                 duration: start.elapsed(),
             },
@@ -264,6 +274,11 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
                 name: job.name.clone(),
                 result: Err(failure.error),
                 degree: failure.attempts.last().map(|a| a.degree).unwrap_or(policy.max_degree),
+                tier: failure
+                    .attempts
+                    .last()
+                    .map(|a| a.tier)
+                    .unwrap_or(options.invariant_tier),
                 attempts: failure.attempts,
                 duration: start.elapsed(),
             },
@@ -273,6 +288,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
             let result = DiffCostSolver::new(options).solve(&new, &old);
             let attempt = EscalationAttempt {
                 degree: job.options.degree,
+                tier: options.invariant_tier,
                 error: result.as_ref().err().cloned(),
                 duration: attempt_start.elapsed(),
             };
@@ -280,6 +296,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
                 name: job.name.clone(),
                 result,
                 degree: job.options.degree,
+                tier: options.invariant_tier,
                 attempts: vec![attempt],
                 duration: start.elapsed(),
             }
@@ -351,9 +368,10 @@ mod tests {
     }
 
     #[test]
-    fn escalating_batch_records_chosen_degrees() {
-        // Inner loop bounded by the outer counter: the difference is quadratic in the
-        // loop state, so degree 1 is infeasible and escalation must settle on 2.
+    fn escalating_batch_records_chosen_degrees_and_tiers() {
+        // Inner loop bounded by the outer counter: under baseline invariants degree 1
+        // is infeasible, and the ladder escalates the invariant tier (which rescues
+        // degree 1) before ever paying for a quadratic template.
         let triangular = r#"proc f(n) {
             assume(n >= 1 && n <= 20);
             i = 0;
@@ -371,7 +389,10 @@ mod tests {
         let report = run_batch(&jobs, &BatchConfig::with_jobs(2).escalating());
         assert_eq!(report.solved(), 2);
         assert_eq!(report.outcomes[0].degree, 1);
-        assert_eq!(report.outcomes[1].degree, 2);
-        assert_eq!(report.outcomes[1].attempts.len(), 2);
+        assert_eq!(report.outcomes[0].tier, dca_invariants::InvariantTier::Baseline);
+        assert_eq!(report.outcomes[1].degree, 1);
+        assert!(report.outcomes[1].tier > dca_invariants::InvariantTier::Baseline);
+        assert!(report.outcomes[1].attempts.len() >= 2);
+        assert!(report.outcomes[1].attempts[0].error.is_some());
     }
 }

@@ -1,24 +1,38 @@
-//! Automatic template-degree escalation.
+//! Automatic escalation of invariant precision and template degree.
 //!
 //! The paper fixes the template degree per benchmark (`d = K = 2` everywhere except
-//! `nested`, which needs `d = K = 3`). When the right degree is *not* known in advance,
-//! the natural strategy is to start small and escalate: a degree-`d` LP is much cheaper
-//! than a degree-`d+1` LP, and [`AnalysisError::NoThresholdFound`] is a definitive
-//! "no witness of this degree exists" answer, so retrying with a larger degree is both
-//! sound and complete up to the configured ceiling.
+//! `nested`, which needs `d = K = 3`) and feeds the solver invariants from external
+//! generators (Aspic/Sting). When neither the right degree nor the necessary invariant
+//! strength is known in advance, the natural strategy is to start small and escalate.
+//! [`AnalysisError::NoThresholdFound`] is a definitive "no witness of this degree
+//! exists *under these invariants*" answer, so two independent knobs can unblock it:
 //!
-//! [`solve_with_escalation`] implements that loop: try `d = K = start_degree`, and on
-//! `NoThresholdFound` escalate to `d + 1` until `max_degree`. Every attempt is recorded
-//! so callers (the batch engine, the CLI, `EXPERIMENTS.md` generation) can report which
-//! degree finally succeeded and how much the failed attempts cost.
+//! 1. **stronger invariants** (a higher [`InvariantTier`]) enlarge the `Prod_K(Aff)`
+//!    product pool the Handelman certificate draws from, and
+//! 2. **a higher template degree** enlarges the witness space itself.
+//!
+//! A tier bump re-runs the abstract interpreter (seconds), while a degree bump grows
+//! the LP multiplicatively (minutes on the nested pairs) — so the ladder climbs the
+//! *invariant tiers first* at each degree before paying for `d + 1`:
+//!
+//! ```text
+//! (d₀, t₀) → (d₀, t₁) → … → (d₀, tmax) → (d₀+1, t₀) → …
+//! ```
+//!
+//! Every attempt is recorded so callers (the batch engine, the CLI, `EXPERIMENTS.md`
+//! generation) can report which rung finally succeeded and how much the failed
+//! attempts cost.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+use dca_invariants::InvariantTier;
 
 use crate::options::AnalysisOptions;
 use crate::program::AnalyzedProgram;
 use crate::solver::{AnalysisError, DiffCostResult, DiffCostSolver};
 
-/// Controls the degree-escalation loop of [`solve_with_escalation`].
+/// Controls the escalation loop of [`solve_with_escalation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EscalationPolicy {
     /// First degree to try (`d = K = start_degree`).
@@ -26,35 +40,63 @@ pub struct EscalationPolicy {
     /// Largest degree to try before giving up. The paper's evaluation never needs more
     /// than 3.
     pub max_degree: u32,
+    /// Highest invariant tier to climb to at each degree before bumping the degree.
+    /// The climb starts at the tier of the base [`AnalysisOptions`]; a ceiling below
+    /// the starting tier disables tier escalation.
+    pub max_invariant_tier: InvariantTier,
 }
 
 impl Default for EscalationPolicy {
-    /// The policy covering the paper's whole evaluation: `1 → 2 → 3`.
+    /// The policy covering the paper's whole evaluation: degrees `1 → 2 → 3`, with the
+    /// full invariant-tier climb at each degree.
     fn default() -> Self {
-        EscalationPolicy { start_degree: 1, max_degree: 3 }
+        EscalationPolicy {
+            start_degree: 1,
+            max_degree: 3,
+            max_invariant_tier: InvariantTier::Relational,
+        }
     }
 }
 
 impl EscalationPolicy {
-    /// A policy that tries exactly one degree (no escalation).
+    /// A policy that tries exactly one degree (and no tier escalation).
     pub fn fixed(degree: u32) -> EscalationPolicy {
-        EscalationPolicy { start_degree: degree, max_degree: degree }
+        EscalationPolicy {
+            start_degree: degree,
+            max_degree: degree,
+            max_invariant_tier: InvariantTier::Baseline,
+        }
+    }
+
+    /// Caps the invariant-tier climb.
+    pub fn with_max_tier(mut self, tier: InvariantTier) -> EscalationPolicy {
+        self.max_invariant_tier = tier;
+        self
     }
 
     /// The degrees this policy will try, in order.
     pub fn degrees(&self) -> impl Iterator<Item = u32> {
         self.start_degree..=self.max_degree.max(self.start_degree)
     }
+
+    /// The invariant tiers this policy will try at each degree, in order, starting
+    /// from `base_tier`.
+    pub fn tiers(&self, base_tier: InvariantTier) -> impl Iterator<Item = InvariantTier> {
+        let top = self.max_invariant_tier.max(base_tier);
+        (base_tier.index()..=top.index()).filter_map(InvariantTier::from_index)
+    }
 }
 
-/// One attempted degree and how it went.
+/// One attempted `(degree, tier)` rung and how it went.
 #[derive(Debug, Clone)]
 pub struct EscalationAttempt {
     /// The degree `d = K` that was tried.
     pub degree: u32,
+    /// The invariant tier that was tried.
+    pub tier: InvariantTier,
     /// `None` if the attempt succeeded, otherwise the error it failed with.
     pub error: Option<AnalysisError>,
-    /// Wall-clock time of this attempt.
+    /// Wall-clock time of this attempt (including any invariant re-analysis).
     pub duration: Duration,
 }
 
@@ -65,6 +107,8 @@ pub struct EscalatedResult {
     pub result: DiffCostResult,
     /// The degree that succeeded.
     pub degree: u32,
+    /// The invariant tier that succeeded.
+    pub tier: InvariantTier,
     /// All attempts, in the order they were made (the last one succeeded).
     pub attempts: Vec<EscalationAttempt>,
 }
@@ -78,18 +122,24 @@ pub struct EscalationFailure {
     pub attempts: Vec<EscalationAttempt>,
 }
 
-/// Solves the DiffCost problem with automatic degree escalation.
+/// Solves the DiffCost problem with automatic invariant-tier and degree escalation.
 ///
-/// Starting from `policy.start_degree`, each attempt runs the full simultaneous
-/// synthesis with `d = K = degree` (all other fields of `base` — LP backend, template
-/// shape — are kept). On [`AnalysisError::NoThresholdFound`] the degree is bumped;
-/// any other error aborts immediately, because it does not mean "the degree was too
-/// small" (e.g. an unbounded LP will stay unbounded at higher degrees).
+/// Starting from `policy.start_degree` and the base options' invariant tier, each
+/// attempt runs the full simultaneous synthesis with `d = K = degree` at one invariant
+/// tier (all other fields of `base` — LP backend, template shape — are kept). On
+/// [`AnalysisError::NoThresholdFound`] the ladder first climbs the invariant tiers —
+/// re-running the abstract interpreter is far cheaper than a bigger LP — and only then
+/// bumps the degree (resetting to the base tier). Any other error aborts immediately,
+/// because it does not mean "the rung was too low" (e.g. an unbounded LP will stay
+/// unbounded at higher degrees).
+///
+/// Re-analyzed programs are cached per tier, so a tier's invariants are computed at
+/// most once across all degrees.
 ///
 /// # Errors
 ///
 /// Returns an [`EscalationFailure`] carrying the final error and the full attempt
-/// trail when every degree up to `policy.max_degree` fails.
+/// trail when every rung up to `(max_degree, max_invariant_tier)` fails.
 ///
 /// # Examples
 ///
@@ -111,8 +161,9 @@ pub struct EscalationFailure {
 ///     EscalationPolicy::default(),
 /// ).unwrap();
 /// assert_eq!(escalated.result.threshold_int(), 10);
-/// // The trail records one attempt per tried degree, ending with the chosen one.
+/// // The trail records one attempt per tried rung, ending with the chosen one.
 /// assert_eq!(escalated.attempts.last().unwrap().degree, escalated.degree);
+/// assert_eq!(escalated.attempts.last().unwrap().tier, escalated.tier);
 /// ```
 pub fn solve_with_escalation(
     new: &AnalyzedProgram,
@@ -122,26 +173,40 @@ pub fn solve_with_escalation(
 ) -> Result<EscalatedResult, EscalationFailure> {
     let mut attempts = Vec::new();
     let mut last_error = AnalysisError::NoThresholdFound;
-    for degree in policy.degrees() {
-        let options = AnalysisOptions { degree, max_products: degree, ..*base };
-        let start = Instant::now();
-        let outcome = DiffCostSolver::new(options).solve(new, old);
-        let duration = start.elapsed();
-        match outcome {
-            Ok(result) => {
-                attempts.push(EscalationAttempt { degree, error: None, duration });
-                return Ok(EscalatedResult { result, degree, attempts });
-            }
-            Err(error) => {
-                attempts.push(EscalationAttempt {
-                    degree,
-                    error: Some(error.clone()),
-                    duration,
-                });
-                let fatal = error != AnalysisError::NoThresholdFound;
-                last_error = error;
-                if fatal {
-                    break;
+    // Tier -> re-analyzed program pair, shared across degrees.
+    let mut tiered: BTreeMap<InvariantTier, (AnalyzedProgram, AnalyzedProgram)> =
+        BTreeMap::new();
+    'ladder: for degree in policy.degrees() {
+        for tier in policy.tiers(base.invariant_tier) {
+            let start = Instant::now();
+            let (new_t, old_t) = tiered
+                .entry(tier)
+                .or_insert_with(|| (new.at_tier(tier), old.at_tier(tier)));
+            let options = AnalysisOptions {
+                degree,
+                max_products: degree,
+                invariant_tier: tier,
+                ..*base
+            };
+            let outcome = DiffCostSolver::new(options).solve(new_t, old_t);
+            let duration = start.elapsed();
+            match outcome {
+                Ok(result) => {
+                    attempts.push(EscalationAttempt { degree, tier, error: None, duration });
+                    return Ok(EscalatedResult { result, degree, tier, attempts });
+                }
+                Err(error) => {
+                    attempts.push(EscalationAttempt {
+                        degree,
+                        tier,
+                        error: Some(error.clone()),
+                        duration,
+                    });
+                    let fatal = error != AnalysisError::NoThresholdFound;
+                    last_error = error;
+                    if fatal {
+                        break 'ladder;
+                    }
                 }
             }
         }
@@ -164,8 +229,26 @@ mod tests {
         let fixed: Vec<u32> = EscalationPolicy::fixed(2).degrees().collect();
         assert_eq!(fixed, vec![2]);
         // A max below the start still tries the start degree once.
-        let inverted = EscalationPolicy { start_degree: 3, max_degree: 1 };
+        let inverted =
+            EscalationPolicy { start_degree: 3, max_degree: 1, ..EscalationPolicy::default() };
         assert_eq!(inverted.degrees().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn policy_tier_sequences() {
+        let policy = EscalationPolicy::default();
+        let tiers: Vec<InvariantTier> = policy.tiers(InvariantTier::Baseline).collect();
+        assert_eq!(
+            tiers,
+            vec![InvariantTier::Baseline, InvariantTier::Hull, InvariantTier::Relational]
+        );
+        // Starting above the ceiling still tries the starting tier once.
+        let capped = policy.with_max_tier(InvariantTier::Baseline);
+        let tiers: Vec<InvariantTier> = capped.tiers(InvariantTier::Hull).collect();
+        assert_eq!(tiers, vec![InvariantTier::Hull]);
+        // A fixed policy tries exactly one rung.
+        let fixed = EscalationPolicy::fixed(2);
+        assert_eq!(fixed.tiers(InvariantTier::Baseline).count(), 1);
     }
 
     #[test]
@@ -215,16 +298,47 @@ mod tests {
             &new,
             &old,
             &AnalysisOptions::default(),
-            EscalationPolicy { start_degree: 1, max_degree: 1 },
+            EscalationPolicy {
+                start_degree: 1,
+                max_degree: 1,
+                max_invariant_tier: InvariantTier::Baseline,
+            },
         )
         .expect_err("degree 1 cannot witness a triangular difference");
         assert_eq!(failure.error, AnalysisError::NoThresholdFound);
         assert_eq!(failure.attempts.len(), 1);
         assert_eq!(failure.attempts[0].degree, 1);
+        assert_eq!(failure.attempts[0].tier, InvariantTier::Baseline);
     }
 
     #[test]
     fn escalation_stops_at_degree_two_for_triangular_pair() {
+        let old = analyzed(TRIANGULAR_OLD);
+        let new = analyzed(TRIANGULAR_NEW);
+        // Tier escalation is capped here: the triangular difference is quadratic, so no
+        // invariant strength rescues degree 1, and climbing the tiers first would only
+        // lengthen the trail this test pins down.
+        let escalated = solve_with_escalation(
+            &new,
+            &old,
+            &AnalysisOptions::default(),
+            EscalationPolicy::default().with_max_tier(InvariantTier::Baseline),
+        )
+        .expect("degree 2 must succeed");
+        assert_eq!(escalated.degree, 2);
+        assert_eq!(escalated.attempts.len(), 2);
+        assert!(escalated.attempts[0].error.is_some());
+        assert!(escalated.attempts[1].error.is_none());
+    }
+
+    /// The full ladder climbs tiers within a degree before bumping the degree — and the
+    /// climb pays off: the triangular pair has no degree-1 witness under the baseline
+    /// invariants (see `capped_policy_fails_fast_below_the_needed_degree`, and the
+    /// tier-capped ladder above needs degree 2), but the stronger tier-1 invariants
+    /// carry the bounds an *affine* witness needs, so the ladder settles on degree 1
+    /// without ever paying for the quadratic template.
+    #[test]
+    fn ladder_solves_triangular_at_degree_one_with_stronger_invariants() {
         let old = analyzed(TRIANGULAR_OLD);
         let new = analyzed(TRIANGULAR_NEW);
         let escalated = solve_with_escalation(
@@ -233,10 +347,17 @@ mod tests {
             &AnalysisOptions::default(),
             EscalationPolicy::default(),
         )
-        .expect("degree 2 must succeed");
-        assert_eq!(escalated.degree, 2);
-        assert_eq!(escalated.attempts.len(), 2);
-        assert!(escalated.attempts[0].error.is_some());
-        assert!(escalated.attempts[1].error.is_none());
+        .expect("the ladder must succeed");
+        let rungs: Vec<(u32, InvariantTier)> =
+            escalated.attempts.iter().map(|a| (a.degree, a.tier)).collect();
+        // The baseline rung fails, the tier-escalated degree-1 rung succeeds.
+        assert_eq!(rungs.first(), Some(&(1, InvariantTier::Baseline)), "{rungs:?}");
+        assert!(escalated.attempts.first().unwrap().error.is_some());
+        assert_eq!(escalated.degree, 1, "{rungs:?}");
+        assert!(escalated.tier > InvariantTier::Baseline, "{rungs:?}");
+        // The degree-1 threshold is sound (the true worst-case difference is 190),
+        // merely looser than the tight degree-2 one — the ladder trades precision for
+        // the much cheaper template.
+        assert!(escalated.result.threshold_int() >= 190);
     }
 }

@@ -65,6 +65,7 @@ pub use escalate::{
     solve_with_escalation, EscalatedResult, EscalationAttempt, EscalationFailure,
     EscalationPolicy,
 };
+pub use dca_invariants::InvariantTier;
 pub use options::{AnalysisOptions, LpBackend};
 pub use potential::PotentialFunction;
 pub use program::AnalyzedProgram;

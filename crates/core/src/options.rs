@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use dca_invariants::InvariantTier;
+
 /// Which LP backend to use for Step 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpBackend {
@@ -59,6 +61,11 @@ pub struct AnalysisOptions {
     /// polls a deadline and the solve fails with [`crate::AnalysisError::Timeout`]
     /// instead of stalling a batch run on a pathological instance.
     pub time_budget: Option<Duration>,
+    /// Precision tier of the invariant generator (see [`InvariantTier`]). Programs
+    /// analyzed at a different tier are re-analyzed by the solver before the LP is
+    /// assembled, so the option is honored regardless of how the
+    /// [`crate::AnalyzedProgram`] was produced.
+    pub invariant_tier: InvariantTier,
 }
 
 impl Default for AnalysisOptions {
@@ -69,6 +76,7 @@ impl Default for AnalysisOptions {
             include_cost_in_template: false,
             backend: LpBackend::F64,
             time_budget: None,
+            invariant_tier: InvariantTier::Baseline,
         }
     }
 }
@@ -114,6 +122,18 @@ impl AnalysisOptions {
     /// Sets the wall-clock budget for one solve.
     pub fn with_time_budget(mut self, budget: Duration) -> AnalysisOptions {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the invariant precision tier.
+    ///
+    /// ```
+    /// use dca_core::{AnalysisOptions, InvariantTier};
+    /// let options = AnalysisOptions::default().with_invariant_tier(InvariantTier::Hull);
+    /// assert_eq!(options.invariant_tier, InvariantTier::Hull);
+    /// ```
+    pub fn with_invariant_tier(mut self, tier: InvariantTier) -> AnalysisOptions {
+        self.invariant_tier = tier;
         self
     }
 }

@@ -1,36 +1,57 @@
 //! A program prepared for analysis: transition system plus invariants.
 
-use dca_invariants::{InvariantAnalysis, InvariantMap};
-use dca_ir::TransitionSystem;
+use dca_invariants::{InvariantAnalysis, InvariantMap, InvariantTier};
+use dca_ir::{LocId, TransitionSystem};
 use dca_lang::LoweredProgram;
+use dca_poly::LinExpr;
 
 /// A transition system bundled with the affine invariants the synthesis consumes.
 ///
 /// This corresponds to the input the paper's algorithm expects: the program model plus
 /// the invariants produced by an off-the-shelf generator (Aspic/Sting in the paper, the
 /// [`dca_invariants`] crate here), optionally strengthened by user annotations.
+///
+/// The program remembers which [`InvariantTier`] produced its invariants and the user
+/// annotations it was strengthened with, so the escalation ladder can *re-analyze* it
+/// at a higher tier (see [`AnalyzedProgram::at_tier`]) without losing the annotations.
 #[derive(Debug, Clone)]
 pub struct AnalyzedProgram {
     /// The transition system.
     pub ts: TransitionSystem,
     /// Affine invariants, one conjunction per location.
     pub invariants: InvariantMap,
+    /// The precision tier the invariants were generated at.
+    pub tier: InvariantTier,
+    /// `invariant(...)` source annotations, replayed on every re-analysis.
+    annotations: Vec<(LocId, Vec<LinExpr>)>,
 }
 
 impl AnalyzedProgram {
-    /// Runs invariant generation on a transition system.
+    /// Runs invariant generation on a transition system (at the baseline tier).
     pub fn from_ts(ts: TransitionSystem) -> AnalyzedProgram {
-        let invariants = InvariantAnalysis::default().analyze(&ts);
-        AnalyzedProgram { ts, invariants }
+        AnalyzedProgram::from_ts_at_tier(ts, InvariantTier::Baseline)
+    }
+
+    /// Runs invariant generation on a transition system at the given precision tier.
+    pub fn from_ts_at_tier(ts: TransitionSystem, tier: InvariantTier) -> AnalyzedProgram {
+        let invariants = InvariantAnalysis::at_tier(tier).analyze(&ts);
+        AnalyzedProgram { ts, invariants, tier, annotations: Vec::new() }
     }
 
     /// Runs invariant generation on a lowered program and conjoins its `invariant(...)`
     /// annotations (mirroring the manual strengthening of the paper's `*` benchmarks).
     pub fn from_lowered(lowered: &LoweredProgram) -> AnalyzedProgram {
-        let mut analyzed = AnalyzedProgram::from_ts(lowered.ts.clone());
-        for (loc, constraints) in &lowered.annotations {
-            analyzed.invariants.strengthen(*loc, constraints);
-        }
+        AnalyzedProgram::from_lowered_at_tier(lowered, InvariantTier::Baseline)
+    }
+
+    /// Like [`AnalyzedProgram::from_lowered`], at the given precision tier.
+    pub fn from_lowered_at_tier(
+        lowered: &LoweredProgram,
+        tier: InvariantTier,
+    ) -> AnalyzedProgram {
+        let mut analyzed = AnalyzedProgram::from_ts_at_tier(lowered.ts.clone(), tier);
+        analyzed.annotations = lowered.annotations.clone();
+        analyzed.apply_annotations();
         analyzed
     }
 
@@ -40,8 +61,47 @@ impl AnalyzedProgram {
     ///
     /// Returns a human-readable message if parsing or lowering fails.
     pub fn from_source(source: &str) -> Result<AnalyzedProgram, String> {
+        AnalyzedProgram::from_source_at_tier(source, InvariantTier::Baseline)
+    }
+
+    /// Like [`AnalyzedProgram::from_source`], at the given precision tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if parsing or lowering fails.
+    pub fn from_source_at_tier(
+        source: &str,
+        tier: InvariantTier,
+    ) -> Result<AnalyzedProgram, String> {
         let lowered = dca_lang::compile(source)?;
-        Ok(AnalyzedProgram::from_lowered(&lowered))
+        Ok(AnalyzedProgram::from_lowered_at_tier(&lowered, tier))
+    }
+
+    /// The same program re-analyzed at another precision tier, with the source
+    /// annotations replayed. Returns a cheap clone when the tier already matches.
+    ///
+    /// Facts added through [`InvariantMap::strengthen`] by *callers* (as opposed to
+    /// source annotations) are not replayed — strengthen the re-analyzed program again
+    /// if needed.
+    pub fn at_tier(&self, tier: InvariantTier) -> AnalyzedProgram {
+        if tier == self.tier {
+            return self.clone();
+        }
+        let invariants = InvariantAnalysis::at_tier(tier).analyze(&self.ts);
+        let mut analyzed = AnalyzedProgram {
+            ts: self.ts.clone(),
+            invariants,
+            tier,
+            annotations: self.annotations.clone(),
+        };
+        analyzed.apply_annotations();
+        analyzed
+    }
+
+    fn apply_annotations(&mut self) {
+        for (loc, constraints) in &self.annotations {
+            self.invariants.strengthen(*loc, constraints);
+        }
     }
 
     /// The program name (from the `proc` declaration or the builder).

@@ -62,8 +62,11 @@ impl std::error::Error for AnalysisError {}
 pub struct SolveStats {
     /// Number of LP variables (template coefficients, threshold, multipliers).
     pub lp_variables: usize,
-    /// Number of LP constraints.
+    /// Number of LP constraints actually solved (after row deduplication).
     pub lp_constraints: usize,
+    /// Number of constraint rows the Handelman encoding emitted before duplicate and
+    /// trivially-satisfied rows were removed.
+    pub lp_constraints_raw: usize,
     /// Wall-clock time spent constructing and solving the LP.
     pub duration: Duration,
 }
@@ -156,6 +159,19 @@ impl DiffCostSolver {
         self.options
     }
 
+    /// Re-analyzes a program when its invariants were generated at a different tier
+    /// than the solver is configured for (borrowing it unchanged otherwise).
+    fn at_option_tier<'a>(
+        &self,
+        program: &'a AnalyzedProgram,
+    ) -> std::borrow::Cow<'a, AnalyzedProgram> {
+        if program.tier == self.options.invariant_tier {
+            std::borrow::Cow::Borrowed(program)
+        } else {
+            std::borrow::Cow::Owned(program.at_tier(self.options.invariant_tier))
+        }
+    }
+
     /// Solves the DiffCost problem: minimizes a threshold `t` such that
     /// `CostSup_new(x) − CostInf_old(x) ≤ t` for all `x ∈ Θ0`.
     ///
@@ -169,6 +185,8 @@ impl DiffCostSolver {
         old: &AnalyzedProgram,
     ) -> Result<DiffCostResult, AnalysisError> {
         let start = Instant::now();
+        let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
+        let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
         let threshold = factory.fresh("t", UnknownKind::Free);
         let (templates_new, templates_old, mut set) =
@@ -212,6 +230,8 @@ impl DiffCostSolver {
         bound: &Polynomial,
     ) -> Result<SymbolicBoundResult, AnalysisError> {
         let start = Instant::now();
+        let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
+        let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
         let (templates_new, templates_old, mut set) =
             self.collect_both(new, old, &mut factory);
@@ -252,6 +272,8 @@ impl DiffCostSolver {
         candidate_inputs: &[BTreeMap<String, i64>],
     ) -> Result<RefutationResult, AnalysisError> {
         let start = Instant::now();
+        let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
+        let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
         // Roles are swapped relative to `solve`: lower bound on new, upper bound on old.
         let templates_new = ProgramTemplates::allocate(
@@ -416,6 +438,17 @@ impl DiffCostSolver {
                 theta0.push(remapped);
             }
         }
+        if !self.options.include_cost_in_template {
+            // Θ0 always carries `cost = 0`, but when the templates exclude `cost` the
+            // target polynomial has no cost-divisible monomial: every product with a
+            // pure-cost factor contributes *only* cost-divisible monomials, whose total
+            // is forced to zero anyway. Dropping those premises is sound (a weaker
+            // premise set) and completeness-preserving, and prunes the product pool.
+            let cost = new.ts.cost_var();
+            theta0.retain(|expr| {
+                !(expr.vars().iter().all(|&v| v == cost) && !expr.is_constant())
+            });
+        }
         (phi0, chi0, theta0)
     }
 
@@ -442,6 +475,15 @@ impl DiffCostSolver {
                 lp.add_var(factory.name(u), kind)
             })
             .collect();
+        // Row cleanup before solving: identical rows appear when distinct transitions
+        // share guards and invariants (their coefficient-matching equalities coincide
+        // monomial by monomial), and all-zero rows appear when a monomial cancels on
+        // both sides of an encoding. Both inflate the tableau the simplex has to drag
+        // along — the degree-3 `nested` encoding sheds thousands of rows here — and
+        // neither changes the feasible set, so they are dropped up front.
+        let raw_rows = set.constraints().len();
+        let mut seen: std::collections::HashSet<(Vec<(LpVar, Rational)>, bool, Rational)> =
+            std::collections::HashSet::new();
         for constraint in set.constraints() {
             let terms: Vec<(LpVar, Rational)> = constraint
                 .form
@@ -453,15 +495,38 @@ impl DiffCostSolver {
                 ConstraintSense::Eq => ConstraintOp::Eq,
                 ConstraintSense::Ge => ConstraintOp::Ge,
             };
-            lp.add_constraint(terms, op, rhs);
+            if terms.is_empty() {
+                // Constant row: drop when trivially satisfied, keep when violated (the
+                // solver then correctly reports infeasibility).
+                let satisfied = match op {
+                    ConstraintOp::Eq => rhs.is_zero(),
+                    ConstraintOp::Ge => !rhs.is_positive(),
+                    ConstraintOp::Le => !rhs.is_negative(),
+                };
+                if satisfied {
+                    continue;
+                }
+            }
+            if seen.insert((terms.clone(), op == ConstraintOp::Eq, rhs.clone())) {
+                lp.add_constraint(terms, op, rhs);
+            }
         }
         if let Some(objective) = objective {
             lp.set_objective(vec![(lp_vars[objective.index()], Rational::one())]);
+        }
+        if std::env::var("DCA_LP_DEBUG").is_ok() {
+            eprintln!(
+                "[solver] LP: {} rows raw -> {} after dedup, {} variables",
+                raw_rows,
+                lp.num_constraints(),
+                lp.num_vars()
+            );
         }
 
         let stats = |duration| SolveStats {
             lp_variables: lp.num_vars(),
             lp_constraints: lp.num_constraints(),
+            lp_constraints_raw: raw_rows,
             duration,
         };
         let solve_exact = |lp: &LpProblem| {

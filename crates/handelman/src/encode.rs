@@ -84,8 +84,15 @@ pub fn products_up_to(aff: &[LinExpr], max_factors: u32) -> Vec<Polynomial> {
         }
     }
     recurse(&base, 0, max_factors, &Polynomial::one(), &mut result);
-    // Deduplicate identical products (e.g. when the same affine expression appears twice).
-    result.dedup_by(|a, b| a == b);
+    // Deduplicate identical products globally (they arise whenever `aff` repeats an
+    // expression, or two different factor multisets multiply out to the same
+    // polynomial); each duplicate would add a redundant multiplier column to the LP.
+    // Hash-set based: the degree-3 encodings enumerate thousands of products, and a
+    // quadratic scan over full polynomial comparisons would burn seconds of the very
+    // LP budget the dedup is meant to save.
+    let mut seen: std::collections::HashSet<Polynomial> =
+        std::collections::HashSet::with_capacity(result.len());
+    result.retain(|product| seen.insert(product.clone()));
     result
 }
 

@@ -1,11 +1,70 @@
 //! Forward abstract-interpretation fixpoint over a transition system.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
-use dca_ir::{LocId, TransitionSystem, Update};
+use dca_ir::{LocId, LoopNest, TransitionSystem, Update};
 use dca_poly::{LinExpr, VarId};
 
 use crate::polyhedron::Polyhedron;
+
+/// Precision tier of the invariant engine.
+///
+/// The tiers trade analysis time for invariant strength; the solver's escalation ladder
+/// (`dca_core::escalate`) climbs them *before* resorting to a more expensive template
+/// degree. Each tier is a strict superset of the previous one's machinery:
+///
+/// | tier | join | widening | extras |
+/// |------|------|----------|--------|
+/// | `Baseline` | entailment filter | plain | — |
+/// | `Hull` | constraint-based hull (interval + octagon directions) | with thresholds harvested from guards and Θ0 | one descending narrowing round |
+/// | `Relational` | as `Hull` | only at loop headers (from [`dca_ir::LoopNest`]), longer delay | two narrowing rounds; non-header locations never widen, so relational facts between inner and outer loop counters survive propagation |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum InvariantTier {
+    /// The fast fixed-precision engine: weak entailment-filter join, plain widening.
+    #[default]
+    Baseline,
+    /// Hull-lite join plus widening-with-thresholds and a narrowing pass.
+    Hull,
+    /// Loop-nest-aware: widening restricted to loop headers, deeper narrowing.
+    Relational,
+}
+
+impl InvariantTier {
+    /// All tiers, weakest first.
+    pub const ALL: [InvariantTier; 3] =
+        [InvariantTier::Baseline, InvariantTier::Hull, InvariantTier::Relational];
+
+    /// Numeric index of the tier (0 = baseline).
+    pub fn index(self) -> u32 {
+        match self {
+            InvariantTier::Baseline => 0,
+            InvariantTier::Hull => 1,
+            InvariantTier::Relational => 2,
+        }
+    }
+
+    /// The tier with the given index, if it exists.
+    pub fn from_index(index: u32) -> Option<InvariantTier> {
+        InvariantTier::ALL.get(index as usize).copied()
+    }
+
+    /// The next-stronger tier, if any.
+    pub fn next(self) -> Option<InvariantTier> {
+        InvariantTier::from_index(self.index() + 1)
+    }
+}
+
+impl fmt::Display for InvariantTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InvariantTier::Baseline => "baseline",
+            InvariantTier::Hull => "hull",
+            InvariantTier::Relational => "relational",
+        };
+        write!(f, "{name}")
+    }
+}
 
 /// A map from program locations to affine invariants.
 #[derive(Debug, Clone)]
@@ -71,21 +130,76 @@ pub struct InvariantAnalysis {
     /// synthesis never needs invariants about `cost`, and tracking it only slows down
     /// convergence (the accumulated cost rarely admits affine bounds).
     pub ignore_cost: bool,
+    /// Precision tier (see [`InvariantTier`]).
+    pub tier: InvariantTier,
 }
 
 impl Default for InvariantAnalysis {
     fn default() -> Self {
-        InvariantAnalysis { widening_delay: 2, max_iterations: 2000, ignore_cost: true }
+        InvariantAnalysis {
+            widening_delay: 2,
+            max_iterations: 2000,
+            ignore_cost: true,
+            tier: InvariantTier::Baseline,
+        }
     }
 }
 
 impl InvariantAnalysis {
+    /// The default analysis at the given precision tier.
+    ///
+    /// ```
+    /// use dca_invariants::{InvariantAnalysis, InvariantTier};
+    /// let analysis = InvariantAnalysis::at_tier(InvariantTier::Hull);
+    /// assert_eq!(analysis.tier, InvariantTier::Hull);
+    /// ```
+    pub fn at_tier(tier: InvariantTier) -> InvariantAnalysis {
+        InvariantAnalysis { tier, ..InvariantAnalysis::default() }
+    }
+
     /// Runs the analysis and returns the invariant map.
     ///
     /// The result is a sound over-approximation of the reachable states of `ts`: for
     /// every reachable state `(ℓ, x)` the valuation `x` satisfies the invariant at `ℓ`.
     pub fn analyze(&self, ts: &TransitionSystem) -> InvariantMap {
         let fresh_base = ts.pool().len() as u32 + 16;
+        let mut invariants = self.ascend(ts, fresh_base);
+        if self.tier >= InvariantTier::Hull {
+            let rounds = if self.tier >= InvariantTier::Relational { 2 } else { 1 };
+            self.narrow(ts, &mut invariants, fresh_base, rounds);
+        }
+        // Final cleanup: drop LP-redundant constraints at locations whose invariant grew
+        // large. This keeps the Handelman product sets (and therefore the synthesis LP)
+        // small downstream. The tiered engines always reduce — their joins and
+        // narrowing meets accumulate more constraints, and a minimal representation
+        // both shrinks the downstream LP and speeds up further entailment checks.
+        let reduce_above = if self.tier == InvariantTier::Baseline { 12 } else { 0 };
+        for polyhedron in invariants.values_mut() {
+            if polyhedron.constraints().map_or(false, |cs| cs.len() > reduce_above) {
+                *polyhedron = polyhedron.reduce();
+            }
+        }
+        InvariantMap { invariants }
+    }
+
+    /// The ascending (widening) fixpoint phase.
+    fn ascend(&self, ts: &TransitionSystem, fresh_base: u32) -> BTreeMap<LocId, Polyhedron> {
+        // At `Relational`, widening is restricted to loop headers: every cycle of the
+        // transition graph passes through one (back-edge targets cut all cycles), so
+        // termination is preserved, while straight-line and join locations propagate
+        // their values exactly. Lower tiers widen everywhere after the delay.
+        let widening_points: Option<BTreeSet<LocId>> =
+            if self.tier >= InvariantTier::Relational {
+                Some(LoopNest::analyze(ts).headers().into_iter().collect())
+            } else {
+                None
+            };
+        let thresholds = if self.tier >= InvariantTier::Hull {
+            self.harvest_thresholds(ts)
+        } else {
+            Vec::new()
+        };
+
         let mut invariants: BTreeMap<LocId, Polyhedron> = BTreeMap::new();
         let mut visit_counts: BTreeMap<LocId, usize> = BTreeMap::new();
         for loc in ts.locations() {
@@ -105,6 +219,12 @@ impl InvariantAnalysis {
         while let Some(loc) = worklist.pop_front() {
             iterations += 1;
             if iterations > self.max_iterations {
+                // Bailing out mid-ascent would keep *under*-approximated facts at
+                // locations whose pending updates were never applied — unsound. The
+                // only sound cheap answer is to give up on precision entirely.
+                for polyhedron in invariants.values_mut() {
+                    *polyhedron = Polyhedron::top();
+                }
                 break;
             }
             let current = invariants[&loc].clone();
@@ -126,15 +246,36 @@ impl InvariantAnalysis {
                 }
                 let count = visit_counts.entry(target).or_insert(0);
                 *count += 1;
-                let joined = existing.join(&post);
-                let updated = if *count > self.widening_delay {
-                    existing.widen(&joined)
+                let joined = self.join(&existing, &post);
+                let may_widen =
+                    widening_points.as_ref().map_or(true, |points| points.contains(&target));
+                let delay = if widening_points.is_some() {
+                    // Header-only widening visits each header more often (every inner
+                    // location funnels through it); a longer leash lets the exact joins
+                    // find the stable relational facts before widening prunes.
+                    self.widening_delay * 2
+                } else {
+                    self.widening_delay
+                };
+                let mut updated = if may_widen && *count > delay {
+                    if self.tier >= InvariantTier::Hull {
+                        existing.widen_with_thresholds(&joined, &thresholds)
+                    } else {
+                        existing.widen(&joined)
+                    }
                 } else {
                     joined
                 };
-                let mut updated = updated;
                 updated.normalize_emptiness();
-                if updated != existing {
+                // Stability must be *semantic*: the hull join re-derives its constraint
+                // list from scratch (different order, snapped constants), so a
+                // syntactic comparison would see perpetual change, overrun the
+                // widening delay, and widen away bounds that are in fact stable.
+                let unchanged = updated == existing
+                    || (self.tier >= InvariantTier::Hull
+                        && updated.entails_all(&existing)
+                        && existing.entails_all(&updated));
+                if !unchanged {
                     invariants.insert(target, updated);
                     if !worklist.contains(&target) {
                         worklist.push_back(target);
@@ -142,15 +283,98 @@ impl InvariantAnalysis {
                 }
             }
         }
-        // Final cleanup: drop LP-redundant constraints at locations whose invariant grew
-        // large. This keeps the Handelman product sets (and therefore the synthesis LP)
-        // small downstream.
-        for polyhedron in invariants.values_mut() {
-            if polyhedron.constraints().map_or(false, |cs| cs.len() > 12) {
-                *polyhedron = polyhedron.reduce();
+        invariants
+    }
+
+    /// The tier's join operator.
+    fn join(&self, a: &Polyhedron, b: &Polyhedron) -> Polyhedron {
+        if self.tier >= InvariantTier::Hull {
+            a.hull_join(b)
+        } else {
+            a.join(b)
+        }
+    }
+
+    /// Widening thresholds: every transition-guard conjunct and every Θ0 inequality
+    /// (minus anything mentioning `cost` when it is ignored). These are exactly the
+    /// bounds a loop maintains while iterating — the facts plain widening loses.
+    fn harvest_thresholds(&self, ts: &TransitionSystem) -> Vec<LinExpr> {
+        let cost = ts.cost_var();
+        let mut thresholds: Vec<LinExpr> = Vec::new();
+        let mut push = |expr: &LinExpr| {
+            let normalized = expr.normalize();
+            if normalized.is_constant() {
+                return;
+            }
+            if !thresholds.contains(&normalized) {
+                thresholds.push(normalized);
+            }
+        };
+        for expr in ts.theta0() {
+            if !(self.ignore_cost && !expr.coeff(cost).is_zero()) {
+                push(expr);
             }
         }
-        InvariantMap { invariants }
+        for transition in ts.transitions() {
+            for guard in &transition.guard {
+                if !(self.ignore_cost && !guard.coeff(cost).is_zero()) {
+                    push(guard);
+                    // The one-unit relaxation of the guard: a counter bounded by
+                    // `g ≥ 0` *inside* the loop typically satisfies only `g + 1 ≥ 0`
+                    // back at the loop head (after its increment), and that is the
+                    // bound the widening must land on.
+                    push(&(guard + &LinExpr::from_int(1)));
+                }
+            }
+        }
+        thresholds
+    }
+
+    /// Descending (narrowing) phase: re-evaluates every location as "initial states (at
+    /// `ℓ0`) joined with the posts of all incoming transitions" and intersects with the
+    /// ascending result. Sound because each side over-approximates the reachable states
+    /// at the location; bounded rounds keep it cheap.
+    fn narrow(
+        &self,
+        ts: &TransitionSystem,
+        invariants: &mut BTreeMap<LocId, Polyhedron>,
+        fresh_base: u32,
+        rounds: usize,
+    ) {
+        let mut initial = Polyhedron::from_constraints(ts.theta0().iter().cloned());
+        if self.ignore_cost {
+            initial = initial.project_out(ts.cost_var());
+        }
+        initial.normalize_emptiness();
+        for _ in 0..rounds {
+            let mut changed = false;
+            for loc in ts.locations() {
+                let mut incoming = if loc == ts.initial() {
+                    initial.clone()
+                } else {
+                    Polyhedron::bottom()
+                };
+                for transition in ts.transitions() {
+                    if transition.target != loc
+                        || (transition.source == ts.terminal()
+                            && transition.target == ts.terminal())
+                    {
+                        continue;
+                    }
+                    let post =
+                        self.post(ts, &invariants[&transition.source], transition, fresh_base);
+                    incoming = self.join(&incoming, &post);
+                }
+                let refined = invariants[&loc].meet(&incoming).reduce();
+                if refined != invariants[&loc] {
+                    invariants.insert(loc, refined);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
     }
 
     /// Abstract post-condition of one transition.
@@ -257,38 +481,80 @@ mod tests {
         ));
     }
 
+    /// Soundness at every tier: invariants (including the narrowed ones) must hold on
+    /// every state an actual execution visits.
     #[test]
     fn invariants_hold_on_sampled_executions() {
         use dca_ir::{FixedOracle, Interpreter};
         let ts = nested_join();
-        let invariants = InvariantAnalysis::default().analyze(&ts);
-        // Replay a run and check every visited state against its location invariant.
-        // (The interpreter does not expose the trace directly, so re-simulate by stepping
-        // through increasing step budgets.)
-        let mut initial = dca_ir::IntValuation::new();
-        for (name, value) in [("i", 0i64), ("j", 0), ("lenA", 4), ("lenB", 3), ("cost", 0)] {
-            initial.insert(ts.pool().lookup(name).unwrap(), value);
+        for tier in InvariantTier::ALL {
+            let invariants = InvariantAnalysis::at_tier(tier).analyze(&ts);
+            // Replay a run and check every visited state against its location
+            // invariant. (The interpreter does not expose the trace directly, so
+            // re-simulate by stepping through increasing step budgets.)
+            for (len_a, len_b) in [(4i64, 3i64), (1, 1), (2, 5)] {
+                let mut initial = dca_ir::IntValuation::new();
+                for (name, value) in
+                    [("i", 0i64), ("j", 0), ("lenA", len_a), ("lenB", len_b), ("cost", 0)]
+                {
+                    initial.insert(ts.pool().lookup(name).unwrap(), value);
+                }
+                for steps in 0..60 {
+                    let result =
+                        Interpreter::new(steps).run(&ts, &initial, &mut FixedOracle(0));
+                    let state = result.final_state;
+                    let invariant = invariants.at(state.loc);
+                    for constraint in invariant.constraints_or_false() {
+                        let value = constraint.eval(
+                            &state
+                                .vals
+                                .iter()
+                                .map(|(&v, &x)| (v, dca_numeric::Rational::from_int(x)))
+                                .collect(),
+                        );
+                        assert!(
+                            !value.is_negative(),
+                            "tier {tier}: invariant violated at {} after {} steps \
+                             (lenA={len_a}, lenB={len_b})",
+                            ts.location_name(state.loc),
+                            steps
+                        );
+                    }
+                }
+            }
         }
-        for steps in 0..60 {
-            let result = Interpreter::new(steps).run(&ts, &initial, &mut FixedOracle(0));
-            let state = result.final_state;
-            let invariant = invariants.at(state.loc);
-            for constraint in invariant.constraints_or_false() {
-                let value = constraint.eval(
-                    &state
-                        .vals
-                        .iter()
-                        .map(|(&v, &x)| (v, dca_numeric::Rational::from_int(x)))
-                        .collect(),
-                );
+    }
+
+    /// The tiers form a precision ladder on the nested-join system: everything the
+    /// baseline proves at the loop heads, the hull tier proves too.
+    #[test]
+    fn hull_tier_is_at_least_as_precise_at_loop_heads() {
+        let ts = nested_join();
+        let baseline = InvariantAnalysis::default().analyze(&ts);
+        let hull = InvariantAnalysis::at_tier(InvariantTier::Hull).analyze(&ts);
+        for loc in [LocId(1), LocId(2)] {
+            for constraint in baseline.at(loc).constraints_or_false() {
                 assert!(
-                    !value.is_negative(),
-                    "invariant violated at {} after {} steps",
-                    ts.location_name(state.loc),
-                    steps
+                    hull.entails(loc, &constraint),
+                    "hull tier lost {constraint:?} at {}",
+                    ts.location_name(loc)
                 );
             }
         }
+    }
+
+    #[test]
+    fn tier_enum_roundtrips() {
+        for tier in InvariantTier::ALL {
+            assert_eq!(InvariantTier::from_index(tier.index()), Some(tier));
+        }
+        assert_eq!(InvariantTier::from_index(3), None);
+        assert_eq!(InvariantTier::Baseline.next(), Some(InvariantTier::Hull));
+        assert_eq!(InvariantTier::Hull.next(), Some(InvariantTier::Relational));
+        assert_eq!(InvariantTier::Relational.next(), None);
+        assert_eq!(InvariantTier::Relational.to_string(), "relational");
+        assert!(InvariantTier::Baseline < InvariantTier::Hull);
+        assert_eq!(InvariantTier::default(), InvariantTier::Baseline);
     }
 
     #[test]

@@ -50,11 +50,13 @@
 
 mod explore;
 mod interp;
+mod loops;
 mod rng;
 mod state;
 mod system;
 
 pub use explore::{enumerate_box, sample_initial_states, CostBounds, CostExplorer};
+pub use loops::{BackEdge, LoopNest};
 pub use rng::SmallRng;
 pub use interp::{FixedOracle, Interpreter, NondetOracle, RandomOracle, RunOutcome, RunResult};
 pub use state::{

@@ -36,6 +36,77 @@ struct Tableau<S> {
 }
 
 impl<S: Scalar> Tableau<S> {
+    /// Rebuilds the tableau `B⁻¹[A | b]` for the *current basis* directly from the
+    /// original standard-form data, clearing all accumulated floating-point round-off.
+    ///
+    /// Long dense pivot chains drift: after tens of thousands of pivots the tableau can
+    /// be wrong enough that phase 1 stalls at a positive objective on a feasible system
+    /// (observed on the Fig. 1 `join` synthesis LP, which stalled at exactly 1.0 while
+    /// the exact backend proves the system feasible). Re-deriving the tableau from the
+    /// untouched input is a dense Gauss–Jordan elimination pivoting on the basic columns
+    /// — `O(rows² · cols)`, so it is only invoked at verdict boundaries and at a coarse
+    /// period, not per iteration.
+    ///
+    /// Returns `false` (leaving the tableau untouched) if the basis matrix is
+    /// numerically singular, in which case the caller must not trust the state either
+    /// way and should report non-convergence.
+    fn refactor(&mut self, original: &[Vec<S>], original_rhs: &[S]) -> bool {
+        let n = self.rows.len();
+        let mut rows: Vec<Vec<S>> = original.to_vec();
+        let mut rhs: Vec<S> = original_rhs.to_vec();
+        let mut pivoted = vec![false; n];
+        for _ in 0..n {
+            // Greedy pivot order: the unprocessed row whose basic column currently has
+            // the largest magnitude (partial pivoting over the fixed row/column pairing).
+            let mut best: Option<usize> = None;
+            for row in 0..n {
+                if pivoted[row] {
+                    continue;
+                }
+                let magnitude = abs_scalar(&rows[row][self.basis[row]]);
+                let better = match best {
+                    None => true,
+                    Some(b) => abs_scalar(&rows[b][self.basis[b]]).lt(&magnitude),
+                };
+                if better {
+                    best = Some(row);
+                }
+            }
+            let Some(row) = best else { return false };
+            let col = self.basis[row];
+            let pivot_value = rows[row][col].clone();
+            if pivot_value.is_zero() {
+                return false;
+            }
+            for cell in &mut rows[row] {
+                *cell = cell.div(&pivot_value);
+            }
+            rhs[row] = rhs[row].div(&pivot_value);
+            let pivot_cells = std::mem::take(&mut rows[row]);
+            let pivot_rhs = rhs[row].clone();
+            for other in 0..n {
+                if other == row {
+                    continue;
+                }
+                let factor = rows[other][col].clone();
+                if factor.is_exactly_zero() {
+                    continue;
+                }
+                for (cell, p) in rows[other].iter_mut().zip(&pivot_cells) {
+                    if !p.is_exactly_zero() {
+                        *cell = cell.sub(&factor.mul(p));
+                    }
+                }
+                rhs[other] = rhs[other].sub(&factor.mul(&pivot_rhs));
+            }
+            rows[row] = pivot_cells;
+            pivoted[row] = true;
+        }
+        self.rows = rows;
+        self.rhs = rhs;
+        true
+    }
+
     fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
         let pivot_value = self.rows[pivot_row][pivot_col].clone();
         debug_assert!(!pivot_value.is_zero());
@@ -103,18 +174,47 @@ impl<S: Scalar> Tableau<S> {
     /// compared to recomputing `c_j − c_B · B⁻¹A_j` from scratch. In floating point the
     /// maintained row drifts, so it is refreshed periodically and optimality is only
     /// reported after a confirmation pass over freshly recomputed reduced costs.
+    ///
+    /// `original` carries the untouched standard-form data (matrix extended with the
+    /// artificial columns, and the right-hand side). When present, every floating-point
+    /// verdict — optimality, unboundedness — is confirmed on a tableau freshly
+    /// [refactored](Tableau::refactor) from it, and the tableau is periodically
+    /// refactored mid-run to keep drift from steering pivots astray.
     fn optimize(
         &mut self,
         costs: &[S],
         allowed_cols: usize,
         max_iters: usize,
         deadline: Option<Instant>,
+        original: Option<(&[Vec<S>], &[S])>,
     ) -> LpStatus {
         const REFRESH_EVERY: usize = 16;
         const DEADLINE_EVERY: usize = 64;
+        /// Mid-run anti-drift refactorization period (f64 only). Refactoring is
+        /// `O(rows²·cols)` — roughly a thousand ordinary pivots — so this keeps its
+        /// amortized cost below ~15% while bounding how far the tableau can wander.
+        const REFACTOR_EVERY: usize = 8192;
+        /// How many verdict-time refactor-and-resume rescues are allowed before the
+        /// verdict is accepted as-is (bounds the extra work on genuinely hard cases).
+        const MAX_RESCUES: usize = 24;
         let bland_after = max_iters / 2;
         let mut reduced = self.reduced_costs(costs);
         let mut since_refresh = 0usize;
+        let mut rescues = 0usize;
+        let mut last_rescue_objective: Option<f64> = None;
+        let refactor_and_resume =
+            |tableau: &mut Self, reduced: &mut Vec<S>, rescues: &mut usize| -> bool {
+                if S::IS_EXACT || *rescues >= MAX_RESCUES {
+                    return false;
+                }
+                let Some((matrix, rhs)) = original else { return false };
+                *rescues += 1;
+                if !tableau.refactor(matrix, rhs) {
+                    return false;
+                }
+                *reduced = tableau.reduced_costs(costs);
+                true
+            };
         for iteration in 0..max_iters {
             // Exact-backend pivots over blown-up rationals can take seconds each, so
             // the deadline is polled every iteration there; the cheap f64 iterations
@@ -126,9 +226,18 @@ impl<S: Scalar> Tableau<S> {
                     }
                 }
             }
-            if !S::IS_EXACT && since_refresh >= REFRESH_EVERY {
-                reduced = self.reduced_costs(costs);
-                since_refresh = 0;
+            if !S::IS_EXACT {
+                if iteration % REFACTOR_EVERY == REFACTOR_EVERY - 1 {
+                    if let Some((matrix, rhs)) = original {
+                        if self.refactor(matrix, rhs) {
+                            reduced = self.reduced_costs(costs);
+                            since_refresh = 0;
+                        }
+                    }
+                } else if since_refresh >= REFRESH_EVERY {
+                    reduced = self.reduced_costs(costs);
+                    since_refresh = 0;
+                }
             }
             let use_bland = S::IS_EXACT || iteration >= bland_after;
             // Entering column: negative reduced cost.
@@ -150,6 +259,22 @@ impl<S: Scalar> Tableau<S> {
                 if !S::IS_EXACT && since_refresh != 0 {
                     // Apparent optimality on drifted data: confirm against fresh values.
                     reduced = self.reduced_costs(costs);
+                    since_refresh = 0;
+                    if (0..allowed_cols).any(|j| reduced[j].is_negative()) {
+                        continue;
+                    }
+                }
+                // Sharper confirmation: rebuild the tableau from the original data and
+                // re-price. A stalled phase 1 (apparent optimum above zero on a feasible
+                // system) resumes from here with round-off cleared. If a previous
+                // rescue already landed on this objective value, further rescues will
+                // only re-tread the same degenerate circle — accept the verdict and let
+                // the caller's perturbed retry break the tie instead.
+                let objective = self.objective_value(costs).to_f64();
+                let stalled = last_rescue_objective
+                    .map_or(false, |previous| (previous - objective).abs() <= 1e-9);
+                last_rescue_objective = Some(objective);
+                if !stalled && refactor_and_resume(self, &mut reduced, &mut rescues) {
                     since_refresh = 0;
                     if (0..allowed_cols).any(|j| reduced[j].is_negative()) {
                         continue;
@@ -186,6 +311,12 @@ impl<S: Scalar> Tableau<S> {
                 }
             }
             let Some(leaving) = leaving else {
+                // An all-non-positive entering column may itself be a drift artifact:
+                // confirm unboundedness on a freshly refactored tableau before giving up.
+                if refactor_and_resume(self, &mut reduced, &mut rescues) {
+                    since_refresh = 0;
+                    continue;
+                }
                 return LpStatus::Unbounded;
             };
             self.pivot(leaving, entering);
@@ -204,13 +335,59 @@ impl<S: Scalar> Tableau<S> {
     }
 }
 
+/// Magnitude of a scalar (used by the refactorization pivot choice).
+fn abs_scalar<S: Scalar>(value: &S) -> S {
+    if value.is_negative() {
+        value.neg()
+    } else {
+        value.clone()
+    }
+}
+
 /// Solves a standard-form problem with the two-phase simplex method.
 ///
 /// When `deadline` is set, the iteration loops poll the clock and bail out with
 /// [`LpStatus::TimedOut`] once it passes.
+///
+/// A floating-point `Infeasible` verdict is re-examined once on a *perturbed* copy of
+/// the problem: on heavily degenerate systems (the Handelman encodings are almost
+/// entirely coefficient-matching equalities with zero right-hand sides) phase 1 can
+/// stall at a positive objective even though the system is feasible — every improving
+/// pivot has ratio zero and the tolerance-guided pricing goes in circles. Adding a tiny
+/// deterministic positive offset to each right-hand side (the classical lexicographic-
+/// perturbation cure) makes the basic values generically non-zero so every pivot makes
+/// real progress; the phase-1 acceptance threshold accounts for the offsets. The
+/// perturbed retry only runs when the plain solve claims infeasibility, so well-behaved
+/// problems pay nothing.
 pub(crate) fn solve_standard_form<S: Scalar>(
     form: &StandardForm<S>,
     deadline: Option<Instant>,
+) -> RawSolution<S> {
+    // Large Handelman systems are degenerate enough that the stall is the *expected*
+    // failure mode — and the stall itself is what burns the time (tens of thousands of
+    // zero-progress pivots before the tolerance gives up). Above the row threshold the
+    // perturbation is applied from the start instead of after a failed plain solve.
+    let perturb_immediately = !S::IS_EXACT && form.matrix.len() >= PERTURB_ROWS_THRESHOLD;
+    let first_perturbation = if perturb_immediately { PERTURBATION } else { 0.0 };
+    let solution = solve_standard_form_inner(form, deadline, first_perturbation);
+    if S::IS_EXACT || perturb_immediately || solution.status != LpStatus::Infeasible {
+        return solution;
+    }
+    solve_standard_form_inner(form, deadline, PERTURBATION)
+}
+
+/// Magnitude of the anti-degeneracy right-hand-side perturbation (applied to the
+/// equilibrated system, whose entries are at most 1 in magnitude).
+const PERTURBATION: f64 = 1e-7;
+
+/// Row count above which the perturbation is applied on the first attempt rather than
+/// only on the infeasibility retry.
+const PERTURB_ROWS_THRESHOLD: usize = 384;
+
+fn solve_standard_form_inner<S: Scalar>(
+    form: &StandardForm<S>,
+    deadline: Option<Instant>,
+    perturbation: f64,
 ) -> RawSolution<S> {
     let num_rows = form.matrix.len();
     let num_structural = form.costs.len();
@@ -257,6 +434,17 @@ pub(crate) fn solve_standard_form<S: Scalar>(
         }
         *rhs = rhs.div(&max_abs);
     }
+    // Anti-degeneracy perturbation (see `solve_standard_form`): a small deterministic
+    // positive offset per row, varied across rows so no two ratios tie. Only ever
+    // non-zero on the floating-point retry path.
+    let mut total_perturbation = 0.0f64;
+    if perturbation > 0.0 {
+        for (index, rhs) in form.rhs.iter_mut().enumerate() {
+            let offset = perturbation * (1.0 + ((index * 7919) % 104_729) as f64 / 104_729.0);
+            total_perturbation += offset;
+            *rhs = rhs.add(&S::from_rational(&dca_numeric::Rational::from_f64(offset)));
+        }
+    }
     let form = &form;
 
     if num_rows == 0 {
@@ -277,6 +465,11 @@ pub(crate) fn solve_standard_form<S: Scalar>(
         extended[num_structural + i] = S::one();
         rows.push(extended);
     }
+    // The untouched extended system, kept for mid-run and verdict-time tableau
+    // refactorization (f64 drift recovery).
+    let original_rows = rows.clone();
+    let original_rhs = form.rhs.clone();
+    let original = (original_rows.as_slice(), original_rhs.as_slice());
     let mut tableau = Tableau {
         rows,
         rhs: form.rhs.clone(),
@@ -288,13 +481,44 @@ pub(crate) fn solve_standard_form<S: Scalar>(
         *cost = S::one();
     }
     let max_iters = 200 * (num_rows + num_cols) + 2000;
-    let status = tableau.optimize(&phase1_costs, num_cols, max_iters, deadline);
+    let debug = std::env::var("DCA_LP_DEBUG").is_ok();
+    let phase1_start = Instant::now();
+    let status =
+        tableau.optimize(&phase1_costs, num_cols, max_iters, deadline, Some(original));
+    if debug {
+        eprintln!(
+            "[lp] phase1: {:?} in {:.2}s ({} rows, {} cols, perturb {})",
+            status,
+            phase1_start.elapsed().as_secs_f64(),
+            num_rows,
+            num_cols,
+            perturbation
+        );
+    }
     if status == LpStatus::IterationLimit || status == LpStatus::TimedOut {
         return RawSolution { status, values: Vec::new() };
     }
     let phase1_value = tableau.objective_value(&phase1_costs);
     if phase1_value.is_positive() {
-        return RawSolution { status: LpStatus::Infeasible, values: Vec::new() };
+        // The f64 backend cannot distinguish a residual of accumulated round-off from a
+        // genuinely infeasible system near the tolerance; `Infeasible` is a *definitive*
+        // answer to callers (it becomes `NoThresholdFound`), so it is only reported when
+        // the refactor-confirmed phase-1 optimum is clearly above the noise floor.
+        // Sub-threshold residuals proceed to phase 2 with their near-zero artificials
+        // still basic; the final answer is re-validated against the original
+        // constraints by `LpProblem::solve_f64` either way.
+        let noise_floor = 1e-6 * (num_rows as f64).max(1.0) + 2.0 * total_perturbation;
+        if S::IS_EXACT || phase1_value.to_f64() > noise_floor {
+            if debug {
+                eprintln!(
+                    "[lp] phase1 positive: value = {:e}, rows = {}, cols = {}",
+                    phase1_value.to_f64(),
+                    num_rows,
+                    num_cols
+                );
+            }
+            return RawSolution { status: LpStatus::Infeasible, values: Vec::new() };
+        }
     }
 
     // Drive any remaining artificial variables out of the basis.
@@ -316,7 +540,12 @@ pub(crate) fn solve_standard_form<S: Scalar>(
     // Phase 2: original costs (artificial columns are excluded from entering).
     let mut phase2_costs = form.costs.clone();
     phase2_costs.resize(num_cols, S::zero());
-    let status = tableau.optimize(&phase2_costs, num_structural, max_iters, deadline);
+    let phase2_start = Instant::now();
+    let status =
+        tableau.optimize(&phase2_costs, num_structural, max_iters, deadline, Some(original));
+    if debug {
+        eprintln!("[lp] phase2: {:?} in {:.2}s", status, phase2_start.elapsed().as_secs_f64());
+    }
     if status != LpStatus::Optimal {
         return RawSolution { status, values: Vec::new() };
     }

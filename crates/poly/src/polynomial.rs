@@ -29,7 +29,7 @@ use crate::Valuation;
 /// val.insert(x, Rational::from_int(3));
 /// assert_eq!(p.eval(&val), Rational::from_int(8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Polynomial {
     terms: BTreeMap<Monomial, Rational>,
 }

@@ -1,18 +1,18 @@
 //! Reproduction of the paper's running example (Fig. 1, Examples 2.2–2.3 and 4.4).
 //!
-//! The synthesis tests on the `join` pair are `#[ignore]`d: besides being the slowest
-//! pair of the suite (LP solves around a minute in release), the synthesis currently
-//! fails — the polyhedra-lite invariant generator does not recover invariants strong
-//! enough for the Fig. 1 pair, so the LP is infeasible at `d = K = 2` where the paper
-//! (using Sting/Aspic invariants) reports 10000. See EXPERIMENTS.md, "Known
-//! limitations". The assertions below encode the *target* behavior so the gap stays
-//! visible under `cargo test -- --ignored`.
+//! The synthesis tests on the `join` pair were `#[ignore]`d through PR 1: the
+//! floating-point simplex stalled on the (heavily degenerate) degree-2 synthesis LP
+//! and reported a spurious infeasibility, misdiagnosed at the time as "generated
+//! invariants too weak" — `examples/certprobe.rs` proves with the exact backend that
+//! the LP is feasible under the generated invariants. With the anti-degeneracy
+//! perturbation and tableau refactorization in `dca_lp`, the pair now synthesizes the
+//! paper's threshold 10000. These are the slowest tests of the suite (the LP has
+//! ~440 rows and ~1500 variables; a solve takes minutes on one core).
 
 use diffcost::benchmarks::running_example;
 use diffcost::prelude::*;
 
 #[test]
-#[ignore = "known limitation: generated invariants too weak for the Fig. 1 pair (see EXPERIMENTS.md); also slow"]
 fn join_threshold_is_ten_thousand() {
     let benchmark = running_example();
     let result = benchmark.solve().expect("the running example must be solvable");
@@ -21,7 +21,6 @@ fn join_threshold_is_ten_thousand() {
 }
 
 #[test]
-#[ignore = "known limitation: generated invariants too weak for the Fig. 1 pair (see EXPERIMENTS.md); also slow"]
 fn join_9999_is_not_a_threshold() {
     let benchmark = running_example();
     let old = benchmark.old_program();
