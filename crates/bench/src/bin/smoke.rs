@@ -1,0 +1,62 @@
+//! Fast Table-1 smoke bench for CI: runs a ≤60 s subset of the suite at the paper
+//! configuration and fails on any *status* regression (tight rows must stay tight).
+//!
+//! The subset (SimpleSingle, SimpleSingle2, Dis2, sum, ddec, ddec modified) covers a
+//! non-zero tight threshold, the once-regressed sequential-loop shape, a two-counter
+//! loop, and the equivalent-rewrite zero-threshold pairs — the shapes whose statuses
+//! have historically regressed. A `SimpleSingle2`-style regression (recorded as
+//! `failed` in `BENCH_table1.json` by an earlier PR while every test stayed green)
+//! is caught here, in CI, instead of in the benchmark JSON.
+//!
+//! Usage: `cargo run --release -p dca-bench --bin smoke`
+//! Exit code 0 = all subset rows tight; 1 = regression (details on stderr).
+
+use std::process::exit;
+use std::time::Duration;
+
+use dca_bench::{format_table, run_suite_filtered};
+use dca_benchmarks::SuiteConfig;
+use dca_core::InvariantTier;
+
+/// The subset, by exact name. Every one of these rows is expected `tight`.
+const SUBSET: [&str; 6] =
+    ["SimpleSingle", "SimpleSingle2", "Dis2", "sum", "ddec", "ddec modified"];
+
+fn main() {
+    let config = SuiteConfig {
+        jobs: 1,
+        escalate: false,
+        // Generous per-attempt ceiling; the whole subset solves in seconds. A row
+        // that needs anywhere near this long is itself a (performance) regression.
+        time_budget: Some(Duration::from_secs(60)),
+        invariant_tier: InvariantTier::Baseline,
+    };
+    let filters: Vec<String> = SUBSET.iter().map(|s| s.to_string()).collect();
+    let run = run_suite_filtered(&config, &filters);
+    println!("{}", format_table(&run.rows));
+    println!(
+        "smoke subset: {} rows in {:.2}s",
+        run.rows.len(),
+        run.wall_clock.as_secs_f64()
+    );
+
+    let mut regressions = Vec::new();
+    for name in SUBSET {
+        match run.rows.iter().find(|row| row.name == name) {
+            Some(row) if row.is_tight() => {}
+            Some(row) => regressions.push(format!(
+                "{name}: expected tight ({}), computed {:?}",
+                row.tight, row.computed_int
+            )),
+            None => regressions.push(format!("{name}: missing from the suite")),
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("smoke bench FAILED:");
+        for regression in &regressions {
+            eprintln!("  {regression}");
+        }
+        exit(1);
+    }
+    println!("smoke bench OK: all {} subset rows tight", SUBSET.len());
+}

@@ -30,6 +30,13 @@ pub struct TableRow {
     pub seconds: f64,
     /// Size of the synthesized LP (variables, constraints).
     pub lp_size: (usize, usize),
+    /// Simplex iterations of the successful solve (0 on failure).
+    pub lp_iterations: usize,
+    /// `true` when the solve's LP hit its deadline mid-phase-2 and the threshold is
+    /// an anytime (sound but possibly loose) bound rather than a proven optimum.
+    pub lp_truncated: bool,
+    /// Rows and columns the LP presolve removed (0 on failure).
+    pub presolve_removed: (usize, usize),
 }
 
 impl TableRow {
@@ -54,6 +61,12 @@ impl TableRow {
             lp_size: outcome
                 .stats()
                 .map(|s| (s.lp_variables, s.lp_constraints))
+                .unwrap_or((0, 0)),
+            lp_iterations: outcome.stats().map(|s| s.lp_iterations).unwrap_or(0),
+            lp_truncated: outcome.stats().map(|s| s.lp_truncated).unwrap_or(false),
+            presolve_removed: outcome
+                .stats()
+                .map(|s| (s.presolve_rows_removed, s.presolve_cols_removed))
                 .unwrap_or((0, 0)),
         }
     }
@@ -80,6 +93,12 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             tier: options.invariant_tier,
             seconds,
             lp_size: (result.stats.lp_variables, result.stats.lp_constraints),
+            lp_iterations: result.stats.lp_iterations,
+            lp_truncated: result.stats.lp_truncated,
+            presolve_removed: (
+                result.stats.presolve_rows_removed,
+                result.stats.presolve_cols_removed,
+            ),
         },
         Err(_) => TableRow {
             name: benchmark.name.to_string(),
@@ -92,6 +111,9 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             tier: options.invariant_tier,
             seconds,
             lp_size: (0, 0),
+            lp_iterations: 0,
+            lp_truncated: false,
+            presolve_removed: (0, 0),
         },
     }
 }
@@ -214,7 +236,9 @@ pub fn format_json(run: &SuiteRun) -> String {
                     "    {{\"name\": \"{}\", \"group\": \"{}\", \"tight\": {}, ",
                     "\"paper\": {}, \"computed\": {}, \"computed_int\": {}, ",
                     "\"degree\": {}, \"tier\": {}, \"status\": \"{}\", ",
-                    "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}}}"
+                    "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
+                    "\"lp_iterations\": {}, \"lp_truncated\": {}, ",
+                    "\"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}}}"
                 ),
                 escape(&row.name),
                 escape(&row.group),
@@ -228,6 +252,10 @@ pub fn format_json(run: &SuiteRun) -> String {
                 row.seconds,
                 row.lp_size.0,
                 row.lp_size.1,
+                row.lp_iterations,
+                row.lp_truncated,
+                row.presolve_removed.0,
+                row.presolve_removed.1,
             )
         })
         .collect();
@@ -260,6 +288,9 @@ mod tests {
             tier: InvariantTier::Baseline,
             seconds: 1.5,
             lp_size: (10, 20),
+            lp_iterations: 42,
+            lp_truncated: false,
+            presolve_removed: (3, 7),
         };
         assert!(row.is_tight());
         let table = format_table(&[row.clone()]);
@@ -276,6 +307,9 @@ mod tests {
             tier: InvariantTier::Hull,
             seconds: 0.1,
             lp_size: (0, 0),
+            lp_iterations: 0,
+            lp_truncated: false,
+            presolve_removed: (0, 0),
         };
         assert!(!failed.is_tight());
         assert!(format_table(&[failed.clone()]).contains('x'));

@@ -369,30 +369,39 @@ mod tests {
 
     #[test]
     fn escalating_batch_records_chosen_degrees_and_tiers() {
-        // Inner loop bounded by the outer counter: under baseline invariants degree 1
-        // is infeasible, and the ladder escalates the invariant tier (which rescues
-        // degree 1) before ever paying for a quadratic template.
-        let triangular = r#"proc f(n) {
-            assume(n >= 1 && n <= 20);
+        // Interchanged nested loops over *unbounded* inputs: the cost difference is
+        // exactly 0 but the witness is bilinear, so no degree-1 rung (at any tier)
+        // succeeds and the ladder must climb to degree 2.
+        let interchange_old = r#"proc f(a, b) {
+            assume(a >= 1 && b >= 1);
             i = 0;
-            while (i < n) {
-                tick(1);
+            while (i < a) {
                 j = 0;
-                while (j < i) { tick(1); j = j + 1; }
+                while (j < b) { tick(1); j = j + 1; }
+                i = i + 1;
+            }
+        }"#;
+        let interchange_new = r#"proc f(a, b) {
+            assume(a >= 1 && b >= 1);
+            i = 0;
+            while (i < b) {
+                j = 0;
+                while (j < a) { tick(1); j = j + 1; }
                 i = i + 1;
             }
         }"#;
         let jobs = vec![
             BatchJob::from_sources("affine", TICK2, TICK1),
-            BatchJob::from_sources("triangular", triangular, TICK1),
+            BatchJob::from_sources("interchange", interchange_new, interchange_old),
         ];
         let report = run_batch(&jobs, &BatchConfig::with_jobs(2).escalating());
         assert_eq!(report.solved(), 2);
         assert_eq!(report.outcomes[0].degree, 1);
         assert_eq!(report.outcomes[0].tier, dca_invariants::InvariantTier::Baseline);
-        assert_eq!(report.outcomes[1].degree, 1);
-        assert!(report.outcomes[1].tier > dca_invariants::InvariantTier::Baseline);
-        assert!(report.outcomes[1].attempts.len() >= 2);
+        assert_eq!(report.outcomes[1].degree, 2);
+        assert_eq!(report.outcomes[1].tier, dca_invariants::InvariantTier::Baseline);
+        // The full tier climb at degree 1 precedes the degree bump.
+        assert_eq!(report.outcomes[1].attempts.len(), 4);
         assert!(report.outcomes[1].attempts[0].error.is_some());
     }
 }

@@ -176,6 +176,15 @@ pub fn solve_with_escalation(
     // Tier -> re-analyzed program pair, shared across degrees.
     let mut tiered: BTreeMap<InvariantTier, (AnalyzedProgram, AnalyzedProgram)> =
         BTreeMap::new();
+    // The previous rung's final simplex basis. Consecutive rungs share most of their
+    // constraint system — the Handelman encoding emits rows in a stable graded order
+    // and LP unknowns keep their names across attempts — so even a *failed* rung's
+    // basis puts the next rung's phase 1 within a few pivots of feasibility (see
+    // [`DiffCostSolver::solve_with_warm_start`]). Soundness never depends on the
+    // basis (a stale one degrades to a cold start), though the f64 pivot *path* —
+    // and therefore solve time, or which vertex an anytime-truncated solve lands
+    // on — can differ from a cold start's.
+    let mut warm: Option<dca_lp::LpBasis> = None;
     'ladder: for degree in policy.degrees() {
         for tier in policy.tiers(base.invariant_tier) {
             let start = Instant::now();
@@ -188,7 +197,11 @@ pub fn solve_with_escalation(
                 invariant_tier: tier,
                 ..*base
             };
-            let outcome = DiffCostSolver::new(options).solve(new_t, old_t);
+            let (outcome, basis) =
+                DiffCostSolver::new(options).solve_with_warm_start(new_t, old_t, warm.as_ref());
+            if basis.as_ref().map_or(false, |b| !b.is_empty()) {
+                warm = basis;
+            }
             let duration = start.elapsed();
             match outcome {
                 Ok(result) => {
@@ -272,28 +285,37 @@ mod tests {
         assert_eq!(escalated.result.threshold_int(), 20);
     }
 
-    /// A pair whose cost difference is genuinely quadratic *per location*: the inner
-    /// loop of the new version is bounded by the outer counter, so the potential must
-    /// mention `i*j`-shaped terms and no affine (degree-1) witness exists. (A nested
-    /// loop bounded by a second *input* does admit an affine witness over the bounded
-    /// input box, so it cannot serve here.)
-    const TRIANGULAR_NEW: &str = r#"proc f(n) {
-        assume(n >= 1 && n <= 20);
+    /// A pair with *no* affine witness at any invariant tier: the two versions
+    /// interchange a nested loop (both cost exactly `a·b`, so the tight threshold is
+    /// 0), but the inputs are unbounded above — without a box, no degree-1 potential
+    /// can dominate the bilinear cost, while the degree-2 template carries the exact
+    /// `a·b`-shaped witness. (Box-bounded pairs cannot serve here: over a bounded box
+    /// every polynomial difference admits a loose affine witness once the invariants
+    /// carry the bounds, which they do at every tier since the back-edge-delay
+    /// widening fix.)
+    const INTERCHANGE_OLD: &str = r#"proc f(a, b) {
+        assume(a >= 1 && b >= 1);
         i = 0;
-        while (i < n) {
-            tick(1);
+        while (i < a) {
             j = 0;
-            while (j < i) { tick(1); j = j + 1; }
+            while (j < b) { tick(1); j = j + 1; }
             i = i + 1;
         }
     }"#;
-    const TRIANGULAR_OLD: &str =
-        "proc f(n) { assume(n >= 1 && n <= 20); i = 0; while (i < n) { tick(1); i = i + 1; } }";
+    const INTERCHANGE_NEW: &str = r#"proc f(a, b) {
+        assume(a >= 1 && b >= 1);
+        i = 0;
+        while (i < b) {
+            j = 0;
+            while (j < a) { tick(1); j = j + 1; }
+            i = i + 1;
+        }
+    }"#;
 
     #[test]
     fn capped_policy_fails_fast_below_the_needed_degree() {
-        let old = analyzed(TRIANGULAR_OLD);
-        let new = analyzed(TRIANGULAR_NEW);
+        let old = analyzed(INTERCHANGE_OLD);
+        let new = analyzed(INTERCHANGE_NEW);
         let failure = solve_with_escalation(
             &new,
             &old,
@@ -304,7 +326,7 @@ mod tests {
                 max_invariant_tier: InvariantTier::Baseline,
             },
         )
-        .expect_err("degree 1 cannot witness a triangular difference");
+        .expect_err("degree 1 cannot witness an unbounded bilinear difference");
         assert_eq!(failure.error, AnalysisError::NoThresholdFound);
         assert_eq!(failure.attempts.len(), 1);
         assert_eq!(failure.attempts[0].degree, 1);
@@ -312,12 +334,11 @@ mod tests {
     }
 
     #[test]
-    fn escalation_stops_at_degree_two_for_triangular_pair() {
-        let old = analyzed(TRIANGULAR_OLD);
-        let new = analyzed(TRIANGULAR_NEW);
-        // Tier escalation is capped here: the triangular difference is quadratic, so no
-        // invariant strength rescues degree 1, and climbing the tiers first would only
-        // lengthen the trail this test pins down.
+    fn escalation_stops_at_degree_two_for_interchanged_loops() {
+        let old = analyzed(INTERCHANGE_OLD);
+        let new = analyzed(INTERCHANGE_NEW);
+        // Tier escalation is capped: no invariant strength rescues degree 1 here, and
+        // climbing the tiers first would only lengthen the trail this test pins down.
         let escalated = solve_with_escalation(
             &new,
             &old,
@@ -329,18 +350,17 @@ mod tests {
         assert_eq!(escalated.attempts.len(), 2);
         assert!(escalated.attempts[0].error.is_some());
         assert!(escalated.attempts[1].error.is_none());
+        assert_eq!(escalated.result.threshold_int(), 0);
     }
 
-    /// The full ladder climbs tiers within a degree before bumping the degree — and the
-    /// climb pays off: the triangular pair has no degree-1 witness under the baseline
-    /// invariants (see `capped_policy_fails_fast_below_the_needed_degree`, and the
-    /// tier-capped ladder above needs degree 2), but the stronger tier-1 invariants
-    /// carry the bounds an *affine* witness needs, so the ladder settles on degree 1
-    /// without ever paying for the quadratic template.
+    /// The full ladder climbs the invariant tiers within a degree before paying for
+    /// the bigger template, and each failed rung's simplex basis warm-starts the next
+    /// one (the rung order is what this test pins; the warm-start threading runs
+    /// inside `solve_with_warm_start` on every hop).
     #[test]
-    fn ladder_solves_triangular_at_degree_one_with_stronger_invariants() {
-        let old = analyzed(TRIANGULAR_OLD);
-        let new = analyzed(TRIANGULAR_NEW);
+    fn ladder_climbs_tiers_before_degrees() {
+        let old = analyzed(INTERCHANGE_OLD);
+        let new = analyzed(INTERCHANGE_NEW);
         let escalated = solve_with_escalation(
             &new,
             &old,
@@ -350,14 +370,19 @@ mod tests {
         .expect("the ladder must succeed");
         let rungs: Vec<(u32, InvariantTier)> =
             escalated.attempts.iter().map(|a| (a.degree, a.tier)).collect();
-        // The baseline rung fails, the tier-escalated degree-1 rung succeeds.
-        assert_eq!(rungs.first(), Some(&(1, InvariantTier::Baseline)), "{rungs:?}");
-        assert!(escalated.attempts.first().unwrap().error.is_some());
-        assert_eq!(escalated.degree, 1, "{rungs:?}");
-        assert!(escalated.tier > InvariantTier::Baseline, "{rungs:?}");
-        // The degree-1 threshold is sound (the true worst-case difference is 190),
-        // merely looser than the tight degree-2 one — the ladder trades precision for
-        // the much cheaper template.
-        assert!(escalated.result.threshold_int() >= 190);
+        assert_eq!(
+            rungs,
+            vec![
+                (1, InvariantTier::Baseline),
+                (1, InvariantTier::Hull),
+                (1, InvariantTier::Relational),
+                (2, InvariantTier::Baseline),
+            ],
+            "tiers climb before the degree bumps"
+        );
+        assert!(escalated.attempts[..3].iter().all(|a| a.error.is_some()));
+        assert_eq!(escalated.degree, 2);
+        assert_eq!(escalated.tier, InvariantTier::Baseline);
+        assert_eq!(escalated.result.threshold_int(), 0);
     }
 }

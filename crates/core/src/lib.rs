@@ -66,6 +66,7 @@ pub use escalate::{
     EscalationPolicy,
 };
 pub use dca_invariants::InvariantTier;
+pub use dca_lp::LpBasis;
 pub use options::{AnalysisOptions, LpBackend};
 pub use potential::PotentialFunction;
 pub use program::AnalyzedProgram;

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use dca_handelman::{encode_nonnegativity, ConstraintSense, UnknownConstraint, UnknownFactory, UnknownKind};
 use dca_ir::IntValuation;
-use dca_lp::{ConstraintOp, LpProblem, LpStatus, LpVar, VarKind};
+use dca_lp::{ConstraintOp, LpBasis, LpProblem, LpStatus, LpVar, VarKind};
 use dca_numeric::Rational;
 use dca_poly::{LinExpr, LinForm, Polynomial, TemplatePolynomial, UnknownId, VarId};
 
@@ -58,7 +58,7 @@ impl fmt::Display for AnalysisError {
 impl std::error::Error for AnalysisError {}
 
 /// Size and timing statistics of one solver invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Number of LP variables (template coefficients, threshold, multipliers).
     pub lp_variables: usize,
@@ -67,6 +67,16 @@ pub struct SolveStats {
     /// Number of constraint rows the Handelman encoding emitted before duplicate and
     /// trivially-satisfied rows were removed.
     pub lp_constraints_raw: usize,
+    /// Simplex iterations of the final LP solve (0 when presolve decided it).
+    pub lp_iterations: usize,
+    /// `true` when the LP deadline expired during phase 2 and the reported threshold
+    /// is the last feasible iterate — a *sound but possibly loose* upper bound
+    /// rather than a proven optimum (anytime semantics).
+    pub lp_truncated: bool,
+    /// Constraint rows removed by the LP presolve pass.
+    pub presolve_rows_removed: usize,
+    /// Standard-form columns removed by the LP presolve pass.
+    pub presolve_cols_removed: usize,
     /// Wall-clock time spent constructing and solving the LP.
     pub duration: Duration,
 }
@@ -184,6 +194,25 @@ impl DiffCostSolver {
         new: &AnalyzedProgram,
         old: &AnalyzedProgram,
     ) -> Result<DiffCostResult, AnalysisError> {
+        self.solve_with_warm_start(new, old, None).0
+    }
+
+    /// Like [`DiffCostSolver::solve`], seeding the LP with the final basis of a
+    /// previous related solve and returning this solve's own final basis.
+    ///
+    /// The escalation ladder ([`crate::escalate`]) threads the basis from rung to
+    /// rung: consecutive `(degree, tier)` attempts share most of their constraint
+    /// system (the Handelman encoding emits constraints in a stable graded order, and
+    /// unknown names are stable across attempts), so the previous basis — even the
+    /// basis of a *failed*, infeasible attempt — puts the simplex within a few pivots
+    /// of the new optimum. The returned basis is `Some` whenever an LP actually ran,
+    /// regardless of the analysis outcome.
+    pub fn solve_with_warm_start(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        warm: Option<&LpBasis>,
+    ) -> (Result<DiffCostResult, AnalysisError>, Option<LpBasis>) {
         let start = Instant::now();
         let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
         let (new, old) = (new.as_ref(), old.as_ref());
@@ -204,14 +233,14 @@ impl DiffCostSolver {
         );
         set.extend(encoding.constraints);
 
-        let (objective_value, assignment, stats) =
-            self.solve_lp(&factory, &set, Some(threshold), start)?;
-        Ok(DiffCostResult {
+        let attempt = self.solve_lp(&factory, &set, Some(threshold), start, warm);
+        let result = attempt.result.map(|(objective_value, assignment, stats)| DiffCostResult {
             threshold: objective_value,
             potential_new: templates_new.instantiate(&assignment),
             anti_potential_old: templates_old.instantiate(&assignment),
             stats,
-        })
+        });
+        (result, attempt.basis)
     }
 
     /// Proves a symbolic polynomial bound `p(x)` on the cost difference:
@@ -245,7 +274,7 @@ impl DiffCostSolver {
             "symbolic-bound",
         );
         set.extend(encoding.constraints);
-        let (_, assignment, stats) = self.solve_lp(&factory, &set, None, start)?;
+        let (_, assignment, stats) = self.solve_lp(&factory, &set, None, start, None).result?;
         Ok(SymbolicBoundResult {
             potential_new: templates_new.instantiate(&assignment),
             anti_potential_old: templates_old.instantiate(&assignment),
@@ -341,7 +370,7 @@ impl DiffCostSolver {
             let exceeded = &difference - &LinForm::constant(Rational::from_int(threshold + 1));
             let mut candidate_set = set.clone();
             candidate_set.push(UnknownConstraint::ge(exceeded, "refutation"));
-            match self.solve_lp(&factory, &candidate_set, None, start) {
+            match self.solve_lp(&factory, &candidate_set, None, start, None).result {
                 Ok((_, assignment, stats)) => {
                     return Ok(RefutationResult {
                         witness_input: candidate,
@@ -458,7 +487,8 @@ impl DiffCostSolver {
         set: &ConstraintSet,
         objective: Option<UnknownId>,
         start: Instant,
-    ) -> Result<(f64, BTreeMap<UnknownId, Rational>, SolveStats), AnalysisError> {
+        warm: Option<&LpBasis>,
+    ) -> LpAttempt {
         let mut lp = LpProblem::new();
         if let Some(budget) = self.options.time_budget {
             // The budget covers the whole solve; constraint collection already consumed
@@ -523,15 +553,20 @@ impl DiffCostSolver {
             );
         }
 
-        let stats = |duration| SolveStats {
+        let stats = |duration, info: dca_lp::LpSolveInfo| SolveStats {
             lp_variables: lp.num_vars(),
             lp_constraints: lp.num_constraints(),
             lp_constraints_raw: raw_rows,
+            lp_iterations: info.iterations,
+            lp_truncated: info.truncated,
+            presolve_rows_removed: info.presolve_rows_removed,
+            presolve_cols_removed: info.presolve_cols_removed,
             duration,
         };
-        let solve_exact = |lp: &LpProblem| {
+        let solve_exact = |lp: &LpProblem| -> LpAttempt {
             let solution = lp.solve_exact();
-            match solution.status {
+            let basis = Some(solution.basis.clone());
+            let result = match solution.status {
                 LpStatus::Optimal => {
                     let assignment: BTreeMap<UnknownId, Rational> = factory
                         .iter()
@@ -542,38 +577,49 @@ impl DiffCostSolver {
                         .as_ref()
                         .map(Rational::to_f64)
                         .unwrap_or(0.0);
-                    Ok((objective_value, assignment, stats(start.elapsed())))
+                    Ok((objective_value, assignment, stats(start.elapsed(), solution.info)))
                 }
                 LpStatus::Infeasible => Err(AnalysisError::NoThresholdFound),
                 LpStatus::Unbounded => Err(AnalysisError::Unbounded),
                 LpStatus::IterationLimit => Err(AnalysisError::IterationLimit),
                 LpStatus::TimedOut => Err(AnalysisError::Timeout),
-            }
+            };
+            LpAttempt { result, basis }
         };
         match self.options.backend {
             LpBackend::F64 => {
-                let solution = lp.solve_f64();
-                match solution.status {
+                let solution = lp.solve_f64_warm(warm);
+                let basis = Some(solution.basis.clone());
+                let result = match solution.status {
                     LpStatus::Optimal => {
                         let assignment: BTreeMap<UnknownId, Rational> = factory
                             .iter()
                             .map(|u| (u, Rational::from_f64(solution.values[u.index()])))
                             .collect();
                         let objective_value = solution.objective.unwrap_or(0.0);
-                        Ok((objective_value, assignment, stats(start.elapsed())))
+                        Ok((objective_value, assignment, stats(start.elapsed(), solution.info)))
                     }
                     LpStatus::Infeasible => Err(AnalysisError::NoThresholdFound),
                     // Spurious unboundedness / stalling can occur in floating point on
                     // badly conditioned instances; fall back to the exact backend before
                     // giving up.
-                    LpStatus::Unbounded | LpStatus::IterationLimit => solve_exact(&lp),
+                    LpStatus::Unbounded | LpStatus::IterationLimit => return solve_exact(&lp),
                     // A timeout is a genuine budget exhaustion: no fallback.
                     LpStatus::TimedOut => Err(AnalysisError::Timeout),
-                }
+                };
+                LpAttempt { result, basis }
             }
             LpBackend::Exact => solve_exact(&lp),
         }
     }
+}
+
+/// Outcome of one LP assembly-and-solve: the analysis-level result plus the final
+/// simplex basis, which warm-starts the next related solve even when this one failed
+/// (an infeasible rung's basis is exactly where the next rung wants to resume).
+struct LpAttempt {
+    result: Result<(f64, BTreeMap<UnknownId, Rational>, SolveStats), AnalysisError>,
+    basis: Option<LpBasis>,
 }
 
 /// Evaluates a template polynomial at a concrete valuation, producing an affine form over

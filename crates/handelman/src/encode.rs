@@ -93,7 +93,38 @@ pub fn products_up_to(aff: &[LinExpr], max_factors: u32) -> Vec<Polynomial> {
     let mut seen: std::collections::HashSet<Polynomial> =
         std::collections::HashSet::with_capacity(result.len());
     result.retain(|product| seen.insert(product.clone()));
+    // Stable graded order: products of lower degree first, ties broken by the term
+    // list. Two consequences the LP layer relies on: (1) the emitted multiplier
+    // columns — and hence their `lambda[origin#i]` names — are deterministic for a
+    // given `aff` set, and (2) raising `max_factors` only *appends* products, so the
+    // shared columns of consecutive escalation-ladder rungs keep their names and a
+    // previous rung's basis remains a valid warm start (see `dca_core::escalate`).
+    result.sort_by(compare_polynomials);
     result
+}
+
+/// Graded comparison of polynomials: by total degree, then term-by-term on the sorted
+/// `(monomial, coefficient)` lists. Used to give `Prod_K(Aff)` a stable order.
+fn compare_polynomials(a: &Polynomial, b: &Polynomial) -> std::cmp::Ordering {
+    a.degree()
+        .cmp(&b.degree())
+        .then_with(|| {
+            let mut left = a.iter();
+            let mut right = b.iter();
+            loop {
+                match (left.next(), right.next()) {
+                    (None, None) => return std::cmp::Ordering::Equal,
+                    (None, Some(_)) => return std::cmp::Ordering::Less,
+                    (Some(_), None) => return std::cmp::Ordering::Greater,
+                    (Some((ma, ca)), Some((mb, cb))) => {
+                        let ord = ma.cmp(mb).then_with(|| ca.cmp(cb));
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                }
+            }
+        })
 }
 
 /// Encodes the implication `(∀x. aff_i(x) ≥ 0 for all i) ⟹ poly(x) ≥ 0` as linear

@@ -18,7 +18,12 @@ use crate::polyhedron::Polyhedron;
 /// |------|------|----------|--------|
 /// | `Baseline` | entailment filter | plain | — |
 /// | `Hull` | constraint-based hull (interval + octagon directions) | with thresholds harvested from guards and Θ0 | one descending narrowing round |
-/// | `Relational` | as `Hull` | only at loop headers (from [`dca_ir::LoopNest`]), longer delay | two narrowing rounds; non-header locations never widen, so relational facts between inner and outer loop counters survive propagation |
+/// | `Relational` | as `Hull` | as `Hull` | two narrowing rounds |
+///
+/// At every tier, widening fires only on deliveries along back edges (computed by
+/// [`dca_ir::LoopNest`]), so straight-line and join locations — including the entry of
+/// a loop that is sequentially composed after another loop — propagate their values
+/// exactly and post-loop facts survive into downstream loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum InvariantTier {
     /// The fast fixed-precision engine: weak entailment-filter join, plain widening.
@@ -184,16 +189,20 @@ impl InvariantAnalysis {
 
     /// The ascending (widening) fixpoint phase.
     fn ascend(&self, ts: &TransitionSystem, fresh_base: u32) -> BTreeMap<LocId, Polyhedron> {
-        // At `Relational`, widening is restricted to loop headers: every cycle of the
-        // transition graph passes through one (back-edge targets cut all cycles), so
-        // termination is preserved, while straight-line and join locations propagate
-        // their values exactly. Lower tiers widen everywhere after the delay.
-        let widening_points: Option<BTreeSet<LocId>> =
-            if self.tier >= InvariantTier::Relational {
-                Some(LoopNest::analyze(ts).headers().into_iter().collect())
-            } else {
-                None
-            };
+        // Widening fires only on deliveries along *back edges* (at every tier).
+        // Termination is preserved — an infinite ascending chain must propagate around a
+        // cycle, every cycle closes with a back edge, and that edge's delivery counter
+        // eventually exceeds the delay. Counting *all* deliveries (as earlier revisions
+        // did) made a loop that merely sits downstream of another loop widen while the
+        // upstream fixpoint was still churning, before its own back edge had delivered a
+        // single iterate: the sequential composition `while(..){..}; while(..){..}`
+        // then lost the second loop's `j ≤ n` bound, which is why the `SequentialSingle`
+        // and `Ex4` rows of Table 1 went loose at the lower tiers.
+        let back_edges: BTreeSet<usize> = LoopNest::analyze(ts)
+            .back_edges()
+            .iter()
+            .map(|edge| edge.transition)
+            .collect();
         let thresholds = if self.tier >= InvariantTier::Hull {
             self.harvest_thresholds(ts)
         } else {
@@ -231,7 +240,9 @@ impl InvariantAnalysis {
             if current.is_bottom() {
                 continue;
             }
-            for transition in ts.outgoing(loc) {
+            for (index, transition) in
+                ts.transitions().iter().enumerate().filter(|(_, t)| t.source == loc)
+            {
                 if transition.source == ts.terminal() && transition.target == ts.terminal() {
                     continue; // terminal self-loop carries no information
                 }
@@ -244,20 +255,15 @@ impl InvariantAnalysis {
                 if post.entails_all(&existing) && !existing.is_bottom() {
                     continue; // no new information
                 }
+                let may_widen = back_edges.contains(&index);
                 let count = visit_counts.entry(target).or_insert(0);
-                *count += 1;
+                if may_widen {
+                    // Only growing deliveries around the loop itself count toward the
+                    // delay; churn arriving through the entry edge keeps the exact join.
+                    *count += 1;
+                }
                 let joined = self.join(&existing, &post);
-                let may_widen =
-                    widening_points.as_ref().map_or(true, |points| points.contains(&target));
-                let delay = if widening_points.is_some() {
-                    // Header-only widening visits each header more often (every inner
-                    // location funnels through it); a longer leash lets the exact joins
-                    // find the stable relational facts before widening prunes.
-                    self.widening_delay * 2
-                } else {
-                    self.widening_delay
-                };
-                let mut updated = if may_widen && *count > delay {
+                let mut updated = if may_widen && *count > self.widening_delay {
                     if self.tier >= InvariantTier::Hull {
                         existing.widen_with_thresholds(&joined, &thresholds)
                     } else {
@@ -555,6 +561,66 @@ mod tests {
         assert_eq!(InvariantTier::Relational.to_string(), "relational");
         assert!(InvariantTier::Baseline < InvariantTier::Hull);
         assert_eq!(InvariantTier::default(), InvariantTier::Baseline);
+    }
+
+    /// Two sequential loops: `while (i < n) i++` then `while (j < n) j++`.
+    /// Regression test for the back-edge widening delay: the upstream loop's fixpoint
+    /// churn must not burn the downstream loop's widening delay, or the second head
+    /// loses its `j ≤ n` bound (which made the `SequentialSingle` and `Ex4` Table-1
+    /// rows loose at the lower tiers).
+    fn sequential_loops() -> TransitionSystem {
+        let mut b = TsBuilder::new();
+        b.name("sequential");
+        let i = b.var("i");
+        let j = b.var("j");
+        let n = b.var("n");
+        let head1 = b.location("head1");
+        let mid = b.location("mid");
+        let head2 = b.location("head2");
+        let out = b.terminal();
+        b.set_initial(head1);
+        b.add_theta0(LinExpr::var(n) - LinExpr::from_int(1));
+        b.add_theta0(LinExpr::from_int(100) - LinExpr::var(n));
+        // head1 self-loop: guard i < n, i++ (with a tick so the cost var exists).
+        b.transition(head1, head1)
+            .guard(LinExpr::var(n) - LinExpr::var(i) - LinExpr::from_int(1))
+            .update(i, Update::assign(Polynomial::var(i) + Polynomial::from_int(1)))
+            .tick(1)
+            .finish();
+        // head1 -> mid: guard i >= n; mid -> head2: j := 0.
+        b.transition(head1, mid).guard(LinExpr::var(i) - LinExpr::var(n)).finish();
+        b.transition(mid, head2)
+            .update(j, Update::assign(Polynomial::zero()))
+            .finish();
+        // head2 self-loop: guard j < n, j++.
+        b.transition(head2, head2)
+            .guard(LinExpr::var(n) - LinExpr::var(j) - LinExpr::from_int(1))
+            .update(j, Update::assign(Polynomial::var(j) + Polynomial::from_int(1)))
+            .tick(1)
+            .finish();
+        b.transition(head2, out).guard(LinExpr::var(j) - LinExpr::var(n)).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn second_sequential_loop_keeps_its_bounds_at_every_tier() {
+        let ts = sequential_loops();
+        let j = ts.pool().lookup("j").unwrap();
+        let n = ts.pool().lookup("n").unwrap();
+        let head2 = LocId(2);
+        for tier in InvariantTier::ALL {
+            let invariants = InvariantAnalysis::at_tier(tier).analyze(&ts);
+            assert!(
+                invariants.entails(head2, &LinExpr::var(j)),
+                "tier {tier}: lost j >= 0 at the second loop head:\n{}",
+                invariants.render(&ts)
+            );
+            assert!(
+                invariants.entails(head2, &(LinExpr::var(n) - LinExpr::var(j))),
+                "tier {tier}: lost j <= n at the second loop head:\n{}",
+                invariants.render(&ts)
+            );
+        }
     }
 
     #[test]

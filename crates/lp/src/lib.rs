@@ -2,14 +2,23 @@
 //!
 //! Step 4 of the paper's algorithm solves a single linear program — "minimize the
 //! threshold `t` subject to all collected linear constraints" — with an off-the-shelf
-//! solver (the paper uses Gurobi). This crate provides that substrate: a dense two-phase
-//! simplex implementation with two interchangeable numeric backends:
+//! solver (the paper uses Gurobi). This crate provides that substrate: a presolve pass
+//! (singleton-row substitution, forcing-row and fixed/empty-column elimination,
+//! redundant-row drop) followed by a *sparse revised* two-phase simplex that keeps the
+//! constraint matrix in column-major form and maintains an eta-file basis
+//! factorization with periodic reinversion. Two numeric backends share the algorithm:
 //!
-//! * the default [`LpProblem::solve_f64`] backend mirrors the paper's real-valued LP and
-//!   is fast enough for the full benchmark suite;
-//! * the exact [`LpProblem::solve_exact`] backend runs the same algorithm over
-//!   [`Rational`](dca_numeric::Rational) arithmetic with Bland’s rule and is used by the test-suite to
-//!   cross-check small instances.
+//! * the default [`LpProblem::solve_f64`] backend mirrors the paper's real-valued LP
+//!   and is fast enough for the full benchmark suite (the crate's original dense
+//!   tableau remains as its non-convergence rescue path);
+//! * the exact [`LpProblem::solve_exact`] backend runs over
+//!   [`Rational`](dca_numeric::Rational) arithmetic with Bland’s rule and is used by
+//!   the test-suite to cross-check small instances.
+//!
+//! Solves can be *warm-started* from the final basis of a previous related problem
+//! ([`LpProblem::solve_f64_warm`], [`LpBasis`]): basic columns are matched by name, so
+//! the basis survives into a structurally different LP — the escalation ladder in
+//! `dca_core` threads it through consecutive `(degree, tier)` attempts.
 //!
 //! # Example
 //!
@@ -31,9 +40,14 @@
 //! assert_eq!(solution.objective.unwrap(), Rational::new(14, 5));
 //! ```
 
+mod presolve;
 mod problem;
+mod revised;
 mod scalar;
 mod simplex;
 
-pub use problem::{ConstraintOp, LpConstraint, LpProblem, LpResult, LpStatus, LpVar, VarKind};
+pub use problem::{
+    ConstraintOp, LpBasis, LpConstraint, LpProblem, LpResult, LpSolveInfo, LpStatus, LpVar,
+    VarKind,
+};
 pub use scalar::Scalar;

@@ -1,0 +1,490 @@
+//! Presolve: shrinks a standard-form LP before any simplex runs, and maps the reduced
+//! solution back to the original column space.
+//!
+//! The Handelman encodings this crate solves are dominated by coefficient-matching
+//! equalities with zero right-hand sides over non-negative multipliers. That structure
+//! makes four classical reductions unusually productive:
+//!
+//! * **zero / constant rows** — rows whose every coefficient vanished are dropped when
+//!   trivially satisfied (and decide infeasibility when violated);
+//! * **singleton rows** — `a·y = b` fixes `y = b/a` outright, and the fixed value is
+//!   substituted through the rest of the system (bound propagation for an all-equality,
+//!   `y ≥ 0` form: a negative fixed value is an immediate infeasibility verdict);
+//! * **forcing rows** — `Σ aᵢ yᵢ = 0` with single-signed coefficients forces every
+//!   involved variable to zero (each `yᵢ ≥ 0`), eliminating whole column groups;
+//! * **duplicate rows and empty columns** — textually identical rows are kept once;
+//!   columns that appear in no row are fixed to zero when their cost cannot improve
+//!   the objective. (A no-row column with *negative* cost is kept: the LP is then
+//!   "infeasible or unbounded", and only the simplex — which proves feasibility in
+//!   phase 1 before anything else — can tell which.)
+//!
+//! The reductions cascade (fixing a column can create new singleton or zero rows), so
+//! the pass iterates to a fixpoint. Everything runs in the solver's scalar type, with
+//! one asymmetry: **only the exact backend may conclude infeasibility here**. The
+//! `f64` pass substitutes rounded values, and a cascade of substitutions on raw
+//! (un-equilibrated) coefficients could push a residual past the tolerance — so any
+//! row an `f64` pass would call violated is simply *left in place* for the simplex,
+//! whose infeasibility verdicts sit behind a noise floor and a perturbed retry.
+//! Fixed column values, by contrast, are always safe to propagate: a wrong `Optimal`
+//! built on them is caught by the model-level feasibility re-check in
+//! `LpProblem::solve_f64`.
+
+use crate::problem::LpStatus;
+use crate::scalar::Scalar;
+use crate::simplex::StandardForm;
+
+/// The outcome of presolving a standard-form problem.
+#[derive(Debug, Clone)]
+pub(crate) struct Presolved<S> {
+    /// The reduced problem (meaningful only when `verdict` is `None`).
+    pub form: StandardForm<S>,
+    /// Reduced column index → original column index.
+    pub kept_cols: Vec<usize>,
+    /// Values of eliminated columns, by original column index.
+    pub fixed: Vec<(usize, S)>,
+    /// Number of rows removed by the pass.
+    pub rows_removed: usize,
+    /// Number of columns removed by the pass.
+    pub cols_removed: usize,
+    /// A definitive verdict reached during presolve (`Infeasible` or `Unbounded`),
+    /// short-circuiting the simplex entirely.
+    pub verdict: Option<LpStatus>,
+}
+
+impl<S: Scalar> Presolved<S> {
+    /// Maps a solution over the reduced columns back to the original column space.
+    pub fn restore(&self, reduced_values: &[S], num_original_cols: usize) -> Vec<S> {
+        let mut values = vec![S::zero(); num_original_cols];
+        for (&original, value) in self.kept_cols.iter().zip(reduced_values) {
+            values[original] = value.clone();
+        }
+        for (original, value) in &self.fixed {
+            values[*original] = value.clone();
+        }
+        values
+    }
+
+    /// Maps original column indices (e.g. a warm-start basis) to reduced indices,
+    /// silently dropping columns the presolve eliminated.
+    pub fn map_cols(&self, original: &[usize]) -> Vec<usize> {
+        let mut lookup = vec![usize::MAX; original.iter().max().map_or(0, |m| m + 1)];
+        for (reduced, &orig) in self.kept_cols.iter().enumerate() {
+            if orig < lookup.len() {
+                lookup[orig] = reduced;
+            }
+        }
+        original
+            .iter()
+            .filter_map(|&c| lookup.get(c).copied().filter(|&r| r != usize::MAX))
+            .collect()
+    }
+}
+
+/// One live row during the pass: terms over *original* column indices, plus the
+/// (substitution-adjusted) right-hand side.
+struct Row<S> {
+    terms: Vec<(usize, S)>,
+    rhs: S,
+}
+
+/// The identity presolve: keeps every row and column (used when presolve is disabled
+/// with `DCA_LP_NO_PRESOLVE=1`, e.g. by the A/B soundness tests).
+pub(crate) fn identity<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
+    Presolved {
+        form: form.clone(),
+        kept_cols: (0..form.costs.len()).collect(),
+        fixed: Vec::new(),
+        rows_removed: 0,
+        cols_removed: 0,
+        verdict: None,
+    }
+}
+
+/// Runs the presolve reductions to a fixpoint.
+pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
+    let num_cols = form.costs.len();
+    let mut rows: Vec<Option<Row<S>>> = form
+        .matrix
+        .iter()
+        .zip(&form.rhs)
+        .map(|(row, rhs)| {
+            let terms: Vec<(usize, S)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.is_exactly_zero())
+                .map(|(j, a)| (j, a.clone()))
+                .collect();
+            Some(Row { terms, rhs: rhs.clone() })
+        })
+        .collect();
+    // `None` = still free; `Some(v)` = fixed to `v`.
+    let mut fixed: Vec<Option<S>> = vec![None; num_cols];
+    let mut rows_removed = 0usize;
+    let mut infeasible = false;
+    // `f64` only: a reduction step smelled infeasibility. The float pass must not
+    // issue that verdict itself (see the module docs), and it must not leave the
+    // suspect row in the *reduced* system either — substituted-away columns and row
+    // equilibration could amplify a rounding residual into a hard contradiction. The
+    // whole pass is abandoned instead: the simplex solves the original system and
+    // issues the verdict behind its own noise floor and perturbed retry.
+    let mut suspect = false;
+
+    // Reduction fixpoint. Each pass substitutes known values, then applies the row
+    // rules; fixing a column can enable further reductions, so iterate (the cascade
+    // depth is small in practice — the cap is a safety net, not a tuning knob).
+    for _ in 0..24 {
+        let mut changed = false;
+        for slot in rows.iter_mut() {
+            let Some(row) = slot else { continue };
+            // Substitute fixed columns into the right-hand side.
+            let before = row.terms.len();
+            let mut rhs = row.rhs.clone();
+            row.terms.retain(|(col, coeff)| match &fixed[*col] {
+                Some(value) => {
+                    if !value.is_exactly_zero() {
+                        rhs = rhs.sub(&coeff.mul(value));
+                    }
+                    false
+                }
+                None => true,
+            });
+            row.rhs = rhs;
+            if row.terms.len() != before {
+                changed = true;
+            }
+
+            if row.terms.is_empty() {
+                // Constant row: satisfied → drop; violated → infeasible (exact) or
+                // left for the simplex to condemn behind its noise floor (f64).
+                if !row.rhs.is_zero() {
+                    if S::IS_EXACT {
+                        infeasible = true;
+                    } else {
+                        suspect = true;
+                        continue;
+                    }
+                }
+                *slot = None;
+                rows_removed += 1;
+                changed = true;
+                continue;
+            }
+            if row.terms.len() == 1 {
+                // Singleton row: a·y = b fixes y = b/a (and y ≥ 0 must hold). A
+                // violated or conflicting singleton decides infeasibility only on
+                // the exact backend; the f64 pass keeps the row for the simplex.
+                let (col, coeff) = row.terms[0].clone();
+                let value = row.rhs.div(&coeff);
+                let violated = value.is_negative()
+                    || matches!(&fixed[col], Some(existing) if !existing.sub(&value).is_zero());
+                if violated {
+                    if S::IS_EXACT {
+                        infeasible = true;
+                    } else {
+                        suspect = true;
+                        continue;
+                    }
+                } else if fixed[col].is_none() {
+                    fixed[col] = Some(value);
+                }
+                *slot = None;
+                rows_removed += 1;
+                changed = true;
+                continue;
+            }
+            // Forcing row: Σ aᵢ yᵢ = b with single-signed coefficients and y ≥ 0.
+            let all_nonneg = row.terms.iter().all(|(_, a)| !a.is_negative());
+            let all_nonpos = row.terms.iter().all(|(_, a)| !a.is_positive());
+            if (all_nonneg && row.rhs.is_negative()) || (all_nonpos && row.rhs.is_positive()) {
+                // The left side cannot reach the right side's sign.
+                if S::IS_EXACT {
+                    infeasible = true;
+                    *slot = None;
+                    rows_removed += 1;
+                    changed = true;
+                } else {
+                    suspect = true;
+                }
+                continue;
+            }
+            if (all_nonneg || all_nonpos) && row.rhs.is_zero() {
+                if row.terms.iter().any(|(col, _)| {
+                    matches!(&fixed[*col], Some(existing) if !existing.is_zero())
+                }) {
+                    // Conflicts with an earlier fix: infeasible on the exact
+                    // backend, the simplex's problem otherwise.
+                    if S::IS_EXACT {
+                        infeasible = true;
+                        *slot = None;
+                        rows_removed += 1;
+                        changed = true;
+                    } else {
+                        suspect = true;
+                    }
+                    continue;
+                }
+                for (col, _) in &row.terms {
+                    if fixed[*col].is_none() {
+                        fixed[*col] = Some(S::zero());
+                    }
+                }
+                *slot = None;
+                rows_removed += 1;
+                changed = true;
+                continue;
+            }
+        }
+        if infeasible || suspect || !changed {
+            break;
+        }
+    }
+
+    if suspect {
+        return identity(form);
+    }
+
+    if infeasible {
+        return Presolved {
+            form: StandardForm {
+                matrix: Vec::new(),
+                rhs: Vec::new(),
+                costs: Vec::new(),
+                model_columns: form.model_columns.clone(),
+            },
+            kept_cols: Vec::new(),
+            fixed: collect_fixed(&fixed),
+            rows_removed,
+            cols_removed: fixed.iter().filter(|f| f.is_some()).count(),
+            verdict: Some(LpStatus::Infeasible),
+        };
+    }
+
+    // Duplicate-row drop: hash on the (column, bit-pattern) term list, verify exactly.
+    {
+        use std::collections::HashMap;
+        let mut seen: HashMap<Vec<(usize, u64)>, usize> = HashMap::new();
+        let indices: Vec<usize> =
+            rows.iter().enumerate().filter(|(_, r)| r.is_some()).map(|(i, _)| i).collect();
+        for index in indices {
+            let key: Vec<(usize, u64)> = {
+                let row = rows[index].as_ref().unwrap();
+                let mut key: Vec<(usize, u64)> = row
+                    .terms
+                    .iter()
+                    .map(|(c, a)| (*c, a.to_f64().to_bits()))
+                    .collect();
+                key.push((usize::MAX, row.rhs.to_f64().to_bits()));
+                key
+            };
+            match seen.get(&key) {
+                Some(&kept) => {
+                    // Bit-pattern collision is not proof; confirm term-by-term.
+                    let same = {
+                        let (a, b) = (rows[kept].as_ref().unwrap(), rows[index].as_ref().unwrap());
+                        a.terms.len() == b.terms.len()
+                            && a.rhs.sub(&b.rhs).is_exactly_zero()
+                            && a.terms.iter().zip(&b.terms).all(|((ca, va), (cb, vb))| {
+                                ca == cb && va.sub(vb).is_exactly_zero()
+                            })
+                    };
+                    if same {
+                        rows[index] = None;
+                        rows_removed += 1;
+                    }
+                }
+                None => {
+                    seen.insert(key, index);
+                }
+            }
+        }
+    }
+
+    // Column accounting: a column in no surviving row is free of constraints. With
+    // non-negative cost it is fixed to zero; with *negative* cost it is kept — the
+    // LP is then "infeasible or unbounded", and only the simplex (which first proves
+    // feasibility in phase 1) can tell which, so presolve must not issue a
+    // definitive `Unbounded` verdict here.
+    let mut occurs = vec![false; num_cols];
+    for row in rows.iter().flatten() {
+        for (col, _) in &row.terms {
+            occurs[*col] = true;
+        }
+    }
+    for col in 0..num_cols {
+        if fixed[col].is_some() || occurs[col] || form.costs[col].is_negative() {
+            continue;
+        }
+        fixed[col] = Some(S::zero());
+    }
+
+    // Assemble the reduced problem over the surviving columns.
+    let kept_cols: Vec<usize> = (0..num_cols).filter(|&c| fixed[c].is_none()).collect();
+    let mut reduced_of = vec![usize::MAX; num_cols];
+    for (reduced, &orig) in kept_cols.iter().enumerate() {
+        reduced_of[orig] = reduced;
+    }
+    let mut matrix = Vec::new();
+    let mut rhs_out = Vec::new();
+    for row in rows.iter().flatten() {
+        let mut dense = vec![S::zero(); kept_cols.len()];
+        for (col, coeff) in &row.terms {
+            dense[reduced_of[*col]] = coeff.clone();
+        }
+        let mut b = row.rhs.clone();
+        // Substitutions can flip a right-hand side negative; re-normalize to b ≥ 0.
+        if b.is_negative() {
+            for cell in &mut dense {
+                *cell = cell.neg();
+            }
+            b = b.neg();
+        }
+        matrix.push(dense);
+        rhs_out.push(b);
+    }
+    let costs: Vec<S> = kept_cols.iter().map(|&c| form.costs[c].clone()).collect();
+    let cols_removed = num_cols - kept_cols.len();
+    Presolved {
+        form: StandardForm {
+            matrix,
+            rhs: rhs_out,
+            costs,
+            model_columns: form.model_columns.clone(),
+        },
+        kept_cols,
+        fixed: collect_fixed(&fixed),
+        rows_removed,
+        cols_removed,
+        verdict: None,
+    }
+}
+
+fn collect_fixed<S: Scalar>(fixed: &[Option<S>]) -> Vec<(usize, S)> {
+    fixed
+        .iter()
+        .enumerate()
+        .filter_map(|(col, value)| value.clone().map(|v| (col, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_numeric::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn form(matrix: Vec<Vec<Rational>>, rhs: Vec<Rational>, costs: Vec<Rational>) -> StandardForm<Rational> {
+        StandardForm { matrix, rhs, costs, model_columns: Vec::new() }
+    }
+
+    #[test]
+    fn singleton_row_fixes_and_substitutes() {
+        // 2x = 6 (x = 3), x + y = 5 (y = 2 via cascade's singleton), minimize y.
+        let f = form(
+            vec![vec![r(2, 1), r(0, 1)], vec![r(1, 1), r(1, 1)]],
+            vec![r(6, 1), r(5, 1)],
+            vec![r(0, 1), r(1, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.form.matrix.len(), 0, "both rows resolve by substitution");
+        let values = pre.restore(&[], 2);
+        assert_eq!(values, vec![r(3, 1), r(2, 1)]);
+        assert_eq!(pre.rows_removed, 2);
+        assert_eq!(pre.cols_removed, 2);
+    }
+
+    #[test]
+    fn negative_singleton_is_infeasible() {
+        // x = -1 contradicts x >= 0.
+        let f = form(vec![vec![r(1, 1)]], vec![r(-1, 1)], vec![r(0, 1)]);
+        assert_eq!(presolve(&f).verdict, Some(LpStatus::Infeasible));
+    }
+
+    #[test]
+    fn forcing_row_zeroes_columns() {
+        // x + 2y = 0 with x,y >= 0 forces x = y = 0; the second row then decides z.
+        let f = form(
+            vec![
+                vec![r(1, 1), r(2, 1), r(0, 1)],
+                vec![r(1, 1), r(0, 1), r(1, 1)],
+            ],
+            vec![r(0, 1), r(4, 1)],
+            vec![r(0, 1), r(0, 1), r(1, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        let values = pre.restore(&[], 3);
+        assert_eq!(values, vec![Rational::zero(), Rational::zero(), r(4, 1)]);
+    }
+
+    #[test]
+    fn conflicting_fixes_are_infeasible() {
+        // x = 2 and x = 3.
+        let f = form(
+            vec![vec![r(1, 1)], vec![r(1, 1)]],
+            vec![r(2, 1), r(3, 1)],
+            vec![r(1, 1)],
+        );
+        assert_eq!(presolve(&f).verdict, Some(LpStatus::Infeasible));
+    }
+
+    #[test]
+    fn duplicate_rows_are_dropped() {
+        let row = vec![r(1, 1), r(1, 1), r(1, 1)];
+        let f = form(
+            vec![row.clone(), row.clone(), row],
+            vec![r(4, 1), r(4, 1), r(4, 1)],
+            vec![r(1, 1), r(1, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.form.matrix.len(), 1);
+        assert_eq!(pre.rows_removed, 2);
+    }
+
+    #[test]
+    fn empty_column_with_negative_cost_is_kept_for_the_simplex() {
+        // The system might be infeasible or unbounded — presolve cannot tell, so the
+        // column must survive into the reduced problem with no verdict.
+        let f = form(
+            vec![vec![r(1, 1), r(1, 1), r(0, 1)]],
+            vec![r(1, 1)],
+            vec![r(0, 1), r(1, 1), r(-1, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert!(pre.kept_cols.contains(&2));
+    }
+
+    #[test]
+    fn empty_column_with_nonnegative_cost_is_fixed_to_zero() {
+        // Column 2 appears in no row; with cost ≥ 0 it is fixed to zero.
+        let f = form(
+            vec![vec![r(1, 1), r(1, 1), r(0, 1)]],
+            vec![r(1, 1)],
+            vec![r(0, 1), r(1, 1), r(1, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.kept_cols, vec![0, 1]);
+        assert_eq!(pre.cols_removed, 1);
+        let values = pre.restore(&[r(1, 1), Rational::zero()], 3);
+        assert_eq!(values, vec![r(1, 1), Rational::zero(), Rational::zero()]);
+    }
+
+    #[test]
+    fn map_cols_translates_and_drops() {
+        let f = form(
+            vec![vec![r(1, 1), r(0, 1), r(2, 1)], vec![r(0, 1), r(1, 1), r(0, 1)]],
+            vec![r(1, 1), r(0, 1)],
+            vec![r(0, 1), r(0, 1), r(0, 1)],
+        );
+        // Row 2 is the singleton y = 0, so column 1 is eliminated.
+        let pre = presolve(&f);
+        assert_eq!(pre.kept_cols, vec![0, 2]);
+        assert_eq!(pre.map_cols(&[0, 1, 2]), vec![0, 1]);
+    }
+}

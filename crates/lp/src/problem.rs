@@ -79,6 +79,47 @@ impl fmt::Display for LpStatus {
     }
 }
 
+/// A reusable warm-start basis: the basic columns of a previous solve, identified by
+/// *name* so they survive into a structurally different problem.
+///
+/// Model-variable columns are named after the variable ([`LpProblem::add_var`]); the
+/// negative half of a `Free` variable and the slack/surplus columns carry derived
+/// names. When a basis is replayed into a new [`LpProblem`], names that no longer
+/// exist are silently dropped and missing rows are covered by artificials, so a stale
+/// basis degrades gracefully to a cold start — it can speed a solve up, never make it
+/// wrong.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LpBasis {
+    names: Vec<String>,
+}
+
+impl LpBasis {
+    /// Number of recorded basic columns.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no basis was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Size and effort statistics of one solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpSolveInfo {
+    /// Simplex iterations across both phases (0 when presolve decided the problem).
+    pub iterations: usize,
+    /// Constraint rows removed by presolve.
+    pub presolve_rows_removed: usize,
+    /// Standard-form columns removed by presolve.
+    pub presolve_cols_removed: usize,
+    /// `true` when the solve hit its deadline during phase 2 and the reported
+    /// optimum is the last feasible iterate — a sound but possibly loose bound
+    /// (anytime semantics).
+    pub truncated: bool,
+}
+
 /// Result of an LP solve in the chosen scalar type.
 #[derive(Debug, Clone)]
 pub struct LpResult<S> {
@@ -88,6 +129,11 @@ pub struct LpResult<S> {
     pub objective: Option<S>,
     /// Values of the model variables, indexed by [`LpVar`] (present iff optimal).
     pub values: Vec<S>,
+    /// The final basis, reusable as a warm start for a related problem (populated for
+    /// any terminal status — an infeasible solve's basis still seeds the next rung).
+    pub basis: LpBasis,
+    /// Presolve and iteration statistics.
+    pub info: LpSolveInfo,
 }
 
 impl<S: Scalar> LpResult<S> {
@@ -183,9 +229,23 @@ impl LpProblem {
     /// feasible, and silently accepting it would be unsound. Such solves are downgraded
     /// to [`LpStatus::IterationLimit`] so callers can fall back to the exact backend.
     pub fn solve_f64(&self) -> LpResult<f64> {
-        let result = self.solve_generic::<f64>();
+        self.solve_f64_warm(None)
+    }
+
+    /// Like [`LpProblem::solve_f64`], seeding the simplex with a warm-start basis from
+    /// a previous (related) solve. See [`LpBasis`] for the matching semantics.
+    pub fn solve_f64_warm(&self, warm: Option<&LpBasis>) -> LpResult<f64> {
+        let mut result = self.solve_generic::<f64>(warm);
         if result.status == LpStatus::Optimal && !self.roughly_feasible_f64(&result.values) {
-            return LpResult { status: LpStatus::IterationLimit, objective: None, values: Vec::new() };
+            if std::env::var("DCA_LP_DEBUG").is_ok() {
+                eprintln!(
+                    "[lp] optimal solution failed the model-level feasibility re-check                      (truncated = {}); downgrading to IterationLimit",
+                    result.info.truncated
+                );
+            }
+            result.status = LpStatus::IterationLimit;
+            result.objective = None;
+            result.values = Vec::new();
         }
         result
     }
@@ -218,7 +278,7 @@ impl LpProblem {
 
     /// Solves with the exact rational backend (slower; used for cross-checking).
     pub fn solve_exact(&self) -> LpResult<Rational> {
-        self.solve_generic::<Rational>()
+        self.solve_generic::<Rational>(None)
     }
 
     /// Checks whether a candidate assignment satisfies every constraint up to `tol`.
@@ -244,9 +304,53 @@ impl LpProblem {
             .all(|(kind, &v)| *kind == VarKind::Free || v >= -tol)
     }
 
-    fn solve_generic<S: Scalar>(&self) -> LpResult<S> {
+    /// Stable display names of the standard-form columns, used to translate a basis
+    /// into a name-matched warm start (and back).
+    fn standard_col_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for (name, kind) in self.var_names.iter().zip(&self.var_kinds) {
+            names.push(name.clone());
+            if *kind == VarKind::Free {
+                names.push(format!("{name}~neg"));
+            }
+        }
+        for (index, constraint) in self.constraints.iter().enumerate() {
+            if constraint.op != ConstraintOp::Eq {
+                names.push(format!("slack#{index}"));
+            }
+        }
+        names
+    }
+
+    fn solve_generic<S: Scalar>(&self, warm: Option<&LpBasis>) -> LpResult<S> {
         let standard = self.to_standard_form::<S>();
-        let raw = solve_standard_form(&standard, self.deadline);
+        let col_names = self.standard_col_names();
+        let warm_cols: Option<Vec<usize>> = warm.map(|basis| {
+            let index_of: std::collections::HashMap<&str, usize> = col_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i))
+                .collect();
+            basis
+                .names
+                .iter()
+                .filter_map(|name| index_of.get(name.as_str()).copied())
+                .collect()
+        });
+        let raw = solve_standard_form(&standard, self.deadline, warm_cols.as_deref());
+        let basis = LpBasis {
+            names: raw
+                .basis
+                .iter()
+                .filter_map(|&col| col_names.get(col).cloned())
+                .collect(),
+        };
+        let info = LpSolveInfo {
+            iterations: raw.iterations,
+            presolve_rows_removed: raw.presolve_rows_removed,
+            presolve_cols_removed: raw.presolve_cols_removed,
+            truncated: raw.truncated,
+        };
         match raw.status {
             LpStatus::Optimal => {
                 let values = self.recover_values::<S>(&raw.values);
@@ -256,9 +360,9 @@ impl LpProblem {
                     .fold(S::zero(), |acc, (v, c)| {
                         acc.add(&S::from_rational(c).mul(&values[v.index()]))
                     });
-                LpResult { status: LpStatus::Optimal, objective: Some(objective), values }
+                LpResult { status: LpStatus::Optimal, objective: Some(objective), values, basis, info }
             }
-            status => LpResult { status, objective: None, values: Vec::new() },
+            status => LpResult { status, objective: None, values: Vec::new(), basis, info },
         }
     }
 
@@ -453,6 +557,29 @@ mod tests {
         lp.add_constraint(vec![(x, r(1))], ConstraintOp::Ge, r(5));
         lp.add_constraint(vec![(x, r(1))], ConstraintOp::Le, r(3));
         lp.set_objective(vec![(x, r(1))]);
+        assert_eq!(lp.solve_exact().status, LpStatus::Infeasible);
+        assert_eq!(lp.solve_f64().status, LpStatus::Infeasible);
+    }
+
+    /// A variable no constraint mentions, with a negative objective coefficient:
+    /// unbounded when the rest is feasible, infeasible when it is not — presolve
+    /// must leave the call to the simplex (it cannot prove feasibility itself).
+    #[test]
+    fn unconstrained_negative_cost_column_resolves_by_feasibility() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        let free = lp.add_var("free", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Eq, r(2));
+        lp.set_objective(vec![(free, r(-1))]);
+        assert_eq!(lp.solve_exact().status, LpStatus::Unbounded);
+        assert_eq!(lp.solve_f64().status, LpStatus::Unbounded);
+        // Same column, but the rest of the system is infeasible.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        let free = lp.add_var("free", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Eq, r(2));
+        lp.add_constraint(vec![(x, r(1))], ConstraintOp::Eq, r(3));
+        lp.set_objective(vec![(free, r(-1))]);
         assert_eq!(lp.solve_exact().status, LpStatus::Infeasible);
         assert_eq!(lp.solve_f64().status, LpStatus::Infeasible);
     }

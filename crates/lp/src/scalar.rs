@@ -50,6 +50,15 @@ pub trait Scalar: Clone + std::fmt::Debug + PartialEq {
 /// Absolute tolerance used by the floating-point backend.
 pub(crate) const F64_EPS: f64 = 1e-8;
 
+/// Magnitude of a scalar (shared by the simplex pivot choices and equilibration).
+pub(crate) fn abs<S: Scalar>(value: &S) -> S {
+    if value.is_negative() {
+        value.neg()
+    } else {
+        value.clone()
+    }
+}
+
 impl Scalar for f64 {
     const IS_EXACT: bool = false;
 

@@ -1,9 +1,29 @@
-//! Dense two-phase primal simplex over a generic scalar.
+//! Standard-form solving: presolve, the sparse revised simplex, and the dense
+//! two-phase tableau fallback.
+//!
+//! The pipeline for every solve is
+//!
+//! ```text
+//! presolve → equilibrate → (perturb) → revised simplex → map back
+//!                                          ↓ (f64 non-convergence)
+//!                                    dense tableau fallback
+//! ```
+//!
+//! [`crate::presolve`] shrinks the system where it can (honest finding: the big
+//! Handelman coefficient-matching systems present no singleton/forcing structure and
+//! shed nothing, but the many small box LPs the invariant engine solves are often
+//! decided entirely in presolve), [`crate::revised`] solves the reduced problem
+//! sparsely with warm-start support, and the dense tableau below — the original
+//! solver of this crate — remains as the floating-point rescue path for small and
+//! medium systems, where its Gauss–Jordan refactorization machinery has survived
+//! every degenerate instance the benchmark suite produces.
 
 use std::time::Instant;
 
+use crate::presolve::presolve;
 use crate::problem::LpStatus;
-use crate::scalar::Scalar;
+use crate::revised::solve_revised;
+use crate::scalar::{abs as abs_scalar, Scalar};
 
 /// A problem in standard form: minimize `costs · y` subject to `matrix · y = rhs`,
 /// `y ≥ 0`, with `rhs ≥ 0` componentwise.
@@ -25,6 +45,32 @@ pub(crate) struct StandardForm<S> {
 pub(crate) struct RawSolution<S> {
     pub status: LpStatus,
     pub values: Vec<S>,
+    /// Basic structural columns at termination, in *original* (pre-presolve)
+    /// standard-form indices; the caller turns these into a reusable warm start.
+    pub basis: Vec<usize>,
+    /// Simplex iterations performed (0 when presolve decided the problem).
+    pub iterations: usize,
+    /// Rows removed by presolve.
+    pub presolve_rows_removed: usize,
+    /// Columns removed by presolve.
+    pub presolve_cols_removed: usize,
+    /// `true` when the deadline expired during phase 2 and the reported optimum is
+    /// the last feasible (sound but possibly loose) iterate.
+    pub truncated: bool,
+}
+
+impl<S> RawSolution<S> {
+    fn bare(status: LpStatus) -> RawSolution<S> {
+        RawSolution {
+            status,
+            values: Vec::new(),
+            basis: Vec::new(),
+            iterations: 0,
+            presolve_rows_removed: 0,
+            presolve_cols_removed: 0,
+            truncated: false,
+        }
+    }
 }
 
 /// Internal simplex state: the tableau `B⁻¹A | B⁻¹b` plus the current basis.
@@ -187,6 +233,7 @@ impl<S: Scalar> Tableau<S> {
         max_iters: usize,
         deadline: Option<Instant>,
         original: Option<(&[Vec<S>], &[S])>,
+        iterations: &mut usize,
     ) -> LpStatus {
         const REFRESH_EVERY: usize = 16;
         const DEADLINE_EVERY: usize = 64;
@@ -320,6 +367,7 @@ impl<S: Scalar> Tableau<S> {
                 return LpStatus::Unbounded;
             };
             self.pivot(leaving, entering);
+            *iterations += 1;
             // Incremental reduced-cost update from the freshly normalized pivot row.
             let scale = reduced[entering].clone();
             if !scale.is_exactly_zero() {
@@ -335,19 +383,15 @@ impl<S: Scalar> Tableau<S> {
     }
 }
 
-/// Magnitude of a scalar (used by the refactorization pivot choice).
-fn abs_scalar<S: Scalar>(value: &S) -> S {
-    if value.is_negative() {
-        value.neg()
-    } else {
-        value.clone()
-    }
-}
-
-/// Solves a standard-form problem with the two-phase simplex method.
+/// Solves a standard-form problem: presolve, then the two-phase revised simplex (with
+/// the dense tableau as the floating-point rescue path).
 ///
 /// When `deadline` is set, the iteration loops poll the clock and bail out with
 /// [`LpStatus::TimedOut`] once it passes.
+///
+/// `warm` seeds the initial basis with preferred structural columns (original column
+/// indices); columns eliminated by presolve or dependent in the new system are
+/// silently dropped, so a stale warm start degrades gracefully to a cold one.
 ///
 /// A floating-point `Infeasible` verdict is re-examined once on a *perturbed* copy of
 /// the problem: on heavily degenerate systems (the Handelman encodings are almost
@@ -357,23 +401,70 @@ fn abs_scalar<S: Scalar>(value: &S) -> S {
 /// deterministic positive offset to each right-hand side (the classical lexicographic-
 /// perturbation cure) makes the basic values generically non-zero so every pivot makes
 /// real progress; the phase-1 acceptance threshold accounts for the offsets. The
-/// perturbed retry only runs when the plain solve claims infeasibility, so well-behaved
-/// problems pay nothing.
+/// perturbed retry only runs when the plain solve claims infeasibility — and it reuses
+/// the failed solve's final basis as its warm start, so the retry resumes from where
+/// the stall happened instead of re-pivoting from scratch.
 pub(crate) fn solve_standard_form<S: Scalar>(
     form: &StandardForm<S>,
     deadline: Option<Instant>,
+    warm: Option<&[usize]>,
 ) -> RawSolution<S> {
-    // Large Handelman systems are degenerate enough that the stall is the *expected*
-    // failure mode — and the stall itself is what burns the time (tens of thousands of
-    // zero-progress pivots before the tolerance gives up). Above the row threshold the
-    // perturbation is applied from the start instead of after a failed plain solve.
-    let perturb_immediately = !S::IS_EXACT && form.matrix.len() >= PERTURB_ROWS_THRESHOLD;
-    let first_perturbation = if perturb_immediately { PERTURBATION } else { 0.0 };
-    let solution = solve_standard_form_inner(form, deadline, first_perturbation);
-    if S::IS_EXACT || perturb_immediately || solution.status != LpStatus::Infeasible {
+    let num_original_cols = form.costs.len();
+    // `DCA_LP_NO_PRESOLVE=1` disables the reductions (A/B soundness testing).
+    let pre = if std::env::var("DCA_LP_NO_PRESOLVE").is_ok() {
+        crate::presolve::identity(form)
+    } else {
+        presolve(form)
+    };
+    if let Some(status) = pre.verdict {
+        let mut solution = RawSolution::bare(status);
+        solution.presolve_rows_removed = pre.rows_removed;
+        solution.presolve_cols_removed = pre.cols_removed;
         return solution;
     }
-    solve_standard_form_inner(form, deadline, PERTURBATION)
+    if pre.form.matrix.is_empty() {
+        // Presolve resolved every constraint, which certifies feasibility. Surviving
+        // columns are unconstrained: with non-negative costs zero (the `restore`
+        // default) is optimal; a surviving negative-cost column (presolve keeps
+        // those — see `presolve.rs`) is now a genuine unbounded ray.
+        let unbounded = pre.form.costs.iter().any(Scalar::is_negative);
+        let mut solution =
+            RawSolution::bare(if unbounded { LpStatus::Unbounded } else { LpStatus::Optimal });
+        if !unbounded {
+            solution.values =
+                pre.restore(&vec![S::zero(); pre.kept_cols.len()], num_original_cols);
+        }
+        solution.presolve_rows_removed = pre.rows_removed;
+        solution.presolve_cols_removed = pre.cols_removed;
+        return solution;
+    }
+    let warm_reduced: Option<Vec<usize>> = warm.map(|w| pre.map_cols(w));
+
+    // Large Handelman systems are degenerate enough that the stall is the *expected*
+    // failure mode — and the stall itself is what burns the time (thousands of
+    // zero-progress pivots before the tolerance gives up). Above the row threshold the
+    // perturbation is applied from the start instead of after a failed plain solve.
+    let perturb_immediately = !S::IS_EXACT && pre.form.matrix.len() >= PERTURB_ROWS_THRESHOLD;
+    let first_perturbation = if perturb_immediately { PERTURBATION } else { 0.0 };
+    let mut solution = solve_standard_form_inner(
+        &pre.form,
+        deadline,
+        first_perturbation,
+        warm_reduced.as_deref(),
+    );
+    if !S::IS_EXACT && !perturb_immediately && solution.status == LpStatus::Infeasible {
+        let retry_warm = if solution.basis.is_empty() { warm_reduced } else { Some(solution.basis.clone()) };
+        solution = solve_standard_form_inner(&pre.form, deadline, PERTURBATION, retry_warm.as_deref());
+    }
+
+    // Map the reduced solution back to the original column space.
+    if solution.status == LpStatus::Optimal {
+        solution.values = pre.restore(&solution.values, num_original_cols);
+    }
+    solution.basis = solution.basis.iter().map(|&col| pre.kept_cols[col]).collect();
+    solution.presolve_rows_removed = pre.rows_removed;
+    solution.presolve_cols_removed = pre.cols_removed;
+    solution
 }
 
 /// Magnitude of the anti-degeneracy right-hand-side perturbation (applied to the
@@ -388,6 +479,7 @@ fn solve_standard_form_inner<S: Scalar>(
     form: &StandardForm<S>,
     deadline: Option<Instant>,
     perturbation: f64,
+    warm: Option<&[usize]>,
 ) -> RawSolution<S> {
     let num_rows = form.matrix.len();
     let num_structural = form.costs.len();
@@ -395,44 +487,49 @@ fn solve_standard_form_inner<S: Scalar>(
 
     // Equilibration: scale columns and rows so that tableau entries stay near unit
     // magnitude. This matters for the floating-point backend on problems whose raw
-    // coefficients span several orders of magnitude (e.g. invariant products such as
-    // (100 - n)^2). Column scaling substitutes y_j = s_j * x_j, so the solution is
-    // rescaled at the end; row scaling multiplies an equality by a positive factor and
-    // needs no compensation.
+    // coefficients span several orders of magnitude (the degree-3 Handelman products
+    // such as (100 - n)^3 span six). Column scaling substitutes y_j = s_j * x_j, so
+    // the solution is rescaled at the end; row scaling multiplies an equality by a
+    // positive factor and needs no compensation. The column/row passes are iterated
+    // (Ruiz-style): one pass leaves the opposite dimension unbalanced again, and on
+    // the big degenerate systems the residual imbalance is what drove the basis
+    // factorizations ill-conditioned.
     let mut form = form.clone();
-    let abs = |value: &S| if value.is_negative() { value.neg() } else { value.clone() };
+    let abs = abs_scalar::<S>;
     let mut column_scales = vec![S::one(); num_structural];
-    for (column, scale) in column_scales.iter_mut().enumerate() {
-        let mut max_abs = S::zero();
-        for row in &form.matrix {
-            let a = abs(&row[column]);
-            if max_abs.lt(&a) {
-                max_abs = a;
+    for _ in 0..3 {
+        for (column, scale) in column_scales.iter_mut().enumerate() {
+            let mut max_abs = S::zero();
+            for row in &form.matrix {
+                let a = abs(&row[column]);
+                if max_abs.lt(&a) {
+                    max_abs = a;
+                }
+            }
+            if !max_abs.is_zero() {
+                *scale = scale.mul(&max_abs);
+                for row in &mut form.matrix {
+                    row[column] = row[column].div(&max_abs);
+                }
+                form.costs[column] = form.costs[column].div(&max_abs);
             }
         }
-        if !max_abs.is_zero() {
-            *scale = max_abs.clone();
-            for row in &mut form.matrix {
-                row[column] = row[column].div(&max_abs);
+        for (row, rhs) in form.matrix.iter_mut().zip(form.rhs.iter_mut()) {
+            let mut max_abs = S::zero();
+            for cell in row.iter().chain(std::iter::once(&*rhs)) {
+                let a = abs(cell);
+                if max_abs.lt(&a) {
+                    max_abs = a;
+                }
             }
-            form.costs[column] = form.costs[column].div(&max_abs);
-        }
-    }
-    for (row, rhs) in form.matrix.iter_mut().zip(form.rhs.iter_mut()) {
-        let mut max_abs = S::zero();
-        for cell in row.iter().chain(std::iter::once(&*rhs)) {
-            let a = abs(cell);
-            if max_abs.lt(&a) {
-                max_abs = a;
+            if max_abs.is_zero() {
+                continue;
             }
+            for cell in row.iter_mut() {
+                *cell = cell.div(&max_abs);
+            }
+            *rhs = rhs.div(&max_abs);
         }
-        if max_abs.is_zero() {
-            continue;
-        }
-        for cell in row.iter_mut() {
-            *cell = cell.div(&max_abs);
-        }
-        *rhs = rhs.div(&max_abs);
     }
     // Anti-degeneracy perturbation (see `solve_standard_form`): a small deterministic
     // positive offset per row, varied across rows so no two ratios tie. Only ever
@@ -450,11 +547,80 @@ fn solve_standard_form_inner<S: Scalar>(
     if num_rows == 0 {
         // No constraints: the optimum is 0 unless some cost is negative (unbounded).
         let unbounded = form.costs.iter().any(Scalar::is_negative);
-        return RawSolution {
-            status: if unbounded { LpStatus::Unbounded } else { LpStatus::Optimal },
-            values: vec![S::zero(); num_structural],
-        };
+        let mut solution =
+            RawSolution::bare(if unbounded { LpStatus::Unbounded } else { LpStatus::Optimal });
+        solution.values = vec![S::zero(); num_structural];
+        return solution;
     }
+
+    // The f64 backend cannot distinguish a residual of accumulated round-off from a
+    // genuinely infeasible system near the tolerance; `Infeasible` is a *definitive*
+    // answer to callers (it becomes `NoThresholdFound`), so it is only reported when
+    // the phase-1 optimum is clearly above this noise floor. Sub-threshold residuals
+    // proceed to phase 2; the final answer is re-validated against the original
+    // constraints by `LpProblem::solve_f64` either way.
+    let noise_floor = 1e-6 * (num_rows as f64).max(1.0) + 2.0 * total_perturbation;
+
+    // Primary path: the sparse revised simplex. The dense tableau remains as the
+    // floating-point rescue when the revised run fails to converge (`DCA_LP_DENSE=1`
+    // forces it outright, for A/B comparison) — but only up to a size cap: on the
+    // biggest systems a dense rescue burns minutes of budget that the exact
+    // backend's anytime path (see `dca_core`'s fallback chain) spends better.
+    const DENSE_FALLBACK_MAX_ROWS: usize = 512;
+    let force_dense = std::env::var("DCA_LP_DENSE").is_ok();
+    let mut outcome = if force_dense {
+        solve_dense(form, deadline, noise_floor)
+    } else {
+        let revised = solve_revised(form, deadline, warm, noise_floor);
+        if !S::IS_EXACT
+            && revised.status == LpStatus::IterationLimit
+            && num_rows <= DENSE_FALLBACK_MAX_ROWS
+        {
+            let mut dense = solve_dense(form, deadline, noise_floor);
+            dense.iterations += revised.iterations;
+            dense
+        } else {
+            revised
+        }
+    };
+
+    // Undo the column scaling: x_j = y_j / s_j.
+    if outcome.status == LpStatus::Optimal {
+        for (value, scale) in outcome.values.iter_mut().zip(&column_scales) {
+            *value = value.div(scale);
+        }
+    } else {
+        outcome.values = Vec::new();
+    }
+    RawSolution {
+        status: outcome.status,
+        values: outcome.values,
+        basis: outcome.basis,
+        iterations: outcome.iterations,
+        presolve_rows_removed: 0,
+        presolve_cols_removed: 0,
+        truncated: outcome.truncated,
+    }
+}
+
+/// The dense two-phase tableau solve (the crate's original algorithm), over an already
+/// equilibrated and perturbed system. Kept as the floating-point rescue path; see the
+/// module docs.
+fn solve_dense<S: Scalar>(
+    form: &StandardForm<S>,
+    deadline: Option<Instant>,
+    noise_floor: f64,
+) -> crate::revised::RevisedOutcome<S> {
+    use crate::revised::RevisedOutcome;
+    let num_rows = form.matrix.len();
+    let num_structural = form.costs.len();
+    let fail = |status| RevisedOutcome {
+        status,
+        values: Vec::new(),
+        basis: Vec::new(),
+        iterations: 0,
+        truncated: false,
+    };
 
     // Phase 1: add one artificial variable per row and minimize their sum.
     let num_cols = num_structural + num_rows;
@@ -482,42 +648,48 @@ fn solve_standard_form_inner<S: Scalar>(
     }
     let max_iters = 200 * (num_rows + num_cols) + 2000;
     let debug = std::env::var("DCA_LP_DEBUG").is_ok();
+    let mut iterations = 0usize;
     let phase1_start = Instant::now();
-    let status =
-        tableau.optimize(&phase1_costs, num_cols, max_iters, deadline, Some(original));
+    let status = tableau.optimize(
+        &phase1_costs,
+        num_cols,
+        max_iters,
+        deadline,
+        Some(original),
+        &mut iterations,
+    );
     if debug {
         eprintln!(
-            "[lp] phase1: {:?} in {:.2}s ({} rows, {} cols, perturb {})",
+            "[lp] dense phase1: {:?} in {:.2}s ({} rows, {} cols)",
             status,
             phase1_start.elapsed().as_secs_f64(),
             num_rows,
             num_cols,
-            perturbation
         );
     }
     if status == LpStatus::IterationLimit || status == LpStatus::TimedOut {
-        return RawSolution { status, values: Vec::new() };
+        return fail(status);
+    }
+    if status == LpStatus::Unbounded {
+        // Phase 1 minimizes a sum of non-negative variables: its objective is bounded
+        // below by zero, so "unbounded" can only be numerical noise. Report
+        // non-convergence rather than letting the verdict fall through to the
+        // infeasibility check (which is how a stalled `SimpleSingle2` phase 1 once
+        // turned 80 s of drift into a wrong definitive answer).
+        return fail(LpStatus::IterationLimit);
     }
     let phase1_value = tableau.objective_value(&phase1_costs);
     if phase1_value.is_positive() {
-        // The f64 backend cannot distinguish a residual of accumulated round-off from a
-        // genuinely infeasible system near the tolerance; `Infeasible` is a *definitive*
-        // answer to callers (it becomes `NoThresholdFound`), so it is only reported when
-        // the refactor-confirmed phase-1 optimum is clearly above the noise floor.
-        // Sub-threshold residuals proceed to phase 2 with their near-zero artificials
-        // still basic; the final answer is re-validated against the original
-        // constraints by `LpProblem::solve_f64` either way.
-        let noise_floor = 1e-6 * (num_rows as f64).max(1.0) + 2.0 * total_perturbation;
         if S::IS_EXACT || phase1_value.to_f64() > noise_floor {
             if debug {
                 eprintln!(
-                    "[lp] phase1 positive: value = {:e}, rows = {}, cols = {}",
+                    "[lp] dense phase1 positive: value = {:e}, rows = {}, cols = {}",
                     phase1_value.to_f64(),
                     num_rows,
                     num_cols
                 );
             }
-            return RawSolution { status: LpStatus::Infeasible, values: Vec::new() };
+            return fail(LpStatus::Infeasible);
         }
     }
 
@@ -541,23 +713,43 @@ fn solve_standard_form_inner<S: Scalar>(
     let mut phase2_costs = form.costs.clone();
     phase2_costs.resize(num_cols, S::zero());
     let phase2_start = Instant::now();
-    let status =
-        tableau.optimize(&phase2_costs, num_structural, max_iters, deadline, Some(original));
+    let status = tableau.optimize(
+        &phase2_costs,
+        num_structural,
+        max_iters,
+        deadline,
+        Some(original),
+        &mut iterations,
+    );
     if debug {
-        eprintln!("[lp] phase2: {:?} in {:.2}s", status, phase2_start.elapsed().as_secs_f64());
+        eprintln!("[lp] dense phase2: {:?} in {:.2}s", status, phase2_start.elapsed().as_secs_f64());
     }
-    if status != LpStatus::Optimal {
-        return RawSolution { status, values: Vec::new() };
+    // Anytime semantics (mirrors the revised path): a deadline hit during phase 2
+    // leaves a primal-feasible tableau whose objective is a sound upper bound.
+    let truncated = status == LpStatus::TimedOut
+        && !S::IS_EXACT
+        && !tableau.rhs.iter().any(|v| v.to_f64() < -1e-6);
+    if debug && status == LpStatus::TimedOut {
+        let min_rhs = tableau.rhs.iter().map(Scalar::to_f64).fold(f64::INFINITY, f64::min);
+        eprintln!("[lp] dense phase2 timeout: truncated={truncated}, min rhs = {min_rhs:e}");
+    }
+    if status != LpStatus::Optimal && !truncated {
+        return fail(status);
     }
 
     let mut values = vec![S::zero(); num_structural];
     for (row, &basic) in tableau.basis.iter().enumerate() {
-        if basic < num_structural {
-            // Undo the column scaling: x_j = y_j / s_j.
-            values[basic] = tableau.rhs[row].div(&column_scales[basic]);
+        if basic < num_structural && !tableau.rhs[row].is_negative() {
+            values[basic] = tableau.rhs[row].clone();
         }
     }
-    RawSolution { status: LpStatus::Optimal, values }
+    RevisedOutcome {
+        status: LpStatus::Optimal,
+        values,
+        basis: tableau.basis.iter().copied().filter(|&b| b < num_structural).collect(),
+        iterations,
+        truncated,
+    }
 }
 
 #[cfg(test)]
@@ -578,7 +770,7 @@ mod tests {
             costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
             model_columns: vec![(0, None), (1, None)],
         };
-        let sol = solve_standard_form(&form, None);
+        let sol = solve_standard_form(&form, None, None);
         assert_eq!(sol.status, LpStatus::Optimal);
         let total = sol.values[0].clone() + sol.values[1].clone();
         assert_eq!(total, r(4, 1));
@@ -592,7 +784,7 @@ mod tests {
             costs: vec![Rational::one()],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form, None);
+        let sol = solve_standard_form(&form, None, None);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.values, vec![Rational::zero()]);
     }
@@ -606,9 +798,157 @@ mod tests {
             costs: vec![r(1, 1)],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form, None);
+        let sol = solve_standard_form(&form, None, None);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.values[0], r(2, 1));
+    }
+
+    /// Differential check: the revised simplex and the dense tableau must agree on
+    /// status and objective for a swarm of small deterministic pseudo-random LPs
+    /// (exact arithmetic, so any disagreement is an algorithmic bug, not round-off).
+    #[test]
+    fn revised_and_dense_agree_on_random_small_lps() {
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..1500 {
+            let m = 1 + (next() % 7) as usize;
+            let n = 1 + (next() % 9) as usize;
+            let matrix: Vec<Vec<Rational>> = (0..m)
+                .map(|_| (0..n).map(|_| r((next() % 7) as i64 - 3, 1)).collect())
+                .collect();
+            let rhs: Vec<Rational> = (0..m).map(|_| r((next() % 5) as i64, 1)).collect();
+            let costs: Vec<Rational> = (0..n).map(|_| r((next() % 7) as i64 - 3, 1)).collect();
+            let form = StandardForm { matrix, rhs, costs: costs.clone(), model_columns: Vec::new() };
+            let objective = |values: &[Rational]| -> Rational {
+                values
+                    .iter()
+                    .zip(&costs)
+                    .fold(Rational::zero(), |acc, (v, c)| &acc + &(v * c))
+            };
+            let revised = crate::revised::solve_revised(&form, None, None, 0.0);
+            let dense = solve_dense(&form, None, 0.0);
+            assert_eq!(
+                revised.status, dense.status,
+                "case {case}: status diverged on {form:?}"
+            );
+            if revised.status == LpStatus::Optimal {
+                assert_eq!(
+                    objective(&revised.values),
+                    objective(&dense.values),
+                    "case {case}: objective diverged on {form:?}"
+                );
+            }
+        }
+    }
+
+    /// The same differential check on the `f64` path, biased toward the degenerate
+    /// all-zero right-hand sides the Handelman encodings produce.
+    #[test]
+    fn revised_and_dense_agree_on_degenerate_f64_lps() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..600 {
+            let m = 2 + (next() % 8) as usize;
+            let n = 2 + (next() % 12) as usize;
+            let matrix: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| ((next() % 7) as i64 - 3) as f64).collect())
+                .collect();
+            // Three out of four right-hand sides are zero: maximal degeneracy.
+            let rhs: Vec<f64> = (0..m)
+                .map(|_| if next() % 4 == 0 { (next() % 5) as f64 } else { 0.0 })
+                .collect();
+            let costs: Vec<f64> = (0..n).map(|_| ((next() % 7) as i64 - 3) as f64).collect();
+            let form = StandardForm { matrix, rhs, costs: costs.clone(), model_columns: Vec::new() };
+            let objective = |values: &[f64]| -> f64 {
+                values.iter().zip(&costs).map(|(v, c)| v * c).sum()
+            };
+            let revised = crate::revised::solve_revised(&form, None, None, 0.0);
+            let dense = solve_dense(&form, None, 0.0);
+            // `IterationLimit` is an honest "don't know" on either side; only compare
+            // definitive answers.
+            if revised.status == LpStatus::IterationLimit
+                || dense.status == LpStatus::IterationLimit
+            {
+                continue;
+            }
+            assert_eq!(
+                revised.status, dense.status,
+                "case {case}: status diverged on {form:?}"
+            );
+            if revised.status == LpStatus::Optimal {
+                let (a, b) = (objective(&revised.values), objective(&dense.values));
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs())),
+                    "case {case}: objective diverged ({a} vs {b}) on {form:?}"
+                );
+            }
+        }
+    }
+
+    /// Medium-sized degenerate systems: enough pivots to cross the periodic
+    /// reinversion threshold, so the eta-file rebuild itself is exercised.
+    #[test]
+    fn revised_handles_reinversion_on_medium_degenerate_lps() {
+        let mut seed = 0xDEADBEEFCAFEBABEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..20 {
+            let m = 16 + (next() % 24) as usize;
+            let n = m + 8 + (next() % 32) as usize;
+            let matrix: Vec<Vec<f64>> = (0..m)
+                .map(|_| {
+                    (0..n)
+                        .map(|_| {
+                            if next() % 3 == 0 {
+                                ((next() % 9) as i64 - 4) as f64
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let rhs: Vec<f64> = (0..m)
+                .map(|_| if next() % 3 == 0 { (next() % 6) as f64 } else { 0.0 })
+                .collect();
+            let costs: Vec<f64> = (0..n).map(|_| ((next() % 9) as i64 - 4) as f64).collect();
+            let form = StandardForm { matrix, rhs, costs: costs.clone(), model_columns: Vec::new() };
+            let objective = |values: &[f64]| -> f64 {
+                values.iter().zip(&costs).map(|(v, c)| v * c).sum()
+            };
+            let revised = crate::revised::solve_revised(&form, None, None, 0.0);
+            let dense = solve_dense(&form, None, 0.0);
+            if revised.status == LpStatus::IterationLimit
+                || dense.status == LpStatus::IterationLimit
+            {
+                continue;
+            }
+            assert_eq!(
+                revised.status, dense.status,
+                "case {case} ({m}x{n}): status diverged"
+            );
+            if revised.status == LpStatus::Optimal {
+                let (a, b) = (objective(&revised.values), objective(&dense.values));
+                assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs())),
+                    "case {case} ({m}x{n}): objective diverged ({a} vs {b})"
+                );
+            }
+        }
     }
 
     #[test]
@@ -620,7 +960,7 @@ mod tests {
             costs: vec![r(1, 1)],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form, None);
+        let sol = solve_standard_form(&form, None, None);
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
 }

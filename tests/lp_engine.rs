@@ -1,0 +1,78 @@
+//! Integration tests for the PR-3 LP engine work: warm-started re-solves, and the
+//! Table-1 rows whose regressions this engine (plus the back-edge widening-delay fix
+//! in `dca_invariants`) repaired.
+
+use diffcost::benchmarks::all_benchmarks;
+use diffcost::prelude::*;
+
+fn benchmark(name: &str) -> diffcost::benchmarks::Benchmark {
+    all_benchmarks().into_iter().find(|b| b.name == name).unwrap()
+}
+
+/// `SimpleSingle2` at its paper configuration (degree 2, baseline invariants): PR 2's
+/// BENCH run recorded `failed` after 82 s because the baseline invariants lost the
+/// second loop's `j ≤ n` / `j ≤ m` bounds (making the degree-2 LP genuinely
+/// infeasible — the exact backend agreed) and the f64 phase 1 burned its budget
+/// stalling before saying so. With the back-edge widening delay the invariants carry
+/// both bounds and the pair solves tight, beating the paper's 197.
+#[test]
+fn simple_single2_is_tight_at_the_paper_configuration() {
+    let benchmark = benchmark("SimpleSingle2");
+    let result = benchmark.solve().expect("SimpleSingle2 must solve at degree 2, tier 0");
+    assert_eq!(result.threshold_int(), 100);
+}
+
+/// `SequentialSingle`: invariants established by the first loop must be carried into
+/// the second, sequentially composed loop — the row was loose (19900 vs 100) while
+/// the upstream fixpoint churn widened away the second head's `j ≤ n`.
+#[test]
+fn sequential_single_is_tight_at_baseline_tier() {
+    let benchmark = benchmark("SequentialSingle");
+    let result = benchmark.solve().expect("SequentialSingle must solve");
+    assert_eq!(result.threshold_int(), 100);
+}
+
+/// `Ex4` is the same story with two sequential loops plus a setup cost: loose at
+/// 20001 before the widening fix, tight at 201 after.
+#[test]
+fn ex4_is_tight_at_baseline_tier() {
+    let benchmark = benchmark("Ex4");
+    let result = benchmark.solve().expect("Ex4 must solve");
+    assert_eq!(result.threshold_int(), 201);
+}
+
+/// A warm-started re-solve must reproduce the cold solve's objective — and, landing
+/// on the optimal basis, needs no phase-1 work at all.
+#[test]
+fn warm_started_resolve_matches_cold_solve() {
+    let benchmark = benchmark("SimpleSingle");
+    let new = benchmark.new_program();
+    let old = benchmark.old_program();
+    let solver = DiffCostSolver::new(benchmark.options());
+    let (cold, basis) = solver.solve_with_warm_start(&new, &old, None);
+    let cold = cold.expect("cold solve succeeds");
+    let basis = basis.expect("an LP ran, so a basis is recorded");
+    assert!(!basis.is_empty());
+    let (warm, _) = solver.solve_with_warm_start(&new, &old, Some(&basis));
+    let warm = warm.expect("warm solve succeeds");
+    assert_eq!(warm.threshold_int(), cold.threshold_int());
+    assert!(
+        warm.stats.lp_iterations <= cold.stats.lp_iterations,
+        "warm start must not pivot more than the cold solve ({} vs {})",
+        warm.stats.lp_iterations,
+        cold.stats.lp_iterations
+    );
+}
+
+/// The solver surfaces presolve shrink and iteration counts in its statistics.
+#[test]
+fn solve_stats_carry_presolve_and_iteration_counts() {
+    let benchmark = benchmark("SimpleSingle");
+    let result = benchmark.solve().expect("SimpleSingle must solve");
+    assert!(result.stats.lp_iterations > 0, "a non-trivial solve pivots at least once");
+    // The coefficient-matching equalities of this encoding happen to present no
+    // singleton/forcing rows, so presolve legitimately removes nothing here — but the
+    // counters must stay within the raw system's size either way.
+    assert!(result.stats.presolve_rows_removed <= result.stats.lp_constraints);
+    assert!(result.stats.presolve_cols_removed <= result.stats.lp_variables * 2);
+}
