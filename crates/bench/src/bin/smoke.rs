@@ -1,5 +1,7 @@
 //! Fast Table-1 smoke bench for CI: runs a ≤60 s subset of the suite at the paper
-//! configuration and fails on any *status* regression (tight rows must stay tight).
+//! configuration and fails on any *status* regression (tight rows must stay tight)
+//! or on a >2x per-row *time* regression against the committed `BENCH_table1.json`
+//! baseline.
 //!
 //! The subset (SimpleSingle, SimpleSingle2, Dis2, sum, ddec, ddec modified) covers a
 //! non-zero tight threshold, the once-regressed sequential-loop shape, a two-counter
@@ -14,7 +16,7 @@
 use std::process::exit;
 use std::time::Duration;
 
-use dca_bench::{format_table, run_suite_filtered};
+use dca_bench::{format_table, parse_baseline_seconds, run_suite_filtered};
 use dca_benchmarks::SuiteConfig;
 use dca_core::InvariantTier;
 
@@ -40,10 +42,42 @@ fn main() {
         run.wall_clock.as_secs_f64()
     );
 
+    // Per-row time baseline from the committed benchmark record. A row is a time
+    // regression when it runs > 2x its baseline AND slower than an absolute floor
+    // (sub-second rows drown in machine noise at a 2x threshold).
+    const TIME_REGRESSION_FACTOR: f64 = 2.0;
+    const TIME_FLOOR_SECONDS: f64 = 1.0;
+    let baseline: Vec<(String, f64)> = match std::fs::read_to_string("BENCH_table1.json") {
+        Ok(json) => parse_baseline_seconds(&json),
+        Err(error) => {
+            // Say so loudly: a silently-skipped gate that still prints success is
+            // exactly the failure mode this check exists to prevent.
+            eprintln!(
+                "warning: BENCH_table1.json not readable ({error}); the >{}x time-regression \
+                 gate is DISABLED for this run (run from the repository root?)",
+                TIME_REGRESSION_FACTOR
+            );
+            Vec::new()
+        }
+    };
+
     let mut regressions = Vec::new();
     for name in SUBSET {
         match run.rows.iter().find(|row| row.name == name) {
-            Some(row) if row.is_tight() => {}
+            Some(row) if row.is_tight() => {
+                if let Some((_, baseline_seconds)) =
+                    baseline.iter().find(|(n, _)| n == name)
+                {
+                    let limit =
+                        (baseline_seconds * TIME_REGRESSION_FACTOR).max(TIME_FLOOR_SECONDS);
+                    if row.seconds > limit {
+                        regressions.push(format!(
+                            "{name}: time regression — {:.2}s vs {:.2}s baseline (>{}x)",
+                            row.seconds, baseline_seconds, TIME_REGRESSION_FACTOR
+                        ));
+                    }
+                }
+            }
             Some(row) => regressions.push(format!(
                 "{name}: expected tight ({}), computed {:?}",
                 row.tight, row.computed_int
@@ -58,5 +92,16 @@ fn main() {
         }
         exit(1);
     }
-    println!("smoke bench OK: all {} subset rows tight", SUBSET.len());
+    if baseline.is_empty() {
+        println!(
+            "smoke bench OK: all {} subset rows tight (time gate skipped: no baseline)",
+            SUBSET.len()
+        );
+    } else {
+        println!(
+            "smoke bench OK: all {} subset rows tight, within {}x of their time baselines",
+            SUBSET.len(),
+            TIME_REGRESSION_FACTOR
+        );
+    }
 }

@@ -19,7 +19,10 @@
 
 use std::process::exit;
 
-use dca_bench::{format_json, format_table, run_suite_filtered};
+use dca_bench::{
+    current_commit, format_history_line, format_json, format_table, run_suite_filtered,
+    today_utc,
+};
 use dca_benchmarks::SuiteConfig;
 use dca_core::InvariantTier;
 
@@ -125,6 +128,23 @@ fn main() {
             Err(error) => {
                 eprintln!("error: cannot write {path}: {error}");
                 exit(1);
+            }
+        }
+        // Bench trajectory: append one summary line per `--json` run so performance
+        // is tracked *across* PRs, not just overwritten by them. Only full-suite
+        // runs are recorded — filtered runs would make the per-row series ragged.
+        if filters.is_empty() {
+            let history_path = "BENCH_history.jsonl";
+            let line = format_history_line(&run, &today_utc(), &current_commit());
+            use std::io::Write;
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(history_path)
+                .and_then(|mut file| writeln!(file, "{line}"));
+            match appended {
+                Ok(()) => println!("appended {history_path}"),
+                Err(error) => eprintln!("warning: cannot append {history_path}: {error}"),
             }
         }
     }

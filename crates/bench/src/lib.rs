@@ -32,9 +32,18 @@ pub struct TableRow {
     pub lp_size: (usize, usize),
     /// Simplex iterations of the successful solve (0 on failure).
     pub lp_iterations: usize,
+    /// Pivots performed by the `f64` phase of the float-first driver.
+    pub lp_float_iterations: usize,
+    /// Pivots performed by the exact rational simplex (repair + fallback).
+    pub lp_exact_iterations: usize,
     /// `true` when the solve's LP hit its deadline mid-phase-2 and the threshold is
     /// an anytime (sound but possibly loose) bound rather than a proven optimum.
     pub lp_truncated: bool,
+    /// `true` when the LP answer carries an exact-rational certificate.
+    pub lp_certified: bool,
+    /// Seconds the LP spent in presolve / f64 pivoting / exact certification / exact
+    /// repair (the float-first driver's phase split; all 0.0 on failure).
+    pub phase_seconds: (f64, f64, f64, f64),
     /// Rows and columns the LP presolve removed (0 on failure).
     pub presolve_removed: (usize, usize),
 }
@@ -63,7 +72,21 @@ impl TableRow {
                 .map(|s| (s.lp_variables, s.lp_constraints))
                 .unwrap_or((0, 0)),
             lp_iterations: outcome.stats().map(|s| s.lp_iterations).unwrap_or(0),
+            lp_float_iterations: outcome.stats().map(|s| s.lp_float_iterations).unwrap_or(0),
+            lp_exact_iterations: outcome.stats().map(|s| s.lp_exact_iterations).unwrap_or(0),
             lp_truncated: outcome.stats().map(|s| s.lp_truncated).unwrap_or(false),
+            lp_certified: outcome.stats().map(|s| s.lp_certified).unwrap_or(false),
+            phase_seconds: outcome
+                .stats()
+                .map(|s| {
+                    (
+                        s.lp_presolve_time.as_secs_f64(),
+                        s.lp_float_time.as_secs_f64(),
+                        s.lp_certify_time.as_secs_f64(),
+                        s.lp_repair_time.as_secs_f64(),
+                    )
+                })
+                .unwrap_or((0.0, 0.0, 0.0, 0.0)),
             presolve_removed: outcome
                 .stats()
                 .map(|s| (s.presolve_rows_removed, s.presolve_cols_removed))
@@ -94,7 +117,16 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             seconds,
             lp_size: (result.stats.lp_variables, result.stats.lp_constraints),
             lp_iterations: result.stats.lp_iterations,
+            lp_float_iterations: result.stats.lp_float_iterations,
+            lp_exact_iterations: result.stats.lp_exact_iterations,
             lp_truncated: result.stats.lp_truncated,
+            lp_certified: result.stats.lp_certified,
+            phase_seconds: (
+                result.stats.lp_presolve_time.as_secs_f64(),
+                result.stats.lp_float_time.as_secs_f64(),
+                result.stats.lp_certify_time.as_secs_f64(),
+                result.stats.lp_repair_time.as_secs_f64(),
+            ),
             presolve_removed: (
                 result.stats.presolve_rows_removed,
                 result.stats.presolve_cols_removed,
@@ -112,7 +144,11 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             seconds,
             lp_size: (0, 0),
             lp_iterations: 0,
+            lp_float_iterations: 0,
+            lp_exact_iterations: 0,
             lp_truncated: false,
+            lp_certified: false,
+            phase_seconds: (0.0, 0.0, 0.0, 0.0),
             presolve_removed: (0, 0),
         },
     }
@@ -210,10 +246,12 @@ pub fn format_table(rows: &[TableRow]) -> String {
 /// each row carries the benchmark name, the documented tight threshold, the computed
 /// threshold (`null` on failure), the degree/tier that produced it, its status
 /// (`"tight" | "loose" | "failed"`) and the wall time in seconds.
+/// JSON string escaping shared by [`format_json`] and [`format_history_line`].
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 pub fn format_json(run: &SuiteRun) -> String {
-    fn escape(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
-    }
     fn opt_f64(v: Option<f64>) -> String {
         v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "null".to_string())
     }
@@ -237,7 +275,10 @@ pub fn format_json(run: &SuiteRun) -> String {
                     "\"paper\": {}, \"computed\": {}, \"computed_int\": {}, ",
                     "\"degree\": {}, \"tier\": {}, \"status\": \"{}\", ",
                     "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
-                    "\"lp_iterations\": {}, \"lp_truncated\": {}, ",
+                    "\"lp_iterations\": {}, \"lp_float_pivots\": {}, \"lp_exact_pivots\": {}, ",
+                    "\"lp_truncated\": {}, \"lp_certified\": {}, ",
+                    "\"presolve_s\": {:.3}, \"float_s\": {:.3}, ",
+                    "\"certify_s\": {:.3}, \"repair_s\": {:.3}, ",
                     "\"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}}}"
                 ),
                 escape(&row.name),
@@ -253,7 +294,14 @@ pub fn format_json(run: &SuiteRun) -> String {
                 row.lp_size.0,
                 row.lp_size.1,
                 row.lp_iterations,
+                row.lp_float_iterations,
+                row.lp_exact_iterations,
                 row.lp_truncated,
+                row.lp_certified,
+                row.phase_seconds.0,
+                row.phase_seconds.1,
+                row.phase_seconds.2,
+                row.phase_seconds.3,
                 row.presolve_removed.0,
                 row.presolve_removed.1,
             )
@@ -271,9 +319,132 @@ pub fn format_json(run: &SuiteRun) -> String {
     )
 }
 
+/// Formats one `BENCH_history.jsonl` line for a suite run: date, commit, tightness,
+/// wall-clock and per-row seconds, all on a single line so the file diffs cleanly and
+/// `grep`/`jq` can consume it without a JSON-array parser.
+pub fn format_history_line(run: &SuiteRun, date: &str, commit: &str) -> String {
+    let rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|row| format!("\"{}\": {:.2}", escape(&row.name), row.seconds))
+        .collect();
+    format!(
+        "{{\"date\": \"{}\", \"commit\": \"{}\", \"jobs\": {}, \"tight\": {}, \"total\": {}, \
+         \"wall_clock_s\": {:.2}, \"row_seconds\": {{{}}}}}",
+        escape(date),
+        escape(commit),
+        run.jobs,
+        run.rows.iter().filter(|r| r.is_tight()).count(),
+        run.rows.len(),
+        run.wall_clock.as_secs_f64(),
+        rows.join(", "),
+    )
+}
+
+/// Today's date as `YYYY-MM-DD` from the system clock (no external time crates:
+/// Howard Hinnant's civil-from-days algorithm over the Unix epoch).
+pub fn today_utc() -> String {
+    let seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (seconds / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// The current `git` commit (short hash), or `"unknown"` outside a repository.
+pub fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Extracts `(name, seconds)` pairs from a `BENCH_table1.json` document (the
+/// hand-rolled schema written by [`format_json`]; no external JSON parser needed —
+/// the smoke bench uses this to gate per-row time regressions against the committed
+/// baseline).
+pub fn parse_baseline_seconds(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("{\"name\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else { continue };
+        let name = chunk[..name_end].to_string();
+        let Some(position) = chunk.find("\"seconds\": ") else { continue };
+        let rest = &chunk[position + "\"seconds\": ".len()..];
+        let number: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(seconds) = number.parse::<f64>() {
+            out.push((name, seconds));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn history_line_and_baseline_roundtrip() {
+        let row = TableRow {
+            name: "Example".into(),
+            group: "g".into(),
+            tight: 100,
+            paper_computed: Some(100.0),
+            computed: Some(100.0),
+            computed_int: Some(100),
+            degree: 2,
+            tier: InvariantTier::Baseline,
+            seconds: 1.5,
+            lp_size: (10, 20),
+            lp_iterations: 42,
+            lp_float_iterations: 40,
+            lp_exact_iterations: 2,
+            lp_truncated: false,
+            lp_certified: true,
+            phase_seconds: (0.01, 1.2, 0.1, 0.2),
+            presolve_removed: (3, 7),
+        };
+        let run = SuiteRun {
+            rows: vec![row],
+            wall_clock: Duration::from_secs_f64(1.6),
+            cpu_time: Duration::from_secs_f64(1.6),
+            jobs: 1,
+        };
+        let line = format_history_line(&run, "2026-07-29", "abc1234");
+        assert!(line.contains("\"date\": \"2026-07-29\""));
+        assert!(line.contains("\"commit\": \"abc1234\""));
+        assert!(line.contains("\"Example\": 1.50"));
+        assert!(!line.contains('\n'), "one line per run");
+        // The committed BENCH json parses back into per-row baselines.
+        let json = format_json(&run);
+        let baseline = parse_baseline_seconds(&json);
+        assert_eq!(baseline, vec![("Example".to_string(), 1.5)]);
+    }
+
+    #[test]
+    fn civil_date_is_sane() {
+        let date = today_utc();
+        assert_eq!(date.len(), 10);
+        assert!(date[..4].parse::<u32>().unwrap() >= 2024);
+    }
 
     #[test]
     fn formats_rows() {
@@ -289,7 +460,11 @@ mod tests {
             seconds: 1.5,
             lp_size: (10, 20),
             lp_iterations: 42,
+            lp_float_iterations: 40,
+            lp_exact_iterations: 2,
             lp_truncated: false,
+            lp_certified: true,
+            phase_seconds: (0.01, 1.2, 0.1, 0.2),
             presolve_removed: (3, 7),
         };
         assert!(row.is_tight());
@@ -308,7 +483,11 @@ mod tests {
             seconds: 0.1,
             lp_size: (0, 0),
             lp_iterations: 0,
+            lp_float_iterations: 0,
+            lp_exact_iterations: 0,
             lp_truncated: false,
+            lp_certified: false,
+            phase_seconds: (0.0, 0.0, 0.0, 0.0),
             presolve_removed: (0, 0),
         };
         assert!(!failed.is_tight());

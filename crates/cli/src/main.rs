@@ -61,7 +61,8 @@ fn parse_invariant_tier(args: &[String]) -> Result<InvariantTier, String> {
 }
 
 /// Builds [`AnalysisOptions`] from the `--degree`, `--max-products`, `--backend` and
-/// `--invariant-tier` flags (defaults: `d = K = 2`, `f64`, baseline invariants).
+/// `--invariant-tier` flags (defaults: `d = K = 2`, the float-first certified
+/// backend, baseline invariants).
 fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
     let degree: u32 = match flag_value(args, "--degree")? {
         Some(v) => v.parse().map_err(|_| format!("invalid --degree {v}"))?,
@@ -72,9 +73,14 @@ fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
         None => degree,
     };
     let backend = match flag_value(args, "--backend")? {
-        Some("f64") | None => LpBackend::F64,
+        Some("certified") | None => LpBackend::Certified,
+        Some("f64") => LpBackend::F64,
         Some("exact") => LpBackend::Exact,
-        Some(other) => return Err(format!("invalid --backend {other} (expected f64 or exact)")),
+        Some(other) => {
+            return Err(format!(
+                "invalid --backend {other} (expected certified, f64 or exact)"
+            ))
+        }
     };
     Ok(AnalysisOptions {
         degree,

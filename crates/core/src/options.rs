@@ -7,10 +7,17 @@ use dca_invariants::InvariantTier;
 /// Which LP backend to use for Step 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpBackend {
-    /// Floating-point simplex (default; mirrors the paper's use of a real-valued LP
-    /// solver and is fast enough for the full benchmark suite).
+    /// Float-first, exact-repair driver (default): the `f64` revised simplex does the
+    /// pivoting, an exact-rational certifier accepts or repairs the candidate basis.
+    /// Every verdict carries an exact certificate at a fraction of exact-backend cost
+    /// (the QSopt_ex-style precision-boosting scheme; see `dca_lp`'s `certify`
+    /// module).
+    Certified,
+    /// Floating-point simplex (mirrors the paper's use of a real-valued LP solver;
+    /// verdicts are tolerance-guarded `f64`, with an exact fallback only on
+    /// non-convergence).
     F64,
-    /// Exact rational simplex (slower; useful for small programs and cross-checking).
+    /// Exact rational simplex from scratch (slowest; useful for cross-checking).
     Exact,
 }
 
@@ -74,7 +81,7 @@ impl Default for AnalysisOptions {
             degree: 2,
             max_products: 2,
             include_cost_in_template: false,
-            backend: LpBackend::F64,
+            backend: LpBackend::Certified,
             time_budget: None,
             invariant_tier: InvariantTier::Baseline,
         }
@@ -148,7 +155,7 @@ mod tests {
         assert_eq!(options.degree, 2);
         assert_eq!(options.max_products, 2);
         assert!(!options.include_cost_in_template);
-        assert_eq!(options.backend, LpBackend::F64);
+        assert_eq!(options.backend, LpBackend::Certified);
     }
 
     #[test]

@@ -67,12 +67,32 @@ pub struct SolveStats {
     /// Number of constraint rows the Handelman encoding emitted before duplicate and
     /// trivially-satisfied rows were removed.
     pub lp_constraints_raw: usize,
-    /// Simplex iterations of the final LP solve (0 when presolve decided it).
+    /// Simplex iterations of the final LP solve across both backends (0 when
+    /// presolve decided it); `lp_float_iterations + lp_exact_iterations` under the
+    /// float-first driver.
     pub lp_iterations: usize,
+    /// Pivots performed by the `f64` phase of the float-first driver.
+    pub lp_float_iterations: usize,
+    /// Pivots performed by the exact rational simplex (repair + fallback).
+    pub lp_exact_iterations: usize,
     /// `true` when the LP deadline expired during phase 2 and the reported threshold
     /// is the last feasible iterate — a *sound but possibly loose* upper bound
     /// rather than a proven optimum (anytime semantics).
     pub lp_truncated: bool,
+    /// `true` when the reported LP answer carries an exact-rational certificate
+    /// (always under the `Certified` and `Exact` backends; `false` under plain
+    /// `F64`, whose verdicts are tolerance-guarded floats).
+    pub lp_certified: bool,
+    /// Certification rounds the float-first driver performed.
+    pub lp_certify_rounds: usize,
+    /// Wall-clock the LP spent in presolve.
+    pub lp_presolve_time: Duration,
+    /// Wall-clock the LP spent pivoting in `f64`.
+    pub lp_float_time: Duration,
+    /// Wall-clock the LP spent in exact basis certification.
+    pub lp_certify_time: Duration,
+    /// Wall-clock the LP spent in exact repair pivoting.
+    pub lp_repair_time: Duration,
     /// Constraint rows removed by the LP presolve pass.
     pub presolve_rows_removed: usize,
     /// Standard-form columns removed by the LP presolve pass.
@@ -558,13 +578,22 @@ impl DiffCostSolver {
             lp_constraints: lp.num_constraints(),
             lp_constraints_raw: raw_rows,
             lp_iterations: info.iterations,
+            lp_float_iterations: info.float_iterations,
+            lp_exact_iterations: info.exact_iterations,
             lp_truncated: info.truncated,
+            lp_certified: info.certified,
+            lp_certify_rounds: info.certify_rounds,
+            lp_presolve_time: info.presolve_time,
+            lp_float_time: info.float_time,
+            lp_certify_time: info.certify_time,
+            lp_repair_time: info.repair_time,
             presolve_rows_removed: info.presolve_rows_removed,
             presolve_cols_removed: info.presolve_cols_removed,
             duration,
         };
-        let solve_exact = |lp: &LpProblem| -> LpAttempt {
-            let solution = lp.solve_exact();
+        // Shared interpretation of an exact-rational solve outcome (the `Exact`
+        // backend and the float-first `Certified` driver produce the same shape).
+        let rational_attempt = |solution: dca_lp::LpResult<Rational>| -> LpAttempt {
             let basis = Some(solution.basis.clone());
             let result = match solution.status {
                 LpStatus::Optimal => {
@@ -586,7 +615,9 @@ impl DiffCostSolver {
             };
             LpAttempt { result, basis }
         };
+        let solve_exact = |lp: &LpProblem| -> LpAttempt { rational_attempt(lp.solve_exact()) };
         match self.options.backend {
+            LpBackend::Certified => rational_attempt(lp.solve_certified_warm(warm)),
             LpBackend::F64 => {
                 let solution = lp.solve_f64_warm(warm);
                 let basis = Some(solution.basis.clone());

@@ -1,0 +1,451 @@
+//! Float-first, exact-repair LP driver: `f64` does the pivoting, rationals certify.
+//!
+//! The QSopt_ex-style precision-boosting scheme this module implements splits every
+//! solve into three unequal parts:
+//!
+//! 1. **Float phase** — the sparse revised simplex runs phases 1–2 entirely in
+//!    hardware floats (Devex pricing, equilibration, anti-degeneracy perturbation) and
+//!    proposes a candidate optimal *basis*. Floats decide nothing; they only guess.
+//! 2. **Certification** — the candidate basis is factorized in exact rationals with
+//!    the Markowitz-ordered sparse LU ([`crate::lu`]); `x_B = B⁻¹b` and the reduced
+//!    costs `c_j − c_B B⁻¹ A_j` are recomputed exactly, and the basis is accepted iff
+//!    it is exactly feasible (`x_B ≥ 0`, artificial rows exactly zero) and exactly
+//!    optimal (every nonbasic reduced cost `≥ 0`). An accepted answer is therefore a
+//!    full exact-rational certificate, no different from one the exact simplex
+//!    produces — it was merely *found* at f64 speed.
+//! 3. **Exact repair** — on rejection (or when the float phase fails outright), the
+//!    exact simplex is warm-started from the candidate basis, so it performs only the
+//!    few pivots separating the float vertex from the true optimum. Repair rounds are
+//!    pivot-capped and re-certified ([`REPAIR_CAPS`] rounds), after which the driver
+//!    falls back to the pure exact path (uncapped), which is self-certifying.
+//!
+//! Soundness: every verdict this driver issues — optimal value, infeasible,
+//! unbounded — is produced by exact-rational arithmetic (the certifier or the exact
+//! simplex). The `f64` phase only ever influences *which basis* the exact machinery
+//! looks at first, never what it concludes.
+
+use std::time::{Duration, Instant};
+
+use dca_numeric::Rational;
+
+use crate::lu::factorize_markowitz;
+use crate::presolve::presolve;
+use crate::problem::LpStatus;
+use crate::revised::Columns;
+use crate::scalar::Scalar;
+use crate::simplex::{
+    solve_standard_form_inner, RawSolution, StandardForm, PERTURBATION, PERTURB_ROWS_THRESHOLD,
+};
+
+/// Per-phase effort accounting of one float-first solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PhaseStats {
+    /// Wall-clock spent in presolve.
+    pub presolve_time: Duration,
+    /// Wall-clock spent in the `f64` simplex phase.
+    pub float_time: Duration,
+    /// Wall-clock spent factorizing and pricing in the exact certifier.
+    pub certify_time: Duration,
+    /// Wall-clock spent in exact repair pivoting.
+    pub repair_time: Duration,
+    /// Pivots performed by the `f64` phase.
+    pub float_iterations: usize,
+    /// Pivots performed by the exact simplex (repair + fallback).
+    pub exact_iterations: usize,
+    /// `true` when the reported result carries an exact-rational certificate (always
+    /// the case for terminal verdicts of this driver; recorded for the audit trail).
+    pub certified: bool,
+    /// Certification rounds performed (0 = the float phase never produced a
+    /// candidate, 1 = first candidate accepted, …).
+    pub certify_rounds: usize,
+}
+
+/// Exact certificate for an accepted basis.
+struct Certificate {
+    /// Values of the structural columns.
+    values: Vec<Rational>,
+    /// The structural basis columns (for warm-starting follow-up solves).
+    basis: Vec<usize>,
+}
+
+/// Repair-round pivot caps: round `k` may spend `REPAIR_CAPS[k]` exact pivots before
+/// its basis is re-certified; after the last round the uncapped exact path runs.
+const REPAIR_CAPS: [usize; 2] = [256, 2048];
+
+/// Fraction of the remaining budget the float phase may consume (the exact phases
+/// must keep the lion's share: they are the sound fallback with anytime semantics).
+const FLOAT_BUDGET_FRACTION: f64 = 0.25;
+
+/// Exact accept/reject of a candidate optimal basis for `min c·y, Ay = b, y ≥ 0`.
+///
+/// Returns the exact solution iff the basis is exactly primal feasible *and* exactly
+/// dual feasible (optimal). Artificial rows (rank deficiency of the candidate) are
+/// accepted only at exactly zero.
+fn certify_basis(
+    form: &StandardForm<Rational>,
+    columns: &Columns<Rational>,
+    basis: &[usize],
+    deadline: Option<Instant>,
+) -> Option<Certificate> {
+    let m = columns.rows;
+    let n = columns.cols.len();
+    let past_deadline = || deadline.map_or(false, |d| Instant::now() >= d);
+    // Certification is exact work too and must honor the per-attempt budget like
+    // every other exact loop; an aborted certification is just a rejection — the
+    // caller's repair/fallback path times out promptly on the same deadline.
+    if past_deadline() {
+        return None;
+    }
+    let lu = factorize_markowitz(columns, basis);
+    if past_deadline() {
+        return None;
+    }
+
+    // Exact primal feasibility: x_B = B⁻¹ b ≥ 0, with artificial rows exactly 0.
+    let mut x_basic = form.rhs.clone();
+    lu.factor.ftran(&mut x_basic);
+    for (pos, value) in x_basic.iter().enumerate() {
+        if value.is_negative() {
+            return None;
+        }
+        if lu.factor.basis[pos] >= n && !value.is_zero() {
+            return None;
+        }
+    }
+
+    // Exact dual feasibility: y = c_B B⁻¹, r_j = c_j − y·A_j ≥ 0 for every nonbasic
+    // structural column (artificials carry cost 0; basic columns price to 0 exactly).
+    let mut y = vec![Rational::zero(); m];
+    for (pos, value) in y.iter_mut().enumerate() {
+        let col = lu.factor.basis[pos];
+        if col < n {
+            *value = form.costs[col].clone();
+        }
+    }
+    lu.factor.btran(&mut y);
+    let mut in_basis = vec![false; n];
+    for &col in &lu.factor.basis {
+        if col < n {
+            in_basis[col] = true;
+        }
+    }
+    for j in 0..n {
+        if in_basis[j] {
+            continue;
+        }
+        if j % 256 == 0 && past_deadline() {
+            return None;
+        }
+        let reduced = form.costs[j].sub(&columns.dot(&y, j));
+        if reduced.is_negative() {
+            return None;
+        }
+    }
+
+    let mut values = vec![Rational::zero(); n];
+    for (pos, &col) in lu.factor.basis.iter().enumerate() {
+        if col < n {
+            values[col] = x_basic[pos].clone();
+        }
+    }
+    let basis = lu.factor.basis.iter().copied().filter(|&col| col < n).collect();
+    Some(Certificate { values, basis })
+}
+
+/// Solves a standard-form problem with the float-first / exact-repair loop.
+///
+/// The returned solution is always exact ([`Rational`]); see the module docs for the
+/// soundness argument. `warm` carries preferred structural columns in original
+/// (pre-presolve) indices, exactly like [`crate::simplex::solve_standard_form`].
+pub(crate) fn solve_float_first(
+    form: &StandardForm<Rational>,
+    deadline: Option<Instant>,
+    warm: Option<&[usize]>,
+) -> RawSolution<Rational> {
+    let debug = std::env::var("DCA_LP_DEBUG").is_ok();
+    let num_original_cols = form.costs.len();
+    let mut phases = PhaseStats::default();
+
+    // Exact presolve (the rational pass may conclude infeasibility outright).
+    let presolve_start = Instant::now();
+    let pre = if std::env::var("DCA_LP_NO_PRESOLVE").is_ok() {
+        crate::presolve::identity(form)
+    } else {
+        presolve(form)
+    };
+    phases.presolve_time = presolve_start.elapsed();
+    if let Some(status) = pre.verdict {
+        let mut solution = RawSolution::bare(status);
+        solution.presolve_rows_removed = pre.rows_removed;
+        solution.presolve_cols_removed = pre.cols_removed;
+        phases.certified = true; // the verdict is exact-rational by construction
+        solution.phases = phases;
+        return solution;
+    }
+    if pre.form.matrix.is_empty() {
+        // Presolve resolved every constraint exactly; see `solve_standard_form`.
+        let unbounded = pre.form.costs.iter().any(Scalar::is_negative);
+        let mut solution =
+            RawSolution::bare(if unbounded { LpStatus::Unbounded } else { LpStatus::Optimal });
+        if !unbounded {
+            solution.values =
+                pre.restore(&vec![Rational::zero(); pre.kept_cols.len()], num_original_cols);
+        }
+        solution.presolve_rows_removed = pre.rows_removed;
+        solution.presolve_cols_removed = pre.cols_removed;
+        phases.certified = true;
+        solution.phases = phases;
+        return solution;
+    }
+    let warm_reduced: Option<Vec<usize>> = warm.map(|w| pre.map_cols(w));
+
+    // `DCA_LP_NO_FLOAT=1` skips the f64 phase entirely (A/B switch: pure exact path
+    // with the caller's warm start, same certificates, no float influence at all).
+    if std::env::var("DCA_LP_NO_FLOAT").is_ok() {
+        let repair_start = Instant::now();
+        let mut solution = solve_standard_form_inner::<Rational>(
+            &pre.form,
+            deadline,
+            0.0,
+            warm_reduced.as_deref(),
+            None,
+        );
+        phases.repair_time = repair_start.elapsed();
+        phases.exact_iterations = solution.iterations;
+        if solution.status == LpStatus::Optimal {
+            solution.values = pre.restore(&solution.values, num_original_cols);
+        }
+        solution.basis = solution.basis.iter().map(|&col| pre.kept_cols[col]).collect();
+        solution.presolve_rows_removed = pre.rows_removed;
+        solution.presolve_cols_removed = pre.cols_removed;
+        phases.certified = true;
+        solution.phases = phases;
+        return solution;
+    }
+
+    // ---- Float phase: solve the f64 image of the reduced problem. -----------------
+    let float_start = Instant::now();
+    let float_form = StandardForm {
+        matrix: pre
+            .form
+            .matrix
+            .iter()
+            .map(|row| row.iter().map(Rational::to_f64).collect())
+            .collect(),
+        rhs: pre.form.rhs.iter().map(Rational::to_f64).collect(),
+        costs: pre.form.costs.iter().map(Rational::to_f64).collect(),
+        model_columns: pre.form.model_columns.clone(),
+    };
+    // The float phase only proposes a basis; cap its budget so the exact phases keep
+    // most of the wall-clock (they are the sound anytime fallback).
+    let float_deadline = deadline.map(|d| {
+        let remaining = d.saturating_duration_since(Instant::now());
+        Instant::now() + remaining.mul_f64(FLOAT_BUDGET_FRACTION)
+    });
+    let perturbation =
+        if float_form.matrix.len() >= PERTURB_ROWS_THRESHOLD { PERTURBATION } else { 0.0 };
+    let float = solve_standard_form_inner(
+        &float_form,
+        float_deadline,
+        perturbation,
+        warm_reduced.as_deref(),
+        None,
+    );
+    phases.float_time = float_start.elapsed();
+    phases.float_iterations = float.iterations;
+    if debug {
+        eprintln!(
+            "[lp] float-first: f64 phase {:?} in {:.2}s ({} pivots, {} rows, {} cols)",
+            float.status,
+            phases.float_time.as_secs_f64(),
+            float.iterations,
+            pre.form.matrix.len(),
+            pre.form.costs.len()
+        );
+    }
+
+    let columns = Columns::from_form(&pre.form);
+    let mut candidate: Vec<usize> = float.basis.clone();
+    let mut result: Option<RawSolution<Rational>> = None;
+
+    // ---- Certify / repair loop. ----------------------------------------------------
+    // Round r: certify the current candidate; on rejection run a pivot-capped exact
+    // repair warm-started from it and try again. After the capped rounds the exact
+    // simplex runs uncapped (self-certifying).
+    if float.status == LpStatus::Optimal && !float.truncated {
+        for (round, cap) in REPAIR_CAPS.iter().enumerate() {
+            let certify_start = Instant::now();
+            let certificate = certify_basis(&pre.form, &columns, &candidate, deadline);
+            phases.certify_time += certify_start.elapsed();
+            phases.certify_rounds = round + 1;
+            if let Some(certificate) = certificate {
+                if debug {
+                    eprintln!(
+                        "[lp] float-first: certified in round {} ({:.3}s certify)",
+                        round + 1,
+                        phases.certify_time.as_secs_f64()
+                    );
+                }
+                let mut solution = RawSolution::bare(LpStatus::Optimal);
+                solution.values = certificate.values;
+                solution.basis = certificate.basis;
+                result = Some(solution);
+                break;
+            }
+            if debug {
+                eprintln!(
+                    "[lp] float-first: round {} rejected; exact repair (cap {cap})",
+                    round + 1
+                );
+            }
+            let repair_start = Instant::now();
+            let repaired = solve_standard_form_inner::<Rational>(
+                &pre.form,
+                deadline,
+                0.0,
+                Some(&candidate),
+                Some(*cap),
+            );
+            phases.repair_time += repair_start.elapsed();
+            phases.exact_iterations += repaired.iterations;
+            match repaired.status {
+                // The capped exact run converged: its answer is exact and final.
+                LpStatus::Optimal | LpStatus::Infeasible | LpStatus::Unbounded => {
+                    result = Some(repaired);
+                    break;
+                }
+                // Deadline hit: no time left to keep repairing.
+                LpStatus::TimedOut => {
+                    result = Some(repaired);
+                    break;
+                }
+                // Cap hit: continue from wherever the repair stopped.
+                _ => {
+                    if !repaired.basis.is_empty() {
+                        candidate = repaired.basis;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Pure exact fallback (uncapped, warm-started from the best basis seen). ----
+    let mut solution = match result {
+        Some(solution) => solution,
+        None => {
+            let warm_exact: Option<&[usize]> = if !candidate.is_empty() {
+                Some(&candidate)
+            } else {
+                warm_reduced.as_deref()
+            };
+            let repair_start = Instant::now();
+            let exact =
+                solve_standard_form_inner::<Rational>(&pre.form, deadline, 0.0, warm_exact, None);
+            phases.repair_time += repair_start.elapsed();
+            phases.exact_iterations += exact.iterations;
+            if debug {
+                eprintln!(
+                    "[lp] float-first: exact fallback {:?} in {:.2}s ({} pivots)",
+                    exact.status,
+                    phases.repair_time.as_secs_f64(),
+                    exact.iterations
+                );
+            }
+            exact
+        }
+    };
+
+    // Map the reduced solution back to the original column space.
+    if solution.status == LpStatus::Optimal {
+        solution.values = pre.restore(&solution.values, num_original_cols);
+    }
+    solution.basis = solution.basis.iter().map(|&col| pre.kept_cols[col]).collect();
+    solution.presolve_rows_removed = pre.rows_removed;
+    solution.presolve_cols_removed = pre.cols_removed;
+    solution.iterations = phases.float_iterations + phases.exact_iterations;
+    // Every terminal verdict above came out of exact arithmetic: the certifier, the
+    // exact repair, or the exact fallback. (A truncated anytime answer is exactly
+    // feasible — its bound is sound — but not a proven optimum.)
+    phases.certified = true;
+    solution.phases = phases;
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// minimize -x - y  s.t.  x + y + s = 4: optimum -4 at x + y = 4.
+    #[test]
+    fn float_first_certifies_a_simple_optimum() {
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1), r(1, 1), r(1, 1)]],
+            rhs: vec![r(4, 1)],
+            costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
+            model_columns: Vec::new(),
+        };
+        let solution = solve_float_first(&form, None, None);
+        assert_eq!(solution.status, LpStatus::Optimal);
+        assert!(solution.phases.certified);
+        assert!(solution.phases.certify_rounds >= 1, "the certifier must have run");
+        assert_eq!(solution.phases.exact_iterations, 0, "no exact repair needed");
+        let total = solution.values[0].clone() + solution.values[1].clone();
+        assert_eq!(total, r(4, 1));
+    }
+
+    #[test]
+    fn float_first_agrees_with_exact_on_infeasible() {
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1)], vec![r(1, 1)]],
+            rhs: vec![r(2, 1), r(3, 1)],
+            costs: vec![r(0, 1)],
+            model_columns: Vec::new(),
+        };
+        let solution = solve_float_first(&form, None, None);
+        assert_eq!(solution.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn certifier_rejects_a_suboptimal_basis() {
+        // minimize x1 with x1 + x2 = 1: optimum picks x2 basic. The basis {x1} is
+        // feasible but not optimal, so certification must fail on it.
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1), r(1, 1)]],
+            rhs: vec![r(1, 1)],
+            costs: vec![r(1, 1), r(0, 1)],
+            model_columns: Vec::new(),
+        };
+        let columns = Columns::from_form(&form);
+        assert!(
+            certify_basis(&form, &columns, &[0], None).is_none(),
+            "x1 basic is not optimal"
+        );
+        let certificate =
+            certify_basis(&form, &columns, &[1], None).expect("x2 basic is optimal");
+        assert_eq!(certificate.values, vec![r(0, 1), r(1, 1)]);
+    }
+
+    #[test]
+    fn certifier_rejects_infeasible_bases_and_nonzero_artificials() {
+        // x1 - x2 = 1 with basis {x2}: x2 = -1 < 0 → infeasible basis.
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1), r(-1, 1)]],
+            rhs: vec![r(1, 1)],
+            costs: vec![r(0, 1), r(0, 1)],
+            model_columns: Vec::new(),
+        };
+        let columns = Columns::from_form(&form);
+        assert!(certify_basis(&form, &columns, &[1], None).is_none());
+        // Empty candidate: the row is covered by an artificial that must be 0 but
+        // solves to 1 → reject.
+        assert!(certify_basis(&form, &columns, &[], None).is_none());
+        // With rhs = 0 the all-artificial basis is exactly feasible and optimal.
+        let zero_form = StandardForm { rhs: vec![r(0, 1)], ..form };
+        let zero_columns = Columns::from_form(&zero_form);
+        assert!(certify_basis(&zero_form, &zero_columns, &[], None).is_some());
+    }
+}

@@ -40,6 +40,8 @@
 //! assert_eq!(solution.objective.unwrap(), Rational::new(14, 5));
 //! ```
 
+mod certify;
+mod lu;
 mod presolve;
 mod problem;
 mod revised;

@@ -17,6 +17,11 @@
 //!   the objective. (A no-row column with *negative* cost is kept: the LP is then
 //!   "infeasible or unbounded", and only the simplex — which proves feasibility in
 //!   phase 1 before anything else — can tell which.)
+//! * **dominated rows** — two rows that encode inequalities over *proportional* cores
+//!   (each row's own zero-cost slack singleton makes it `core·y ≤ b` or `core·y ≥ b`)
+//!   imply one another when they point the same way: only the tighter bound survives.
+//!   The paper's `X ≤ c` and `2X ≤ 2c'` Θ0 shapes (and the overlapping guard rows the
+//!   invariant tiers emit) are exactly this pattern.
 //!
 //! The reductions cascade (fixing a column can create new singleton or zero rows), so
 //! the pass iterates to a fixpoint. Everything runs in the solver's scalar type, with
@@ -299,6 +304,134 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
         }
     }
 
+    // Dominated-row elimination. A surviving row with exactly one *zero-cost
+    // singleton* column (a column appearing in no other row) encodes an inequality
+    // over its remaining "core" terms: `core·y + c_s·y_s = b` with `y_s ≥ 0` is
+    // `core·y ≤ b` when `c_s > 0` and `core·y ≥ b` when `c_s < 0`. Two such rows with
+    // proportional cores and the same direction imply one another; the looser bound
+    // is dropped (its orphaned slack column is then fixed to zero by the column
+    // accounting below). Rows are grouped by a normalized-core hash and verified by
+    // exact cross-multiplication before anything is removed, so a hash or rounding
+    // collision can never drop a non-dominated row.
+    {
+        use std::collections::HashMap;
+        let mut occurrence = vec![0usize; num_cols];
+        for row in rows.iter().flatten() {
+            for (col, _) in &row.terms {
+                occurrence[*col] += 1;
+            }
+        }
+        // Only synthesized slack/surplus columns may play the disposable-singleton
+        // role. A *model* variable that happens to have zero cost and a single
+        // occurrence is still part of the reported solution — dropping its row and
+        // then fixing it to zero would return values that violate the original
+        // constraint (e.g. `x + z = 10` with zero-cost `z` must keep `z = 10 − x`).
+        let mut is_model_column = vec![false; num_cols];
+        for (positive, negative) in &form.model_columns {
+            if *positive < num_cols {
+                is_model_column[*positive] = true;
+            }
+            if let Some(negative) = negative {
+                if *negative < num_cols {
+                    is_model_column[*negative] = true;
+                }
+            }
+        }
+        // (index, singleton position, direction Le?) of each inequality-shaped row.
+        struct IneqRow<S> {
+            index: usize,
+            /// Core terms (the singleton removed), in column order.
+            core: Vec<(usize, S)>,
+            /// Core pivot = first core coefficient (the normalization divisor).
+            pivot: S,
+            /// `true` for `core·y ≤ b` (after normalizing by the pivot's sign).
+            le: bool,
+            /// The normalized bound `b / pivot`.
+            bound: S,
+        }
+        let mut groups: HashMap<Vec<(usize, u64)>, Vec<IneqRow<S>>> = HashMap::new();
+        for (index, slot) in rows.iter().enumerate() {
+            let Some(row) = slot else { continue };
+            let singletons: Vec<usize> = row
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, (col, _))| {
+                    occurrence[*col] == 1
+                        && !is_model_column[*col]
+                        && form.costs[*col].is_exactly_zero()
+                })
+                .map(|(pos, _)| pos)
+                .collect();
+            // Exactly one zero-cost singleton and a non-empty core: an inequality.
+            if singletons.len() != 1 || row.terms.len() < 2 {
+                continue;
+            }
+            let singleton_pos = singletons[0];
+            let slack_coeff = row.terms[singleton_pos].1.clone();
+            let core: Vec<(usize, S)> = row
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| *pos != singleton_pos)
+                .map(|(_, (col, a))| (*col, a.clone()))
+                .collect();
+            let pivot = core[0].1.clone();
+            // Direction: `≤` iff the slack sign and the pivot sign agree (dividing
+            // the inequality by a negative pivot flips it).
+            let le = slack_coeff.is_positive() == pivot.is_positive();
+            let bound = row.rhs.div(&pivot);
+            let key: Vec<(usize, u64)> = core
+                .iter()
+                .map(|(col, a)| (*col, a.div(&pivot).to_f64().to_bits()))
+                .collect();
+            groups.entry(key).or_default().push(IneqRow { index, core, pivot, le, bound });
+        }
+        for group in groups.values_mut() {
+            if group.len() < 2 {
+                continue;
+            }
+            for direction in [true, false] {
+                // The surviving (tightest) row so far for this direction.
+                let mut keeper: Option<usize> = None; // position in `group`
+                for candidate in 0..group.len() {
+                    if group[candidate].le != direction
+                        || rows[group[candidate].index].is_none()
+                    {
+                        continue;
+                    }
+                    let Some(kept) = keeper else {
+                        keeper = Some(candidate);
+                        continue;
+                    };
+                    // Exact proportionality: va/p_a = vb/p_b for every core column,
+                    // checked by cross-multiplication (the pivot *sign* is already
+                    // folded into the `le` direction, so either sign ratio is fine).
+                    let (a, b) = (&group[kept], &group[candidate]);
+                    let proportional = a.core.len() == b.core.len()
+                        && a.core.iter().zip(&b.core).all(|((ca, va), (cb, vb))| {
+                            ca == cb && va.mul(&b.pivot).sub(&vb.mul(&a.pivot)).is_exactly_zero()
+                        });
+                    if !proportional {
+                        continue;
+                    }
+                    // Same direction, proportional cores: drop the looser bound.
+                    let candidate_tighter = if direction {
+                        b.bound.lt(&a.bound)
+                    } else {
+                        a.bound.lt(&b.bound)
+                    };
+                    let loser = if candidate_tighter { kept } else { candidate };
+                    rows[group[loser].index] = None;
+                    rows_removed += 1;
+                    if candidate_tighter {
+                        keeper = Some(candidate);
+                    }
+                }
+            }
+        }
+    }
+
     // Column accounting: a column in no surviving row is free of constraints. With
     // non-negative cost it is fixed to zero; with *negative* cost it is kept — the
     // LP is then "infeasible or unbounded", and only the simplex (which first proves
@@ -343,12 +476,31 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
     }
     let costs: Vec<S> = kept_cols.iter().map(|&c| form.costs[c].clone()).collect();
     let cols_removed = num_cols - kept_cols.len();
+    // Remap the model-column layout into the reduced index space so the field stays
+    // meaningful on the reduced form (a pair whose positive column was eliminated is
+    // dropped; an eliminated negative half degrades to `None`). Nothing decides
+    // soundness off this today, but a stale original-index copy would silently
+    // mislead any future consumer of the reduced form.
+    let model_columns: Vec<(usize, Option<usize>)> = form
+        .model_columns
+        .iter()
+        .filter_map(|(positive, negative)| {
+            let positive = *reduced_of.get(*positive)?;
+            if positive == usize::MAX {
+                return None;
+            }
+            let negative = negative
+                .and_then(|n| reduced_of.get(n).copied())
+                .filter(|&n| n != usize::MAX);
+            Some((positive, negative))
+        })
+        .collect();
     Presolved {
         form: StandardForm {
             matrix,
             rhs: rhs_out,
             costs,
-            model_columns: form.model_columns.clone(),
+            model_columns,
         },
         kept_cols,
         fixed: collect_fixed(&fixed),
@@ -473,6 +625,110 @@ mod tests {
         assert_eq!(pre.cols_removed, 1);
         let values = pre.restore(&[r(1, 1), Rational::zero()], 3);
         assert_eq!(values, vec![r(1, 1), Rational::zero(), Rational::zero()]);
+    }
+
+    /// Dominated rows with identical (proportional) support: `x + y ≤ 10` (via slack
+    /// s1) makes `2x + 2y ≤ 30` (via slack s2) redundant — the looser row must go.
+    #[test]
+    fn dominated_le_row_is_eliminated() {
+        // Columns: x, y, s1, s2. Minimize -x (so neither slack has a cost).
+        let f = form(
+            vec![
+                vec![r(1, 1), r(1, 1), r(1, 1), r(0, 1)],
+                vec![r(2, 1), r(2, 1), r(0, 1), r(1, 1)],
+            ],
+            vec![r(10, 1), r(30, 1)],
+            vec![r(-1, 1), r(0, 1), r(0, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.form.matrix.len(), 1, "the dominated row must be dropped");
+        assert_eq!(pre.rows_removed, 1);
+        // The orphaned slack s2 is fixed to zero by the column accounting.
+        assert!(pre.fixed.iter().any(|(col, v)| *col == 3 && v.is_zero()));
+        // The surviving row is the *tight* one (rhs 10, not 30).
+        assert_eq!(pre.form.rhs[0], r(10, 1));
+    }
+
+    /// The `≥` direction: `x ≥ 2` (surplus −s1) dominates `2x ≥ 2`, i.e. `x ≥ 1`.
+    #[test]
+    fn dominated_ge_row_is_eliminated_keeping_the_larger_bound() {
+        // Columns: x, s1, s2. Minimize x.
+        let f = form(
+            vec![
+                vec![r(1, 1), r(-1, 1), r(0, 1)],
+                vec![r(2, 1), r(0, 1), r(-1, 1)],
+            ],
+            vec![r(2, 1), r(2, 1)],
+            vec![r(1, 1), r(0, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.form.matrix.len(), 1);
+        assert_eq!(pre.rows_removed, 1);
+        assert_eq!(pre.form.rhs[0], r(2, 1), "the x ≥ 2 row survives");
+        // The reduced LP still has the right optimum: x = 2.
+        let solution = crate::simplex::solve_standard_form(&f, None, None);
+        assert_eq!(solution.status, LpStatus::Optimal);
+        assert_eq!(solution.values[0], r(2, 1));
+    }
+
+    /// Opposite directions (`x ≤ 10` and `x ≥ 2`) must both survive: they bound a
+    /// range, neither implies the other.
+    #[test]
+    fn opposite_direction_rows_are_not_dominated() {
+        let f = form(
+            vec![
+                vec![r(1, 1), r(1, 1), r(0, 1)],
+                vec![r(1, 1), r(0, 1), r(-1, 1)],
+            ],
+            vec![r(10, 1), r(2, 1)],
+            vec![r(1, 1), r(0, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.form.matrix.len(), 2, "a range is not a dominance pair");
+    }
+
+    /// A zero-cost *model* variable that occurs in a single row is not a slack: its
+    /// value is part of the reported solution, so its row must never be dropped as
+    /// dominated (regression: `x + z = 10` with zero-cost `z` once lost `z = 2`,
+    /// returning values that violated the equality).
+    #[test]
+    fn model_columns_never_play_the_slack_role() {
+        use crate::problem::{ConstraintOp, LpProblem, VarKind};
+        use dca_numeric::Rational as Q;
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", VarKind::NonNegative);
+        let z = lp.add_var("z", VarKind::NonNegative);
+        lp.add_constraint(vec![(x, r(1, 1)), (z, r(1, 1))], ConstraintOp::Eq, r(10, 1));
+        lp.add_constraint(vec![(x, r(2, 1))], ConstraintOp::Le, r(16, 1));
+        lp.set_objective(vec![(x, r(-1, 1))]);
+        for solution in [lp.solve_exact(), lp.solve_certified()] {
+            assert_eq!(solution.status, LpStatus::Optimal);
+            assert_eq!(solution.value(x), r(8, 1));
+            assert_eq!(solution.value(z), r(2, 1), "z is determined by the equality");
+            assert_eq!(
+                &solution.value(x) + &solution.value(z),
+                Q::from_int(10),
+                "the reported values must satisfy x + z = 10"
+            );
+        }
+    }
+
+    /// A slack with a non-zero objective coefficient is not a pure slack; the row it
+    /// guards must not be treated as a droppable inequality.
+    #[test]
+    fn costed_singletons_block_dominated_row_elimination() {
+        let f = form(
+            vec![
+                vec![r(1, 1), r(1, 1), r(0, 1)],
+                vec![r(2, 1), r(0, 1), r(1, 1)],
+            ],
+            vec![r(10, 1), r(30, 1)],
+            vec![r(1, 1), r(0, 1), r(5, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.form.matrix.len(), 2, "costed slack keeps its row");
     }
 
     #[test]

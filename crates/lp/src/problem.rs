@@ -1,12 +1,12 @@
 //! The user-facing LP model: variables, constraints, objective, and solving entry points.
 
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dca_numeric::Rational;
 
 use crate::scalar::Scalar;
-use crate::simplex::{solve_standard_form, StandardForm};
+use crate::simplex::{solve_standard_form, RawSolution, StandardForm};
 
 /// Identifier of an LP variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,8 +108,15 @@ impl LpBasis {
 /// Size and effort statistics of one solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LpSolveInfo {
-    /// Simplex iterations across both phases (0 when presolve decided the problem).
+    /// Simplex iterations across both phases and backends (0 when presolve decided
+    /// the problem). For the float-first driver this is `float_iterations +
+    /// exact_iterations`.
     pub iterations: usize,
+    /// Pivots performed by the `f64` simplex (float-first driver only).
+    pub float_iterations: usize,
+    /// Pivots performed by the exact rational simplex (float-first driver only:
+    /// repair rounds plus the uncapped fallback).
+    pub exact_iterations: usize,
     /// Constraint rows removed by presolve.
     pub presolve_rows_removed: usize,
     /// Standard-form columns removed by presolve.
@@ -118,6 +125,22 @@ pub struct LpSolveInfo {
     /// optimum is the last feasible iterate — a sound but possibly loose bound
     /// (anytime semantics).
     pub truncated: bool,
+    /// `true` when the reported result carries an exact-rational certificate: the
+    /// answer was produced (or accepted) by exact arithmetic, never by `f64` alone.
+    /// Always `true` for [`LpProblem::solve_certified`] and
+    /// [`LpProblem::solve_exact`]; `false` for the plain `f64` backend.
+    pub certified: bool,
+    /// Certification rounds the float-first driver performed (0 when the float phase
+    /// produced no candidate and the exact fallback ran directly).
+    pub certify_rounds: usize,
+    /// Wall-clock spent in presolve (float-first driver only).
+    pub presolve_time: Duration,
+    /// Wall-clock spent in the `f64` pivot phase (float-first driver only).
+    pub float_time: Duration,
+    /// Wall-clock spent in exact basis certification (float-first driver only).
+    pub certify_time: Duration,
+    /// Wall-clock spent in exact repair pivoting (float-first driver only).
+    pub repair_time: Duration,
 }
 
 /// Result of an LP solve in the chosen scalar type.
@@ -278,7 +301,36 @@ impl LpProblem {
 
     /// Solves with the exact rational backend (slower; used for cross-checking).
     pub fn solve_exact(&self) -> LpResult<Rational> {
-        self.solve_generic::<Rational>(None)
+        let mut result = self.solve_generic::<Rational>(None);
+        result.info.certified = true;
+        result.info.exact_iterations = result.info.iterations;
+        result
+    }
+
+    /// Solves with the float-first, exact-repair driver: the `f64` revised simplex
+    /// proposes a candidate optimal basis, an exact-rational certifier accepts or
+    /// rejects it, and rejected candidates are repaired by a warm-started exact
+    /// simplex (see the `certify` module docs for the scheme and its soundness
+    /// argument).
+    ///
+    /// The result is exact: every status and optimal value is produced by rational
+    /// arithmetic — the floats only choose where the exact machinery looks first.
+    /// Expect exact-backend answers at a fraction of exact-backend cost whenever the
+    /// `f64` phase lands on (or near) the true optimal basis, which is the common
+    /// case for the Handelman synthesis LPs.
+    pub fn solve_certified(&self) -> LpResult<Rational> {
+        self.solve_certified_warm(None)
+    }
+
+    /// Like [`LpProblem::solve_certified`], seeding the float phase (and any exact
+    /// repair) with a warm-start basis from a previous related solve.
+    pub fn solve_certified_warm(&self, warm: Option<&LpBasis>) -> LpResult<Rational> {
+        let standard = self.to_standard_form::<Rational>();
+        let col_names = self.standard_col_names();
+        let warm_cols = self.warm_to_cols(warm, &col_names);
+        let raw =
+            crate::certify::solve_float_first(&standard, self.deadline, warm_cols.as_deref());
+        self.assemble_result(raw, &col_names)
     }
 
     /// Checks whether a candidate assignment satisfies every constraint up to `tol`.
@@ -322,10 +374,9 @@ impl LpProblem {
         names
     }
 
-    fn solve_generic<S: Scalar>(&self, warm: Option<&LpBasis>) -> LpResult<S> {
-        let standard = self.to_standard_form::<S>();
-        let col_names = self.standard_col_names();
-        let warm_cols: Option<Vec<usize>> = warm.map(|basis| {
+    /// Translates a name-matched warm basis into standard-form column indices.
+    fn warm_to_cols(&self, warm: Option<&LpBasis>, col_names: &[String]) -> Option<Vec<usize>> {
+        warm.map(|basis| {
             let index_of: std::collections::HashMap<&str, usize> = col_names
                 .iter()
                 .enumerate()
@@ -336,8 +387,15 @@ impl LpProblem {
                 .iter()
                 .filter_map(|name| index_of.get(name.as_str()).copied())
                 .collect()
-        });
-        let raw = solve_standard_form(&standard, self.deadline, warm_cols.as_deref());
+        })
+    }
+
+    /// Turns a raw standard-form solution into the user-facing [`LpResult`].
+    fn assemble_result<S: Scalar>(
+        &self,
+        raw: RawSolution<S>,
+        col_names: &[String],
+    ) -> LpResult<S> {
         let basis = LpBasis {
             names: raw
                 .basis
@@ -347,9 +405,17 @@ impl LpProblem {
         };
         let info = LpSolveInfo {
             iterations: raw.iterations,
+            float_iterations: raw.phases.float_iterations,
+            exact_iterations: raw.phases.exact_iterations,
             presolve_rows_removed: raw.presolve_rows_removed,
             presolve_cols_removed: raw.presolve_cols_removed,
             truncated: raw.truncated,
+            certified: raw.phases.certified,
+            certify_rounds: raw.phases.certify_rounds,
+            presolve_time: raw.phases.presolve_time,
+            float_time: raw.phases.float_time,
+            certify_time: raw.phases.certify_time,
+            repair_time: raw.phases.repair_time,
         };
         match raw.status {
             LpStatus::Optimal => {
@@ -364,6 +430,14 @@ impl LpProblem {
             }
             status => LpResult { status, objective: None, values: Vec::new(), basis, info },
         }
+    }
+
+    fn solve_generic<S: Scalar>(&self, warm: Option<&LpBasis>) -> LpResult<S> {
+        let standard = self.to_standard_form::<S>();
+        let col_names = self.standard_col_names();
+        let warm_cols = self.warm_to_cols(warm, &col_names);
+        let raw = solve_standard_form(&standard, self.deadline, warm_cols.as_deref());
+        self.assemble_result(raw, &col_names)
     }
 
     /// Standard form: minimize c'y subject to Ay = b, y >= 0, b >= 0.

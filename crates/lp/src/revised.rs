@@ -55,30 +55,53 @@ const FINE_PRICING_EPS: f64 = 1e-10;
 /// only); keeping them would only grow the file with numerical dust.
 const DROP_EPS: f64 = 1e-12;
 
-/// Rebuild the factorization from scratch after this many appended etas. Degenerate
-/// pivot chains amplify round-off through the eta file; a shortish period keeps the
-/// factorization honest at a bounded (~sparse) rebuild cost.
+/// Rebuild the factorization from scratch after this many appended etas (`f64`).
+/// Degenerate pivot chains amplify round-off through the eta file; a shortish period
+/// keeps the factorization honest at a bounded (~sparse) rebuild cost.
 const REINVERT_EVERY: usize = 64;
+
+/// Reinversion period for the exact backend. Exact arithmetic accumulates no
+/// round-off — the rebuild only exists to keep the eta file (and thus FTRAN/BTRAN
+/// cost) from growing without bound — so the Markowitz refactorization can be
+/// amortized over far more pivots than the `f64` drift control allows.
+const REINVERT_EVERY_EXACT: usize = 256;
 
 /// One eta matrix: the identity with column `pivot` replaced by the stored vector.
 #[derive(Debug, Clone)]
-struct Eta<S> {
-    pivot: usize,
-    pivot_value: S,
+pub(crate) struct Eta<S> {
+    pub(crate) pivot: usize,
+    pub(crate) pivot_value: S,
     /// Off-pivot non-zero entries `(row, value)`.
-    others: Vec<(usize, S)>,
+    pub(crate) others: Vec<(usize, S)>,
 }
 
 /// The sparse constraint matrix plus the virtual artificial identity columns.
-struct Columns<S> {
+pub(crate) struct Columns<S> {
     /// Structural columns: `cols[j]` is the list of `(row, value)` non-zeros.
-    cols: Vec<Vec<(usize, S)>>,
+    pub(crate) cols: Vec<Vec<(usize, S)>>,
     /// Number of rows (artificial column `n + r` is the unit vector `e_r`).
-    rows: usize,
+    pub(crate) rows: usize,
 }
 
 impl<S: Scalar> Columns<S> {
-    fn scatter(&self, col: usize, out: &mut [S]) {
+    /// Builds the column-major form of a standard-form constraint matrix.
+    pub(crate) fn from_form(form: &StandardForm<S>) -> Columns<S> {
+        Columns {
+            cols: (0..form.costs.len())
+                .map(|j| {
+                    form.matrix
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, row)| !row[j].is_exactly_zero())
+                        .map(|(i, row)| (i, row[j].clone()))
+                        .collect()
+                })
+                .collect(),
+            rows: form.matrix.len(),
+        }
+    }
+
+    pub(crate) fn scatter(&self, col: usize, out: &mut [S]) {
         for value in out.iter_mut() {
             *value = S::zero();
         }
@@ -92,7 +115,7 @@ impl<S: Scalar> Columns<S> {
     }
 
     /// Sparse dot product of a dense row vector with a column.
-    fn dot(&self, y: &[S], col: usize) -> S {
+    pub(crate) fn dot(&self, y: &[S], col: usize) -> S {
         if col < self.cols.len() {
             let mut acc = S::zero();
             for (row, value) in &self.cols[col] {
@@ -108,15 +131,15 @@ impl<S: Scalar> Columns<S> {
 }
 
 /// The eta-file basis factorization.
-struct Factorization<S> {
-    etas: Vec<Eta<S>>,
+pub(crate) struct Factorization<S> {
+    pub(crate) etas: Vec<Eta<S>>,
     /// Basic column per row position.
-    basis: Vec<usize>,
+    pub(crate) basis: Vec<usize>,
 }
 
 impl<S: Scalar> Factorization<S> {
     /// `x := B⁻¹ x` (forward transformation).
-    fn ftran(&self, x: &mut [S]) {
+    pub(crate) fn ftran(&self, x: &mut [S]) {
         for eta in &self.etas {
             if x[eta.pivot].is_exactly_zero() {
                 continue;
@@ -130,7 +153,7 @@ impl<S: Scalar> Factorization<S> {
     }
 
     /// `y := y B⁻¹` (backward transformation, applied to a row vector).
-    fn btran(&self, y: &mut [S]) {
+    pub(crate) fn btran(&self, y: &mut [S]) {
         for eta in self.etas.iter().rev() {
             let mut s = y[eta.pivot].clone();
             for (row, value) in &eta.others {
@@ -256,6 +279,24 @@ impl<S: Scalar> Factorization<S> {
     }
 }
 
+/// Builds a basis factorization for a preferred column set, choosing the strategy by
+/// backend: the exact backend uses the Markowitz-ordered sparse LU (fill-in is the
+/// entire cost of rational arithmetic — a fill-oblivious rebuild is what used to make
+/// warm-started exact solves *slower* than cold ones), while `f64` keeps the
+/// magnitude-pivoted reinversion (numerical stability is what matters there).
+fn build_factorization<S: Scalar>(
+    columns: &Columns<S>,
+    preferred: &[usize],
+    min_pivot: f64,
+) -> (Factorization<S>, Vec<usize>, f64) {
+    if S::IS_EXACT {
+        let lu = crate::lu::factorize_markowitz(columns, preferred);
+        (lu.factor, lu.artificial_rows, 0.0)
+    } else {
+        Factorization::reinvert(columns, preferred, min_pivot)
+    }
+}
+
 /// The result of a revised-simplex run.
 pub(crate) struct RevisedOutcome<S> {
     pub status: LpStatus,
@@ -281,30 +322,35 @@ pub(crate) struct RevisedOutcome<S> {
 /// [`Factorization::reinvert`]); `phase1_noise_floor` is the `f64` backend's tolerance
 /// for accepting a slightly-positive phase-1 optimum as feasible (the caller accounts
 /// for deliberate right-hand-side perturbations there).
+#[cfg(test)]
 pub(crate) fn solve_revised<S: Scalar>(
     form: &StandardForm<S>,
     deadline: Option<Instant>,
     warm: Option<&[usize]>,
     phase1_noise_floor: f64,
 ) -> RevisedOutcome<S> {
+    solve_revised_capped(form, deadline, warm, phase1_noise_floor, None)
+}
+
+/// Like [`solve_revised`], with an optional externally-imposed pivot cap per phase.
+///
+/// The float-first driver's exact *repair* rounds use the cap to bound how long a
+/// single round may pivot before its basis is re-certified; a capped run that stops
+/// early reports [`LpStatus::IterationLimit`] with its final basis intact, which the
+/// next round resumes from.
+pub(crate) fn solve_revised_capped<S: Scalar>(
+    form: &StandardForm<S>,
+    deadline: Option<Instant>,
+    warm: Option<&[usize]>,
+    phase1_noise_floor: f64,
+    iter_cap: Option<usize>,
+) -> RevisedOutcome<S> {
     let m = form.matrix.len();
     let n = form.costs.len();
-    let columns = Columns {
-        cols: (0..n)
-            .map(|j| {
-                form.matrix
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, row)| !row[j].is_exactly_zero())
-                    .map(|(i, row)| (i, row[j].clone()))
-                    .collect()
-            })
-            .collect(),
-        rows: m,
-    };
+    let columns = Columns::from_form(form);
 
     let mut state = State::new(&columns, form, warm);
-    let max_iters = 200 * (m + n) + 2000;
+    let max_iters = iter_cap.unwrap_or(200 * (m + n) + 2000);
     let debug = std::env::var("DCA_LP_DEBUG").is_ok();
 
     // Phase 1: minimize the sum of the artificial values.
@@ -440,7 +486,7 @@ impl<'a, S: Scalar> State<'a, S> {
         let m = columns.rows;
         let n = columns.cols.len();
         let build = |preferred: &[usize]| -> (Factorization<S>, Vec<S>) {
-            let (factor, _, _) = Factorization::reinvert(columns, preferred, PIVOT_EPS);
+            let (factor, _, _) = build_factorization(columns, preferred, PIVOT_EPS);
             let mut x = form.rhs.clone();
             factor.ftran(&mut x);
             (factor, x)
@@ -507,7 +553,7 @@ impl<'a, S: Scalar> State<'a, S> {
         const GROWTH_LIMIT: f64 = 1e8;
         let preferred = self.factor.basis.clone();
         let (mut factor, mut fallback, growth) =
-            Factorization::reinvert(self.columns, &preferred, PIVOT_EPS);
+            build_factorization(self.columns, &preferred, PIVOT_EPS);
         if !S::IS_EXACT && growth > GROWTH_LIMIT {
             if std::env::var("DCA_LP_DEBUG").is_ok() {
                 eprintln!("[lp] reinvert growth {growth:e}; retrying with strict pivots");
@@ -565,6 +611,17 @@ impl<'a, S: Scalar> State<'a, S> {
         let mut ban_active = false;
         let mut ban_resets = 0usize;
         const MAX_BAN_RESETS: usize = 8;
+        // Exact-backend candidate queue: one full Bland sweep is `O(n · nnz)` in
+        // rational arithmetic and dominates the per-pivot cost on the big Handelman
+        // systems, so a sweep banks the next [`EXACT_QUEUE`] improving columns (in
+        // index order). Later pivots pop candidates and *re-verify their reduced
+        // cost exactly* before entering — a stale candidate is just skipped, and the
+        // optimality verdict is still only ever declared by a full sweep that found
+        // nothing. During a degenerate streak the queue is cleared every iteration,
+        // which restores textbook lowest-index Bland and its anti-cycling guarantee.
+        const EXACT_QUEUE: usize = 32;
+        let mut exact_candidates: std::collections::VecDeque<usize> =
+            std::collections::VecDeque::new();
         let mut y = vec![S::zero(); m];
         for iteration in 0..max_iters {
             if S::IS_EXACT || iteration % DEADLINE_EVERY == 0 {
@@ -574,7 +631,8 @@ impl<'a, S: Scalar> State<'a, S> {
                     }
                 }
             }
-            if self.etas_since_reinvert >= REINVERT_EVERY {
+            let reinvert_every = if S::IS_EXACT { REINVERT_EVERY_EXACT } else { REINVERT_EVERY };
+            if self.etas_since_reinvert >= reinvert_every {
                 self.reinvert();
                 banned.iter_mut().for_each(|b| *b = false);
                 ban_active = false;
@@ -584,36 +642,75 @@ impl<'a, S: Scalar> State<'a, S> {
                 *value = self.cost(&phase, self.factor.basis[pos]);
             }
             self.factor.btran(&mut y);
+            // Entering rule. The exact backend stays on Bland's rule (low-index
+            // first): it is termination-safe, and the greedier alternatives were
+            // *measured worse* on the degree-3 `nested` system — full Dantzig and
+            // Dantzig-over-a-64-column-window both walk pivot sequences whose exact
+            // coefficients grow enough to miss the deadline where Bland's low-index
+            // bias completes the proof. The sweep cost is amortized through the
+            // candidate queue above. The f64 backend prices with Devex from a full
+            // sweep and falls back to Bland on degeneracy.
             let use_bland = S::IS_EXACT
                 || iteration >= bland_after
                 || consecutive_degenerate >= BLAND_AFTER_DEGENERATE;
             let mut entering: Option<(usize, f64)> = None;
-            for j in 0..n {
-                if self.in_basis[j] || banned[j] {
-                    continue;
+            if S::IS_EXACT {
+                if consecutive_degenerate >= BLAND_AFTER_DEGENERATE {
+                    // Zero-step streak: drop the stale queue and run textbook Bland.
+                    exact_candidates.clear();
                 }
-                let reduced = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
-                let improving = if S::IS_EXACT {
-                    reduced.is_negative()
-                } else if fine_pricing {
-                    reduced.to_f64() < -FINE_PRICING_EPS
-                } else {
-                    reduced.to_f64() < -COARSE_PRICING_EPS
-                };
-                if !improving {
-                    continue;
+                while let Some(j) = exact_candidates.pop_front() {
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    let reduced = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
+                    if reduced.is_negative() {
+                        entering = Some((j, reduced.to_f64()));
+                        break;
+                    }
                 }
-                if use_bland {
-                    entering = Some((j, reduced.to_f64()));
-                    break;
-                }
-                // Devex score: r_j² / w_j (bigger is better).
-                let r = reduced.to_f64();
-                let score = if S::IS_EXACT { -r } else { r * r / weights[j] };
-                match &entering {
-                    None => entering = Some((j, score)),
-                    Some((_, best)) if score > *best => entering = Some((j, score)),
-                    Some(_) => {}
+            }
+            if entering.is_none() {
+                let mut queued = 0usize;
+                for j in 0..n {
+                    if self.in_basis[j] || banned[j] {
+                        continue;
+                    }
+                    let reduced = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
+                    let improving = if S::IS_EXACT {
+                        reduced.is_negative()
+                    } else if fine_pricing {
+                        reduced.to_f64() < -FINE_PRICING_EPS
+                    } else {
+                        reduced.to_f64() < -COARSE_PRICING_EPS
+                    };
+                    if !improving {
+                        continue;
+                    }
+                    if use_bland {
+                        if entering.is_none() {
+                            entering = Some((j, reduced.to_f64()));
+                            if !S::IS_EXACT {
+                                break;
+                            }
+                            continue;
+                        }
+                        // Exact backend: bank the following improving columns.
+                        exact_candidates.push_back(j);
+                        queued += 1;
+                        if queued >= EXACT_QUEUE {
+                            break;
+                        }
+                        continue;
+                    }
+                    // Devex score: r_j² / w_j (bigger is better).
+                    let r = reduced.to_f64();
+                    let score = r * r / weights[j];
+                    match &entering {
+                        None => entering = Some((j, score)),
+                        Some((_, best)) if score > *best => entering = Some((j, score)),
+                        Some(_) => {}
+                    }
                 }
             }
             let Some((entering, _)) = entering else {

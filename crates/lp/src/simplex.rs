@@ -20,9 +20,10 @@
 
 use std::time::Instant;
 
+use crate::certify::PhaseStats;
 use crate::presolve::presolve;
 use crate::problem::LpStatus;
-use crate::revised::solve_revised;
+use crate::revised::solve_revised_capped;
 use crate::scalar::{abs as abs_scalar, Scalar};
 
 /// A problem in standard form: minimize `costs · y` subject to `matrix · y = rhs`,
@@ -57,10 +58,13 @@ pub(crate) struct RawSolution<S> {
     /// `true` when the deadline expired during phase 2 and the reported optimum is
     /// the last feasible (sound but possibly loose) iterate.
     pub truncated: bool,
+    /// Per-phase effort accounting (populated by the float-first driver; the plain
+    /// single-backend paths leave it at its defaults).
+    pub phases: PhaseStats,
 }
 
 impl<S> RawSolution<S> {
-    fn bare(status: LpStatus) -> RawSolution<S> {
+    pub(crate) fn bare(status: LpStatus) -> RawSolution<S> {
         RawSolution {
             status,
             values: Vec::new(),
@@ -69,6 +73,7 @@ impl<S> RawSolution<S> {
             presolve_rows_removed: 0,
             presolve_cols_removed: 0,
             truncated: false,
+            phases: PhaseStats::default(),
         }
     }
 }
@@ -451,10 +456,17 @@ pub(crate) fn solve_standard_form<S: Scalar>(
         deadline,
         first_perturbation,
         warm_reduced.as_deref(),
+        None,
     );
     if !S::IS_EXACT && !perturb_immediately && solution.status == LpStatus::Infeasible {
         let retry_warm = if solution.basis.is_empty() { warm_reduced } else { Some(solution.basis.clone()) };
-        solution = solve_standard_form_inner(&pre.form, deadline, PERTURBATION, retry_warm.as_deref());
+        solution = solve_standard_form_inner(
+            &pre.form,
+            deadline,
+            PERTURBATION,
+            retry_warm.as_deref(),
+            None,
+        );
     }
 
     // Map the reduced solution back to the original column space.
@@ -469,17 +481,21 @@ pub(crate) fn solve_standard_form<S: Scalar>(
 
 /// Magnitude of the anti-degeneracy right-hand-side perturbation (applied to the
 /// equilibrated system, whose entries are at most 1 in magnitude).
-const PERTURBATION: f64 = 1e-7;
+pub(crate) const PERTURBATION: f64 = 1e-7;
 
 /// Row count above which the perturbation is applied on the first attempt rather than
 /// only on the infeasibility retry.
-const PERTURB_ROWS_THRESHOLD: usize = 384;
+pub(crate) const PERTURB_ROWS_THRESHOLD: usize = 384;
 
-fn solve_standard_form_inner<S: Scalar>(
+/// The equilibrate → perturb → revised-simplex core shared by the plain driver and
+/// the float-first certification driver; `iter_cap` bounds the revised simplex's
+/// pivots (used for the capped exact repair rounds).
+pub(crate) fn solve_standard_form_inner<S: Scalar>(
     form: &StandardForm<S>,
     deadline: Option<Instant>,
     perturbation: f64,
     warm: Option<&[usize]>,
+    iter_cap: Option<usize>,
 ) -> RawSolution<S> {
     let num_rows = form.matrix.len();
     let num_structural = form.costs.len();
@@ -494,10 +510,15 @@ fn solve_standard_form_inner<S: Scalar>(
     // (Ruiz-style): one pass leaves the opposite dimension unbalanced again, and on
     // the big degenerate systems the residual imbalance is what drove the basis
     // factorizations ill-conditioned.
+    // Exact arithmetic skips equilibration entirely: conditioning is a floating-point
+    // concern, and dividing the (almost always small-integer) Handelman data by
+    // max-abs scale factors would only manufacture fraction-heavy rationals — pushing
+    // the i128 fast path into gcd-heavy or BigInt territory on every pivot.
+    let equilibration_passes = if S::IS_EXACT { 0 } else { 3 };
     let mut form = form.clone();
     let abs = abs_scalar::<S>;
     let mut column_scales = vec![S::one(); num_structural];
-    for _ in 0..3 {
+    for _ in 0..equilibration_passes {
         for (column, scale) in column_scales.iter_mut().enumerate() {
             let mut max_abs = S::zero();
             for row in &form.matrix {
@@ -571,9 +592,10 @@ fn solve_standard_form_inner<S: Scalar>(
     let mut outcome = if force_dense {
         solve_dense(form, deadline, noise_floor)
     } else {
-        let revised = solve_revised(form, deadline, warm, noise_floor);
+        let revised = solve_revised_capped(form, deadline, warm, noise_floor, iter_cap);
         if !S::IS_EXACT
             && revised.status == LpStatus::IterationLimit
+            && iter_cap.is_none()
             && num_rows <= DENSE_FALLBACK_MAX_ROWS
         {
             let mut dense = solve_dense(form, deadline, noise_floor);
@@ -600,6 +622,7 @@ fn solve_standard_form_inner<S: Scalar>(
         presolve_rows_removed: 0,
         presolve_cols_removed: 0,
         truncated: outcome.truncated,
+        phases: PhaseStats::default(),
     }
 }
 

@@ -342,6 +342,35 @@ impl BigInt {
         }
     }
 
+    /// Convert to `i128` if the value fits (used by [`crate::Rational`]'s inline
+    /// small-value representation to demote reduced big fractions).
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut mag: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            mag |= (l as u128) << (32 * i);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if mag <= i128::MAX as u128 {
+                    Some(mag as i128)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Convert to `f64` (may lose precision; huge values map to ±inf).
     pub fn to_f64(&self) -> f64 {
         let mut value = 0.0f64;

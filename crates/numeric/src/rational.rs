@@ -1,4 +1,21 @@
-//! Arbitrary-precision rational numbers built on [`BigInt`].
+//! Arbitrary-precision rational numbers with an `i128` small-value fast path.
+//!
+//! The exact LP backend performs millions of rational add/mul/div/cmp operations whose
+//! operands are almost always tiny — Handelman coefficient-matching rows carry integer
+//! coefficients in the hundreds, and most pivot chains keep numerators and denominators
+//! within a couple of machine words. Routing every one of those operations through
+//! heap-allocating [`BigInt`] limb vectors is what made exact pivots expensive, so
+//! [`Rational`] stores small values inline:
+//!
+//! * [`Repr::Small`] holds `num/den` as two `i128`s (denominator positive, fraction
+//!   reduced) and performs all arithmetic with overflow-*checked* machine operations —
+//!   no allocation, no limb loops;
+//! * [`Repr::Big`] holds the [`BigInt`] pair and is used **only** when the value does
+//!   not fit the small form. Every constructor demotes eagerly, so the representation
+//!   is canonical and derived equality/hashing are exact.
+//!
+//! On any checked overflow the operation transparently re-runs in [`BigInt`]
+//! arithmetic; correctness never depends on operands staying small.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -27,10 +44,52 @@ impl From<ParseBigIntError> for ParseRationalError {
     }
 }
 
+/// Binary GCD on unsigned 128-bit magnitudes (no allocation, no division loop).
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// GCD of two `i128`s as a non-negative `i128` (`None` if the result is `2^127`,
+/// which only happens for `gcd(i128::MIN, 0|i128::MIN)`).
+fn gcd_i128(a: i128, b: i128) -> Option<i128> {
+    let g = gcd_u128(a.unsigned_abs(), b.unsigned_abs());
+    i128::try_from(g).ok()
+}
+
+/// The canonical storage: `Small` whenever the reduced fraction fits two `i128`s.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `num/den` with `den > 0` and `gcd(|num|, den) = 1`; zero is `0/1`.
+    Small(i128, i128),
+    /// Reduced big fraction with positive denominator. Canonically used **only** when
+    /// the value does not fit `Small` (constructors demote eagerly), so derived
+    /// equality and hashing over the enum are exact.
+    Big(BigInt, BigInt),
+}
+
 /// An exact rational number `numerator / denominator`.
 ///
 /// Invariants: the denominator is strictly positive, and the fraction is fully reduced
-/// (gcd of numerator and denominator is 1); zero is represented as `0 / 1`.
+/// (gcd of numerator and denominator is 1); zero is represented as `0 / 1`. Values
+/// whose reduced numerator and denominator fit in `i128` are stored inline (see the
+/// module docs).
 ///
 /// # Examples
 ///
@@ -42,21 +101,80 @@ impl From<ParseBigIntError> for ParseRationalError {
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rational {
-    num: BigInt,
-    den: BigInt,
+    repr: Repr,
 }
 
 impl Rational {
+    /// Builds the canonical `Small` repr from a *not necessarily reduced* fraction.
+    /// Falls back to the `Big` path when reduction itself cannot be represented.
+    fn small(num: i128, den: i128) -> Rational {
+        debug_assert!(den != 0, "rational with zero denominator");
+        if num == 0 {
+            return Rational { repr: Repr::Small(0, 1) };
+        }
+        let g = gcd_u128(num.unsigned_abs(), den.unsigned_abs());
+        let Ok(g) = i128::try_from(g) else {
+            // gcd = 2^127 means both operands are i128::MIN: the value is exactly 1.
+            return Rational { repr: Repr::Small(1, 1) };
+        };
+        // Division by the positive gcd never overflows (i128::MIN / 1 is itself).
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            match (num.checked_neg(), den.checked_neg()) {
+                (Some(n), Some(d)) => {
+                    num = n;
+                    den = d;
+                }
+                _ => {
+                    // One of the reduced parts is i128::MIN, whose negation does not
+                    // fit — the normalized pair genuinely needs the big form (the
+                    // fraction is already reduced, so construct it directly rather
+                    // than bouncing through `from_bigints`, which would demote-retry).
+                    return Rational {
+                        repr: Repr::Big(-BigInt::from(num), -BigInt::from(den)),
+                    };
+                }
+            }
+        }
+        Rational { repr: Repr::Small(num, den) }
+    }
+
+    /// Builds `Small` from a pair the caller has proven coprime (the cross-reduced
+    /// products of `Mul`/`Div`), skipping the gcd: only sign normalization remains.
+    /// This is the hottest constructor in exact pivoting — the second gcd would be
+    /// pure waste, since it mathematically always returns 1 here.
+    fn small_coprime(num: i128, den: i128) -> Rational {
+        debug_assert!(den != 0, "rational with zero denominator");
+        debug_assert!(
+            num == 0 || gcd_u128(num.unsigned_abs(), den.unsigned_abs()) == 1,
+            "small_coprime caller broke the coprimality contract"
+        );
+        if num == 0 {
+            return Rational { repr: Repr::Small(0, 1) };
+        }
+        if den < 0 {
+            return match (num.checked_neg(), den.checked_neg()) {
+                (Some(num), Some(den)) => Rational { repr: Repr::Small(num, den) },
+                // i128::MIN cannot be negated: the normalized pair needs the big
+                // form (already reduced, so construct it directly).
+                _ => Rational { repr: Repr::Big(-BigInt::from(num), -BigInt::from(den)) },
+            };
+        }
+        Rational { repr: Repr::Small(num, den) }
+    }
+
     /// Creates a rational from machine-integer numerator and denominator.
     ///
     /// # Panics
     ///
     /// Panics if `den == 0`.
     pub fn new(num: i64, den: i64) -> Rational {
-        Rational::from_bigints(BigInt::from(num), BigInt::from(den))
+        assert!(den != 0, "rational with zero denominator");
+        Rational::small(num as i128, den as i128)
     }
 
-    /// Creates a rational from big-integer numerator and denominator, normalizing.
+    /// Creates a rational from big-integer numerator and denominator, normalizing
+    /// (and demoting to the inline `i128` form whenever the reduced value fits).
     ///
     /// # Panics
     ///
@@ -64,63 +182,98 @@ impl Rational {
     pub fn from_bigints(num: BigInt, den: BigInt) -> Rational {
         assert!(!den.is_zero(), "rational with zero denominator");
         if num.is_zero() {
-            return Rational { num: BigInt::zero(), den: BigInt::one() };
+            return Rational { repr: Repr::Small(0, 1) };
+        }
+        if let (Some(n), Some(d)) = (num.to_i128(), den.to_i128()) {
+            return Rational::small(n, d);
         }
         let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
         let g = num.gcd(&den);
         let (num, _) = num.div_rem(&g);
         let (den, _) = den.div_rem(&g);
-        Rational { num, den }
+        // Reduction may have shrunk the value back into the inline range.
+        if let (Some(n), Some(d)) = (num.to_i128(), den.to_i128()) {
+            return Rational { repr: Repr::Small(n, d) };
+        }
+        Rational { repr: Repr::Big(num, den) }
     }
 
     /// Creates a rational equal to the given integer.
     pub fn from_int(v: i64) -> Rational {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational { repr: Repr::Small(v as i128, 1) }
     }
 
     /// The value `0`.
     pub fn zero() -> Rational {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational { repr: Repr::Small(0, 1) }
     }
 
     /// The value `1`.
     pub fn one() -> Rational {
-        Rational::from_int(1)
+        Rational { repr: Repr::Small(1, 1) }
+    }
+
+    /// `true` when the value is stored in the inline `i128` fast path (diagnostics
+    /// and tests; the arithmetic is representation-transparent).
+    pub fn is_small(&self) -> bool {
+        matches!(self.repr, Repr::Small(..))
     }
 
     /// Numerator (sign-carrying).
-    pub fn numerator(&self) -> &BigInt {
-        &self.num
+    pub fn numerator(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small(n, _) => BigInt::from(*n),
+            Repr::Big(n, _) => n.clone(),
+        }
     }
 
     /// Denominator (always strictly positive).
-    pub fn denominator(&self) -> &BigInt {
-        &self.den
+    pub fn denominator(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small(_, d) => BigInt::from(*d),
+            Repr::Big(_, d) => d.clone(),
+        }
     }
 
     /// Returns `true` if this value is zero.
     pub fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        match &self.repr {
+            Repr::Small(n, _) => *n == 0,
+            Repr::Big(n, _) => n.is_zero(),
+        }
     }
 
     /// Returns `true` if this value is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small(n, _) => *n < 0,
+            Repr::Big(n, _) => n.is_negative(),
+        }
     }
 
     /// Returns `true` if this value is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.num.is_positive()
+        match &self.repr {
+            Repr::Small(n, _) => *n > 0,
+            Repr::Big(n, _) => n.is_positive(),
+        }
     }
 
     /// Returns `true` if the value is an integer (denominator 1).
     pub fn is_integer(&self) -> bool {
-        self.den == BigInt::one()
+        match &self.repr {
+            Repr::Small(_, d) => *d == 1,
+            Repr::Big(_, d) => *d == BigInt::one(),
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        if self.is_negative() {
+            -self.clone()
+        } else {
+            self.clone()
+        }
     }
 
     /// Multiplicative inverse.
@@ -130,26 +283,47 @@ impl Rational {
     /// Panics if the value is zero.
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational::from_bigints(self.den.clone(), self.num.clone())
+        match &self.repr {
+            Repr::Small(n, d) => Rational::small(*d, *n),
+            Repr::Big(n, d) => Rational::from_bigints(d.clone(), n.clone()),
+        }
     }
 
     /// Largest integer less than or equal to the value.
     pub fn floor(&self) -> BigInt {
-        let (q, r) = self.num.div_rem(&self.den);
-        if r.is_zero() || !self.num.is_negative() {
-            q
-        } else {
-            &q - &BigInt::one()
+        match &self.repr {
+            // `den > 0`, so Euclidean division is exactly the floor.
+            Repr::Small(n, d) => BigInt::from(n.div_euclid(*d)),
+            Repr::Big(n, d) => {
+                let (q, r) = n.div_rem(d);
+                if r.is_zero() || !n.is_negative() {
+                    q
+                } else {
+                    &q - &BigInt::one()
+                }
+            }
         }
     }
 
     /// Smallest integer greater than or equal to the value.
     pub fn ceil(&self) -> BigInt {
-        let (q, r) = self.num.div_rem(&self.den);
-        if r.is_zero() || self.num.is_negative() {
-            q
-        } else {
-            &q + &BigInt::one()
+        match &self.repr {
+            Repr::Small(n, d) => {
+                let q = n.div_euclid(*d);
+                if n.rem_euclid(*d) == 0 {
+                    BigInt::from(q)
+                } else {
+                    &BigInt::from(q) + &BigInt::one()
+                }
+            }
+            Repr::Big(n, d) => {
+                let (q, r) = n.div_rem(d);
+                if r.is_zero() || n.is_negative() {
+                    q
+                } else {
+                    &q + &BigInt::one()
+                }
+            }
         }
     }
 
@@ -165,18 +339,22 @@ impl Rational {
 
     /// Approximate conversion to `f64`.
     pub fn to_f64(&self) -> f64 {
-        // Scale so that both parts fit comfortably in f64 when possible.
-        let n = self.num.to_f64();
-        let d = self.den.to_f64();
-        if n.is_finite() && d.is_finite() && d != 0.0 {
-            n / d
-        } else {
-            // Fall back to a digit-level approximation for extreme magnitudes.
-            let bits = self.num.bits() as i64 - self.den.bits() as i64;
-            if self.num.is_negative() {
-                -(2f64.powi(bits.clamp(-1000, 1000) as i32))
-            } else {
-                2f64.powi(bits.clamp(-1000, 1000) as i32)
+        match &self.repr {
+            Repr::Small(n, d) => *n as f64 / *d as f64,
+            Repr::Big(num, den) => {
+                let n = num.to_f64();
+                let d = den.to_f64();
+                if n.is_finite() && d.is_finite() && d != 0.0 {
+                    n / d
+                } else {
+                    // Fall back to a digit-level approximation for extreme magnitudes.
+                    let bits = num.bits() as i64 - den.bits() as i64;
+                    if num.is_negative() {
+                        -(2f64.powi(bits.clamp(-1000, 1000) as i32))
+                    } else {
+                        2f64.powi(bits.clamp(-1000, 1000) as i32)
+                    }
+                }
             }
         }
     }
@@ -192,17 +370,26 @@ impl Rational {
             return Rational::zero();
         }
         let bits = v.to_bits();
-        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let sign: i128 = if bits >> 63 == 1 { -1 } else { 1 };
         let exponent = ((bits >> 52) & 0x7ff) as i64;
         let mantissa = if exponent == 0 {
             (bits & 0xf_ffff_ffff_ffff) << 1
         } else {
             (bits & 0xf_ffff_ffff_ffff) | 0x10_0000_0000_0000
         };
-        // value = sign * mantissa * 2^(exponent - 1075)
-        let mut num = &BigInt::from(mantissa) * &BigInt::from(sign);
-        let mut den = BigInt::one();
+        // value = sign * mantissa * 2^(exponent - 1075); the mantissa is 53 bits, so
+        // shifts up to 74 (below) / down to 127 stay within i128.
         let shift = exponent - 1075;
+        let m = sign * mantissa as i128;
+        if (0..=73).contains(&shift) {
+            // |m| < 2^53 and the factor is at most 2^73, so the product fits i128.
+            return Rational::small(m * (1i128 << shift), 1);
+        }
+        if (-126..0).contains(&shift) {
+            return Rational::small(m, 1i128 << (-shift));
+        }
+        let mut num = BigInt::from(m);
+        let mut den = BigInt::one();
         if shift >= 0 {
             num = &num * &BigInt::from(2i64).pow(shift as u32);
         } else {
@@ -230,8 +417,34 @@ impl Rational {
     }
 
     /// Raise to a small non-negative power.
+    ///
+    /// A reduced fraction's power is automatically reduced (and keeps its positive
+    /// denominator), so both arms skip the gcd normalization entirely.
     pub fn pow(&self, exp: u32) -> Rational {
-        Rational { num: self.num.pow(exp), den: self.den.pow(exp) }
+        match &self.repr {
+            Repr::Small(n, d) => match (n.checked_pow(exp), d.checked_pow(exp)) {
+                (Some(num), Some(den)) => Rational { repr: Repr::Small(num, den) },
+                _ => Rational {
+                    repr: Repr::Big(BigInt::from(*n).pow(exp), BigInt::from(*d).pow(exp)),
+                },
+            },
+            Repr::Big(n, d) => {
+                if exp == 0 {
+                    return Rational::one();
+                }
+                // A canonical Big value has a component beyond i128; its power
+                // (exp ≥ 1) is at least as large, so no demotion check is needed.
+                Rational { repr: Repr::Big(n.pow(exp), d.pow(exp)) }
+            }
+        }
+    }
+
+    /// The value as a reduced `(numerator, denominator)` BigInt pair.
+    fn to_bigint_pair(&self) -> (BigInt, BigInt) {
+        match &self.repr {
+            Repr::Small(n, d) => (BigInt::from(*n), BigInt::from(*d)),
+            Repr::Big(n, d) => (n.clone(), d.clone()),
+        }
     }
 }
 
@@ -255,7 +468,10 @@ impl From<i32> for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Rational {
-        Rational { num: v, den: BigInt::one() }
+        match v.to_i128() {
+            Some(n) => Rational { repr: Repr::Small(n, 1) },
+            None => Rational { repr: Repr::Big(v, BigInt::one()) },
+        }
     }
 }
 
@@ -295,10 +511,21 @@ impl FromStr for Rational {
 
 impl fmt::Display for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_integer() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small(n, d) => {
+                if *d == 1 {
+                    write!(f, "{n}")
+                } else {
+                    write!(f, "{n}/{d}")
+                }
+            }
+            Repr::Big(n, d) => {
+                if self.is_integer() {
+                    write!(f, "{n}")
+                } else {
+                    write!(f, "{n}/{d}")
+                }
+            }
         }
     }
 }
@@ -318,14 +545,37 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
-        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+        if let (Repr::Small(an, ad), Repr::Small(bn, bd)) = (&self.repr, &other.repr) {
+            // Cheap screens first: sign classes, then equal denominators.
+            match (an.signum(), bn.signum()) {
+                (x, y) if x < y => return Ordering::Less,
+                (x, y) if x > y => return Ordering::Greater,
+                (0, 0) => return Ordering::Equal,
+                _ => {}
+            }
+            if ad == bd {
+                return an.cmp(bn);
+            }
+            if let (Some(lhs), Some(rhs)) = (an.checked_mul(*bd), bn.checked_mul(*ad)) {
+                return lhs.cmp(&rhs);
+            }
+        }
+        let (an, ad) = self.to_bigint_pair();
+        let (bn, bd) = other.to_bigint_pair();
+        (&an * &bd).cmp(&(&bn * &ad))
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        match self.repr {
+            Repr::Small(n, d) => match n.checked_neg() {
+                Some(n) => Rational { repr: Repr::Small(n, d) },
+                None => Rational::from_bigints(-BigInt::from(n), BigInt::from(d)),
+            },
+            Repr::Big(n, d) => Rational::from_bigints(-n, d),
+        }
     }
 }
 
@@ -336,18 +586,72 @@ impl Neg for &Rational {
     }
 }
 
+/// The big-arithmetic fallback shared by `+`/`-`/`*`/`/` when the `i128` path
+/// overflows (or an operand is already big).
+fn big_add(a: &Rational, b: &Rational) -> Rational {
+    let (an, ad) = a.to_bigint_pair();
+    let (bn, bd) = b.to_bigint_pair();
+    Rational::from_bigints(&(&an * &bd) + &(&bn * &ad), &ad * &bd)
+}
+
+fn big_mul(a: &Rational, b: &Rational) -> Rational {
+    let (an, ad) = a.to_bigint_pair();
+    let (bn, bd) = b.to_bigint_pair();
+    Rational::from_bigints(&an * &bn, &ad * &bd)
+}
+
+fn big_div(a: &Rational, b: &Rational) -> Rational {
+    let (an, ad) = a.to_bigint_pair();
+    let (bn, bd) = b.to_bigint_pair();
+    Rational::from_bigints(&an * &bd, &ad * &bn)
+}
+
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
-        let num = &(&self.num * &rhs.den) + &(&rhs.num * &self.den);
-        let den = &self.den * &rhs.den;
-        Rational::from_bigints(num, den)
+        if let (Repr::Small(an, ad), Repr::Small(bn, bd)) = (&self.repr, &rhs.repr) {
+            // Fast outs for the most common operands in LP pivoting.
+            if *an == 0 {
+                return rhs.clone();
+            }
+            if *bn == 0 {
+                return self.clone();
+            }
+            // Knuth's reduced cross-multiplication: dividing both denominators by
+            // their gcd first keeps the intermediates (and overflow frequency) down.
+            if let Some(g) = gcd_i128(*ad, *bd) {
+                let (adg, bdg) = (ad / g, bd / g);
+                let num = an
+                    .checked_mul(bdg)
+                    .and_then(|l| bn.checked_mul(adg).and_then(|r| l.checked_add(r)));
+                let den = adg.checked_mul(*bd);
+                if let (Some(num), Some(den)) = (num, den) {
+                    return Rational::small(num, den);
+                }
+            }
+        }
+        big_add(self, rhs)
     }
 }
 
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
+        if let (Repr::Small(an, ad), Repr::Small(bn, bd)) = (&self.repr, &rhs.repr) {
+            if *bn == 0 {
+                return self.clone();
+            }
+            if let Some(g) = gcd_i128(*ad, *bd) {
+                let (adg, bdg) = (ad / g, bd / g);
+                let num = an
+                    .checked_mul(bdg)
+                    .and_then(|l| bn.checked_mul(adg).and_then(|r| l.checked_sub(r)));
+                let den = adg.checked_mul(*bd);
+                if let (Some(num), Some(den)) = (num, den) {
+                    return Rational::small(num, den);
+                }
+            }
+        }
         self + &(-rhs.clone())
     }
 }
@@ -355,7 +659,23 @@ impl Sub for &Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
-        Rational::from_bigints(&self.num * &rhs.num, &self.den * &rhs.den)
+        if let (Repr::Small(an, ad), Repr::Small(bn, bd)) = (&self.repr, &rhs.repr) {
+            if *an == 0 || *bn == 0 {
+                return Rational::zero();
+            }
+            // Cross-reduce before multiplying: gcd(|a_n|, b_d) and gcd(|b_n|, a_d)
+            // divide out, so the products are already fully reduced (each numerator
+            // factor is coprime to each denominator factor) and much less likely to
+            // overflow.
+            if let (Some(g1), Some(g2)) = (gcd_i128(*an, *bd), gcd_i128(*bn, *ad)) {
+                let num = (an / g1).checked_mul(bn / g2);
+                let den = (ad / g2).checked_mul(bd / g1);
+                if let (Some(num), Some(den)) = (num, den) {
+                    return Rational::small_coprime(num, den);
+                }
+            }
+        }
+        big_mul(self, rhs)
     }
 }
 
@@ -363,7 +683,21 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, rhs: &Rational) -> Rational {
         assert!(!rhs.is_zero(), "rational division by zero");
-        Rational::from_bigints(&self.num * &rhs.den, &self.den * &rhs.num)
+        if let (Repr::Small(an, ad), Repr::Small(bn, bd)) = (&self.repr, &rhs.repr) {
+            if *an == 0 {
+                return Rational::zero();
+            }
+            if let (Some(g1), Some(g2)) = (gcd_i128(*an, *bn), gcd_i128(*ad, *bd)) {
+                let num = (an / g1).checked_mul(bd / g2);
+                let den = (ad / g2).checked_mul(bn / g1);
+                if let (Some(num), Some(den)) = (num, den) {
+                    // Already coprime by the same cross-reduction argument; the
+                    // denominator carries `bn`'s sign, which small_coprime fixes.
+                    return Rational::small_coprime(num, den);
+                }
+            }
+        }
+        big_div(self, rhs)
     }
 }
 
@@ -518,6 +852,13 @@ mod tests {
         assert_eq!(Rational::from_f64(3.0), r(3, 1));
         assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
         assert_eq!(Rational::from_f64(0.0), Rational::zero());
+        // Tiny and huge doubles exercise the shift edges of the small path.
+        assert_eq!(Rational::from_f64(2f64.powi(-100)).to_f64(), 2f64.powi(-100));
+        assert_eq!(Rational::from_f64(2f64.powi(100)).to_f64(), 2f64.powi(100));
+        // Beyond the inline shifts the conversion stays exact even though it takes
+        // the BigInt route (2^200 · 19 is a 205-bit numerator).
+        let big = Rational::from_f64(19.0) * Rational::from(BigInt::from(2i64).pow(200));
+        assert_eq!(big.numerator(), &BigInt::from(19i64) * &BigInt::from(2i64).pow(200));
     }
 
     #[test]
@@ -608,5 +949,92 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ----- i128 fast-path specifics ---------------------------------------------------
+
+    /// A value beyond i128 (2^200) forced through the big path.
+    fn huge() -> Rational {
+        Rational::from(BigInt::from(2i64).pow(200))
+    }
+
+    #[test]
+    fn small_values_stay_inline() {
+        assert!(r(355, 113).is_small());
+        assert!((r(999, 1000) + r(1, 3)).is_small());
+        assert!(Rational::from_f64(1.0 / 3.0f64.sqrt()).is_small());
+        assert!(!huge().is_small());
+    }
+
+    #[test]
+    fn overflow_promotes_and_reduction_demotes() {
+        // (2^100 / 3) * (3 / 2^100) = 1 — the product overflows i128 before the
+        // cross-reduction brings it back; either way the result must be inline.
+        let a = Rational::from_bigints(BigInt::from(2i64).pow(100), BigInt::from(3i64));
+        assert!(a.is_small(), "2^100/3 fits i128");
+        let b = a.recip();
+        assert_eq!(&a * &b, Rational::one());
+        assert!((&a * &b).is_small());
+        // Squaring 2^100/3 exceeds i128 and must promote without losing exactness.
+        let sq = &a * &a;
+        assert!(!sq.is_small());
+        assert_eq!(sq.numerator(), BigInt::from(2i64).pow(200));
+        assert_eq!(sq.denominator(), BigInt::from(9i64));
+        // Dividing back demotes to the inline form again (canonical representation).
+        let back = &sq / &a;
+        assert!(back.is_small());
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn mixed_repr_arithmetic_is_exact() {
+        let h = huge();
+        let one = Rational::one();
+        assert_eq!(&(&h + &one) - &h, one);
+        assert_eq!(&h - &h, Rational::zero());
+        assert_eq!(&(&h * &r(3, 7)) / &r(3, 7), h);
+        assert!(h > r(1_000_000, 1));
+        assert!(-h.clone() < r(-1_000_000, 1));
+    }
+
+    #[test]
+    fn equality_and_hash_are_representation_independent() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // The same value built through the big constructor and the small one.
+        let via_big = Rational::from_bigints(
+            &BigInt::from(2i64).pow(150) * &BigInt::from(6i64),
+            &BigInt::from(2i64).pow(150) * &BigInt::from(4i64),
+        );
+        let via_small = r(3, 2);
+        assert!(via_big.is_small(), "reduction must demote to the inline form");
+        assert_eq!(via_big, via_small);
+        let hash = |v: &Rational| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&via_big), hash(&via_small));
+    }
+
+    #[test]
+    fn extreme_i128_magnitudes_survive() {
+        let min = Rational::from(BigInt::from(i128::MIN));
+        assert!(min.is_small());
+        let negated = -min.clone();
+        assert_eq!(&negated + &min, Rational::zero());
+        assert_eq!(&min * &r(1, 1), min);
+        assert!((&min - &Rational::one()) < min);
+        assert_eq!(min.floor(), BigInt::from(i128::MIN));
+        assert_eq!(min.ceil(), BigInt::from(i128::MIN));
+    }
+
+    #[test]
+    fn gcd_helpers() {
+        assert_eq!(gcd_u128(0, 7), 7);
+        assert_eq!(gcd_u128(48, 36), 12);
+        assert_eq!(gcd_i128(-48, 36), Some(12));
+        assert_eq!(gcd_i128(i128::MIN, 0), None);
+        assert_eq!(gcd_i128(i128::MIN, 3), Some(1));
     }
 }

@@ -178,7 +178,7 @@ impl LinExpr {
         values.extend(self.coeffs.values().cloned());
         for v in &values {
             if !v.is_zero() {
-                let den = Rational::from(v.denominator().clone());
+                let den = Rational::from(v.denominator());
                 // lcm accumulation on the scale denominator
                 scale = &scale * &den;
             }
@@ -186,7 +186,7 @@ impl LinExpr {
         let scaled: Vec<Rational> = values.iter().map(|v| v * &scale).collect();
         let mut gcd = dca_numeric::BigInt::zero();
         for v in &scaled {
-            gcd = gcd.gcd(v.numerator());
+            gcd = gcd.gcd(&v.numerator());
         }
         let divisor = if gcd.is_zero() {
             Rational::one()
