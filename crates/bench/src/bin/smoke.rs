@@ -16,7 +16,7 @@
 use std::process::exit;
 use std::time::Duration;
 
-use dca_bench::{format_table, parse_baseline_seconds, run_suite_filtered};
+use dca_bench::{format_table, parse_baseline_seconds, run_suite_filtered, time_regressions};
 use dca_benchmarks::SuiteConfig;
 use dca_core::InvariantTier;
 
@@ -62,21 +62,11 @@ fn main() {
     };
 
     let mut regressions = Vec::new();
+    let mut timed_rows = Vec::new();
     for name in SUBSET {
         match run.rows.iter().find(|row| row.name == name) {
             Some(row) if row.is_tight() => {
-                if let Some((_, baseline_seconds)) =
-                    baseline.iter().find(|(n, _)| n == name)
-                {
-                    let limit =
-                        (baseline_seconds * TIME_REGRESSION_FACTOR).max(TIME_FLOOR_SECONDS);
-                    if row.seconds > limit {
-                        regressions.push(format!(
-                            "{name}: time regression — {:.2}s vs {:.2}s baseline (>{}x)",
-                            row.seconds, baseline_seconds, TIME_REGRESSION_FACTOR
-                        ));
-                    }
-                }
+                timed_rows.push((row.name.clone(), row.seconds));
             }
             Some(row) => regressions.push(format!(
                 "{name}: expected tight ({}), computed {:?}",
@@ -85,6 +75,15 @@ fn main() {
             None => regressions.push(format!("{name}: missing from the suite")),
         }
     }
+    // Shared gate: rows without a committed baseline entry are skipped, so a freshly
+    // added subset member cannot fail CI before its baseline lands.
+    let (time_regs, _) = time_regressions(
+        &timed_rows,
+        &baseline,
+        TIME_REGRESSION_FACTOR,
+        TIME_FLOOR_SECONDS,
+    );
+    regressions.extend(time_regs);
     if !regressions.is_empty() {
         eprintln!("smoke bench FAILED:");
         for regression in &regressions {

@@ -323,22 +323,66 @@ pub fn format_json(run: &SuiteRun) -> String {
 /// wall-clock and per-row seconds, all on a single line so the file diffs cleanly and
 /// `grep`/`jq` can consume it without a JSON-array parser.
 pub fn format_history_line(run: &SuiteRun, date: &str, commit: &str) -> String {
+    format_history_line_tagged(run, date, commit, "table1")
+}
+
+/// Like [`format_history_line`], with an explicit suite tag so Table-1 and Table-2
+/// runs share one `BENCH_history.jsonl` without ambiguity.
+pub fn format_history_line_tagged(
+    run: &SuiteRun,
+    date: &str,
+    commit: &str,
+    suite: &str,
+) -> String {
     let rows: Vec<String> = run
         .rows
         .iter()
         .map(|row| format!("\"{}\": {:.2}", escape(&row.name), row.seconds))
         .collect();
     format!(
-        "{{\"date\": \"{}\", \"commit\": \"{}\", \"jobs\": {}, \"tight\": {}, \"total\": {}, \
+        "{{\"date\": \"{}\", \"commit\": \"{}\", \"suite\": \"{}\", \"jobs\": {}, \
+         \"tight\": {}, \"total\": {}, \
          \"wall_clock_s\": {:.2}, \"row_seconds\": {{{}}}}}",
         escape(date),
         escape(commit),
+        escape(suite),
         run.jobs,
         run.rows.iter().filter(|r| r.is_tight()).count(),
         run.rows.len(),
         run.wall_clock.as_secs_f64(),
         rows.join(", "),
     )
+}
+
+/// The shared per-row time-regression gate of the smoke and table2 bins: a row
+/// regresses when it runs more than `factor` times its committed baseline AND slower
+/// than an absolute floor (sub-second rows drown in machine noise at any ratio).
+///
+/// Rows with *no* baseline entry are skipped — a freshly introduced benchmark must
+/// not fail CI before its first baseline is committed; the gate degrades gracefully
+/// and reports how many rows it actually covered via the second tuple element.
+pub fn time_regressions(
+    rows: &[(String, f64)],
+    baseline: &[(String, f64)],
+    factor: f64,
+    floor_seconds: f64,
+) -> (Vec<String>, usize) {
+    let mut regressions = Vec::new();
+    let mut covered = 0usize;
+    for (name, seconds) in rows {
+        let Some((_, baseline_seconds)) = baseline.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        covered += 1;
+        let limit = (baseline_seconds * factor).max(floor_seconds);
+        if *seconds > limit {
+            regressions.push(format!(
+                "{name}: time regression — {seconds:.2}s vs {baseline_seconds:.2}s \
+                 baseline (>{factor}x)"
+            ));
+        }
+    }
+    (regressions, covered)
 }
 
 /// Today's date as `YYYY-MM-DD` from the system clock (no external time crates:
@@ -397,6 +441,151 @@ pub fn parse_baseline_seconds(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+// ----- Table 2 (generated corpus) ---------------------------------------------------
+
+/// One row of the Table-2 generated corpus: the solver-side fields of a [`TableRow`]
+/// plus the harness verdicts of the generated pair.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Solver-side fields (`group` carries the shape tag; `tight` the
+    /// by-construction bound).
+    pub table: TableRow,
+    /// The generator seed of the pair.
+    pub seed: u64,
+    /// Interpreter-sampled soundness: `Some(true)` = no sampled run violated the
+    /// reported bound; `None` = not checked (failed solves have no bound to check).
+    pub sound: Option<bool>,
+    /// Cross-backend/presolve agreement: `Some(true)` = certified, exact and
+    /// no-presolve solves all produced the same verdict; `None` = not run.
+    pub agree: Option<bool>,
+    /// Transitions pruned as vacuous (infeasible premise) during encoding.
+    pub pruned: usize,
+}
+
+/// Builds the solver-side [`TableRow`] for a generated pair from its batch outcome.
+pub fn table2_row(
+    pair: &dca_benchmarks::table2::Pair,
+    outcome: &PairOutcome,
+) -> TableRow {
+    let result = outcome.result.as_ref().ok();
+    TableRow {
+        name: outcome.name.clone(),
+        group: pair.shape.tag(),
+        tight: pair.tight,
+        paper_computed: None,
+        computed: result.map(|r| r.threshold),
+        computed_int: result.map(|r| r.threshold_int()),
+        degree: outcome.degree,
+        tier: outcome.tier,
+        seconds: outcome.duration.as_secs_f64(),
+        lp_size: outcome
+            .stats()
+            .map(|s| (s.lp_variables, s.lp_constraints))
+            .unwrap_or((0, 0)),
+        lp_iterations: outcome.stats().map(|s| s.lp_iterations).unwrap_or(0),
+        lp_float_iterations: outcome.stats().map(|s| s.lp_float_iterations).unwrap_or(0),
+        lp_exact_iterations: outcome.stats().map(|s| s.lp_exact_iterations).unwrap_or(0),
+        lp_truncated: outcome.stats().map(|s| s.lp_truncated).unwrap_or(false),
+        lp_certified: outcome.stats().map(|s| s.lp_certified).unwrap_or(false),
+        phase_seconds: outcome
+            .stats()
+            .map(|s| {
+                (
+                    s.lp_presolve_time.as_secs_f64(),
+                    s.lp_float_time.as_secs_f64(),
+                    s.lp_certify_time.as_secs_f64(),
+                    s.lp_repair_time.as_secs_f64(),
+                )
+            })
+            .unwrap_or((0.0, 0.0, 0.0, 0.0)),
+        presolve_removed: outcome
+            .stats()
+            .map(|s| (s.presolve_rows_removed, s.presolve_cols_removed))
+            .unwrap_or((0, 0)),
+    }
+}
+
+/// Renders a Table-2 run as JSON (same hand-rolled style and `"name"`/`"seconds"` row
+/// keys as [`format_json`], so [`parse_baseline_seconds`] and the shared
+/// [`time_regressions`] gate consume it unchanged). The top level carries the
+/// tight/loose/failed breakdown and the harness verdict counts the acceptance
+/// criteria are stated in.
+pub fn format_table2_json(rows: &[Table2Row], wall_clock: Duration, jobs: usize) -> String {
+    fn opt_f64(v: Option<f64>) -> String {
+        v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "null".to_string())
+    }
+    fn opt_bool(v: Option<bool>) -> String {
+        v.map(|v| v.to_string()).unwrap_or_else(|| "null".to_string())
+    }
+    let tight = rows.iter().filter(|r| r.table.is_tight()).count();
+    let loose = rows
+        .iter()
+        .filter(|r| !r.table.is_tight() && r.table.computed.is_some())
+        .count();
+    let failed = rows.iter().filter(|r| r.table.computed.is_none()).count();
+    let sound = rows.iter().filter(|r| r.sound == Some(true)).count();
+    let agree = rows.iter().filter(|r| r.agree == Some(true)).count();
+    let certified = rows.iter().filter(|r| r.table.lp_certified).count();
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let status = if r.table.is_tight() {
+                "tight"
+            } else if r.table.computed.is_some() {
+                "loose"
+            } else {
+                "failed"
+            };
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"shape\": \"{}\", \"seed\": {}, ",
+                    "\"tight\": {}, \"computed\": {}, \"computed_int\": {}, ",
+                    "\"degree\": {}, \"tier\": {}, \"status\": \"{}\", ",
+                    "\"sound\": {}, \"agree\": {}, ",
+                    "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
+                    "\"lp_certified\": {}, \"lp_truncated\": {}, ",
+                    "\"transitions_pruned\": {}}}"
+                ),
+                escape(&r.table.name),
+                escape(&r.table.group),
+                r.seed,
+                r.table.tight,
+                opt_f64(r.table.computed),
+                r.table
+                    .computed_int
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                r.table.degree,
+                r.table.tier.index(),
+                status,
+                opt_bool(r.sound),
+                opt_bool(r.agree),
+                r.table.seconds,
+                r.table.lp_size.0,
+                r.table.lp_size.1,
+                r.table.lp_certified,
+                r.table.lp_truncated,
+                r.pruned,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"wall_clock_s\": {:.2},\n  \"jobs\": {},\n  \"total\": {},\n  \
+         \"tight\": {},\n  \"loose\": {},\n  \"failed\": {},\n  \"sound\": {},\n  \
+         \"agree\": {},\n  \"lp_certified\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        wall_clock.as_secs_f64(),
+        jobs,
+        rows.len(),
+        tight,
+        loose,
+        failed,
+        sound,
+        agree,
+        certified,
+        body.join(",\n"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +626,81 @@ mod tests {
         let json = format_json(&run);
         let baseline = parse_baseline_seconds(&json);
         assert_eq!(baseline, vec![("Example".to_string(), 1.5)]);
+    }
+
+    #[test]
+    fn time_gate_degrades_gracefully_without_a_baseline_row() {
+        let rows = vec![
+            ("old_row".to_string(), 10.0),    // 10x its baseline: a regression
+            ("steady".to_string(), 1.2),      // within 2x: fine
+            ("brand_new".to_string(), 99.0),  // no baseline: must NOT fail the gate
+        ];
+        let baseline = vec![("old_row".to_string(), 1.0), ("steady".to_string(), 1.0)];
+        let (regressions, covered) = time_regressions(&rows, &baseline, 2.0, 1.0);
+        assert_eq!(covered, 2, "only rows with a baseline are gated");
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].starts_with("old_row:"), "{regressions:?}");
+        assert!(
+            !regressions.iter().any(|r| r.contains("brand_new")),
+            "a new row without a baseline must not fail CI on first introduction"
+        );
+        // Fully empty baseline (file missing / first ever run): nothing regresses.
+        let (regressions, covered) = time_regressions(&rows, &[], 2.0, 1.0);
+        assert!(regressions.is_empty());
+        assert_eq!(covered, 0);
+        // The floor suppresses sub-second noise even past the factor.
+        let fast = vec![("fast".to_string(), 0.9)];
+        let fast_baseline = vec![("fast".to_string(), 0.1)];
+        let (regressions, _) = time_regressions(&fast, &fast_baseline, 2.0, 1.0);
+        assert!(regressions.is_empty(), "sub-floor rows never regress");
+    }
+
+    #[test]
+    fn table2_json_roundtrips_through_the_baseline_parser() {
+        let pair = dca_benchmarks::table2::table2_manifest().into_iter().next().unwrap();
+        let table = TableRow {
+            name: pair.name.clone(),
+            group: pair.shape.tag(),
+            tight: pair.tight,
+            paper_computed: None,
+            computed: Some(pair.tight as f64),
+            computed_int: Some(pair.tight),
+            degree: pair.degree,
+            tier: InvariantTier::Baseline,
+            seconds: 0.25,
+            lp_size: (5, 9),
+            lp_iterations: 3,
+            lp_float_iterations: 3,
+            lp_exact_iterations: 0,
+            lp_truncated: false,
+            lp_certified: true,
+            phase_seconds: (0.0, 0.1, 0.1, 0.0),
+            presolve_removed: (1, 1),
+        };
+        let rows = vec![Table2Row {
+            table,
+            seed: pair.seed,
+            sound: Some(true),
+            agree: Some(true),
+            pruned: 2,
+        }];
+        let json = format_table2_json(&rows, Duration::from_secs_f64(0.3), 1);
+        assert!(json.contains("\"tight\": 1,"), "breakdown counts present");
+        assert!(json.contains("\"sound\": 1,"));
+        assert!(json.contains("\"agree\": 1,"));
+        assert!(json.contains("\"transitions_pruned\": 2"));
+        let baseline = parse_baseline_seconds(&json);
+        assert_eq!(baseline, vec![(pair.name.clone(), 0.25)]);
+        // The tagged history line distinguishes the suites.
+        let run = SuiteRun {
+            rows: vec![rows[0].table.clone()],
+            wall_clock: Duration::from_secs_f64(0.3),
+            cpu_time: Duration::from_secs_f64(0.3),
+            jobs: 1,
+        };
+        let line = format_history_line_tagged(&run, "2026-08-08", "abc", "table2");
+        assert!(line.contains("\"suite\": \"table2\""));
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! implementation reproduces.
 
 mod suite;
+pub mod table2;
 
 pub use suite::{all_benchmarks, running_example, Benchmark, BenchmarkGroup};
 

@@ -124,6 +124,12 @@ impl ConstraintSet {
 /// plus the termination condition at `ℓ_out` (`φ ≥ 0` resp. `−χ ≥ 0` under `I(ℓ_out)`).
 /// Non-deterministic updates substitute a fresh universally-quantified variable, which
 /// forces the template coefficients that would depend on the havocked value to vanish.
+///
+/// Transitions whose premise `I(ℓ) ∧ G` is infeasible over the rationals are *pruned*
+/// before encoding and counted in the return value: their implication holds vacuously,
+/// so dropping the rows is sound (it can only relax the LP), while encoding them would
+/// feed contradictory-premise Handelman products to the simplex — numerically poisonous
+/// rows that generated pairs with unreachable branches produce routinely.
 pub fn collect_program_constraints(
     ts: &TransitionSystem,
     invariants: &InvariantMap,
@@ -132,11 +138,12 @@ pub fn collect_program_constraints(
     max_products: u32,
     factory: &mut UnknownFactory,
     out: &mut ConstraintSet,
-) {
+) -> usize {
     let cost = ts.cost_var();
     // Fresh universally-quantified variables for non-deterministic updates must not clash
     // with program variables or with anything the invariant analysis introduced.
     let mut fresh_counter = ts.pool().len() as u32 + 4096;
+    let mut pruned = 0usize;
 
     for (index, transition) in ts.transitions().iter().enumerate() {
         let is_terminal_self_loop = transition.source == ts.terminal()
@@ -148,6 +155,15 @@ pub fn collect_program_constraints(
         }
         let mut aff = invariants.constraints_at(transition.source);
         aff.extend(transition.guard.iter().cloned());
+
+        // Vacuous implication: an infeasible premise proves nothing and its Handelman
+        // products only destabilize the LP — skip the transition entirely.
+        let mut premise = dca_invariants::Polyhedron::from_constraints(aff.iter().cloned());
+        premise.normalize_emptiness();
+        if premise.is_bottom() {
+            pruned += 1;
+            continue;
+        }
 
         // Substitution x ↦ Up(x), with fresh variables for havocked updates.
         let mut substitution: BTreeMap<VarId, Polynomial> = BTreeMap::new();
@@ -203,6 +219,7 @@ pub fn collect_program_constraints(
     let origin = format!("{}:{:?}:terminal", ts.name(), role);
     let encoding = encode_nonnegativity(&aff, &poly, max_products, factory, &origin);
     out.extend(encoding.constraints);
+    pruned
 }
 
 /// Remaps the variables of a template polynomial through `mapping` (old id → new id),
@@ -404,6 +421,59 @@ mod tests {
             &mut set,
         );
         assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn contradictory_premise_transition_is_pruned_before_the_simplex() {
+        // A loop with one reachable transition plus a branch whose guard demands
+        // `i ≥ 1 ∧ i ≤ −1` — unsatisfiable, so its implication is vacuous. The encoder
+        // must drop it *before* Handelman products are built: no row of the resulting
+        // constraint set may originate from the contradictory transition.
+        let mut b = TsBuilder::new();
+        b.name("contra");
+        let i = b.var("i");
+        let n = b.var("n");
+        let head = b.location("head");
+        let out = b.terminal();
+        b.set_initial(head);
+        b.add_theta0(LinExpr::var(n) - LinExpr::from_int(1));
+        b.add_theta0_eq(LinExpr::var(i));
+        b.transition(head, head)
+            .guard(LinExpr::var(n) - LinExpr::var(i) - LinExpr::from_int(1))
+            .update(i, Update::assign(Polynomial::var(i) + Polynomial::from_int(1)))
+            .tick(1)
+            .finish();
+        // Contradictory premise: i - 1 >= 0 and -i - 1 >= 0 can never hold together.
+        b.transition(head, out)
+            .guard(LinExpr::var(i) - LinExpr::from_int(1))
+            .guard(-LinExpr::var(i) - LinExpr::from_int(1))
+            .tick(1_000_000)
+            .finish();
+        b.transition(head, out)
+            .guard(LinExpr::var(i) - LinExpr::var(n))
+            .finish();
+        let ts = b.build().unwrap();
+        let invariants = InvariantAnalysis::default().analyze(&ts);
+        let mut factory = UnknownFactory::new();
+        let templates = ProgramTemplates::allocate(&ts, 1, false, &mut factory, "phi");
+        let mut set = ConstraintSet::new();
+        let pruned = collect_program_constraints(
+            &ts,
+            &invariants,
+            &templates,
+            TemplateRole::Potential,
+            1,
+            &mut factory,
+            &mut set,
+        );
+        assert_eq!(pruned, 1, "exactly the contradictory transition is pruned");
+        assert!(
+            set.constraints().iter().all(|c| !c.origin.contains("transition1")),
+            "no constraint row of the pruned transition may reach the simplex"
+        );
+        // The reachable transitions are still fully encoded.
+        assert!(set.constraints().iter().any(|c| c.origin.contains("transition0")));
+        assert!(set.constraints().iter().any(|c| c.origin.contains("transition2")));
     }
 
     #[test]

@@ -97,6 +97,10 @@ pub struct SolveStats {
     pub presolve_rows_removed: usize,
     /// Standard-form columns removed by the LP presolve pass.
     pub presolve_cols_removed: usize,
+    /// Transitions skipped before encoding because their premise `I(ℓ) ∧ G` is
+    /// infeasible (vacuous implications; pruning is sound and keeps
+    /// contradictory-premise Handelman products away from the simplex).
+    pub transitions_pruned: usize,
     /// Wall-clock time spent constructing and solving the LP.
     pub duration: Duration,
 }
@@ -238,7 +242,7 @@ impl DiffCostSolver {
         let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
         let threshold = factory.fresh("t", UnknownKind::Free);
-        let (templates_new, templates_old, mut set) =
+        let (templates_new, templates_old, mut set, pruned) =
             self.collect_both(new, old, &mut factory);
 
         // Differential constraint: Θ0 ⟹ t − (φ_new(ℓ0,x) − χ_old(ℓ0,x)) ≥ 0.
@@ -254,11 +258,14 @@ impl DiffCostSolver {
         set.extend(encoding.constraints);
 
         let attempt = self.solve_lp(&factory, &set, Some(threshold), start, warm);
-        let result = attempt.result.map(|(objective_value, assignment, stats)| DiffCostResult {
-            threshold: objective_value,
-            potential_new: templates_new.instantiate(&assignment),
-            anti_potential_old: templates_old.instantiate(&assignment),
-            stats,
+        let result = attempt.result.map(|(objective_value, assignment, mut stats)| {
+            stats.transitions_pruned = pruned;
+            DiffCostResult {
+                threshold: objective_value,
+                potential_new: templates_new.instantiate(&assignment),
+                anti_potential_old: templates_old.instantiate(&assignment),
+                stats,
+            }
         });
         (result, attempt.basis)
     }
@@ -282,7 +289,7 @@ impl DiffCostSolver {
         let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
         let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
-        let (templates_new, templates_old, mut set) =
+        let (templates_new, templates_old, mut set, pruned) =
             self.collect_both(new, old, &mut factory);
         let (phi0, chi0, theta0) = self.initial_difference(new, old, &templates_new, &templates_old);
         let poly = &(&TemplatePolynomial::from_polynomial(bound) - &phi0) + &chi0;
@@ -294,7 +301,8 @@ impl DiffCostSolver {
             "symbolic-bound",
         );
         set.extend(encoding.constraints);
-        let (_, assignment, stats) = self.solve_lp(&factory, &set, None, start, None).result?;
+        let (_, assignment, mut stats) = self.solve_lp(&factory, &set, None, start, None).result?;
+        stats.transitions_pruned = pruned;
         Ok(SymbolicBoundResult {
             potential_new: templates_new.instantiate(&assignment),
             anti_potential_old: templates_old.instantiate(&assignment),
@@ -431,7 +439,7 @@ impl DiffCostSolver {
         new: &AnalyzedProgram,
         old: &AnalyzedProgram,
         factory: &mut UnknownFactory,
-    ) -> (ProgramTemplates, ProgramTemplates, ConstraintSet) {
+    ) -> (ProgramTemplates, ProgramTemplates, ConstraintSet, usize) {
         let templates_new = ProgramTemplates::allocate(
             &new.ts,
             self.options.degree,
@@ -447,7 +455,7 @@ impl DiffCostSolver {
             "chi_old",
         );
         let mut set = ConstraintSet::new();
-        collect_program_constraints(
+        let mut pruned = collect_program_constraints(
             &new.ts,
             &new.invariants,
             &templates_new,
@@ -456,7 +464,7 @@ impl DiffCostSolver {
             factory,
             &mut set,
         );
-        collect_program_constraints(
+        pruned += collect_program_constraints(
             &old.ts,
             &old.invariants,
             &templates_old,
@@ -465,7 +473,7 @@ impl DiffCostSolver {
             factory,
             &mut set,
         );
-        (templates_new, templates_old, set)
+        (templates_new, templates_old, set, pruned)
     }
 
     /// Builds `φ_new(ℓ0)`, the remapped `χ_old(ℓ0)` and the shared Θ0 over the new
@@ -589,6 +597,9 @@ impl DiffCostSolver {
             lp_repair_time: info.repair_time,
             presolve_rows_removed: info.presolve_rows_removed,
             presolve_cols_removed: info.presolve_cols_removed,
+            // Filled in by the callers that know their program pair (pruning happens
+            // during constraint collection, before the LP exists).
+            transitions_pruned: 0,
             duration,
         };
         // Shared interpretation of an exact-rational solve outcome (the `Exact`

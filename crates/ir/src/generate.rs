@@ -1,0 +1,504 @@
+//! Seeded generator of benchmark program pairs with known-by-construction bounds.
+//!
+//! Table 1 validates the reproduction on twenty hand-written pairs; this module is the
+//! machinery behind "Table 2": a deterministic, parameterized emitter of program pairs
+//! in the mini-language whose *exact* difference bound is known at generation time.
+//! The recipe mirrors how the hand pairs were built — clone a deterministic base
+//! program, then inject counted cost deltas into loops whose trip counts are derivable
+//! from the generation parameters — so every emitted pair doubles as an oracle:
+//!
+//! * the base program (`source_old`) is a nest of counting loops with constant-amplitude
+//!   `tick`s and compile-time input boxes (`assume(n >= 1 && n <= B)`),
+//! * the revision (`source_new`) amplifies a tick at a chosen loop depth, optionally
+//!   behind a non-deterministic `if (*)` branch, optionally adds a dependent inner loop
+//!   or a one-shot setup tick — each with a contribution `delta × trip-count` that is a
+//!   closed-form function of the drawn bounds,
+//! * `tight` is the sum of those contributions: the exact supremum of
+//!   `CostSup_new(x) − CostInf_old(x)` over the input box, attained at the upper-bound
+//!   corner (all contributions are monotone in the inputs and the base cost cancels).
+//!
+//! Everything is driven by [`SmallRng`], so a `(seed, shape)` pair reproduces the same
+//! sources bit-for-bit on every platform — the committed Table-2 manifest is code, not
+//! data. Per the ROADMAP fuzz guidance for the 1-CPU benchmark box, the emitter never
+//! produces more than [`MAX_BLOCK_STATEMENTS`] consecutive simple statements, keeping
+//! the lowered transition systems (and hence the LPs) small.
+
+use crate::rng::SmallRng;
+
+/// Hard cap on consecutive simple (non-control) statements in any emitted block.
+///
+/// Every simple statement lowers to its own transition, so straight-line runs translate
+/// directly into LP template locations; the ROADMAP fuzz guidance caps generated basic
+/// blocks at 2 statements to keep generated LPs tractable on a 1-CPU box. The emitter
+/// asserts the cap at generation time and [`GeneratedPair::max_block_len`] records the
+/// longest run actually emitted, so tests can verify the guidance holds corpus-wide.
+pub const MAX_BLOCK_STATEMENTS: usize = 2;
+
+/// How the revision relates to the base program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairKind {
+    /// The revision injects counted cost deltas; `tight` is their summed contribution.
+    Delta,
+    /// The revision is a semantics-preserving rewrite (loops count down instead of
+    /// up); `tight` is exactly 0.
+    Equivalent,
+}
+
+/// One cell of the Table-2 shape grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeParams {
+    /// Structural loop-nesting depth (1–3). Depth 3 adds a zero-cost innermost
+    /// spinner loop, exercising deep nests without forcing degree-3 templates.
+    pub depth: u32,
+    /// Number of sequential top-level loop phases (counters are reused across phases).
+    /// Phase 0 carries the full `depth`-deep nest; later phases are depth-1 counting
+    /// loops — sequential composition is what multi-phase shapes exercise, and
+    /// repeating the whole nest per phase doubles the LP for no extra coverage
+    /// (measured ~7x solver cost on the 1-CPU bench box).
+    pub phases: u32,
+    /// Inject a *dependent* inner loop into the revision: extra cost `d·n·m` from a
+    /// loop that exists only in the new version (the `SimpleMultipleDep` idiom).
+    pub dependent: bool,
+    /// Express the phase-0 delta behind a non-deterministic `if (*)` branch
+    /// (disjunctive guard); the worst-case branch carries the delta.
+    pub disjunctive: bool,
+    /// Straight-line padding: a constant prelude tick per phase and an epilogue tick
+    /// (both versions), plus a one-shot setup delta in the revision.
+    pub padding: bool,
+    /// Delta-injection pair or equivalent rewrite.
+    pub kind: PairKind,
+}
+
+impl ShapeParams {
+    /// A compact stable tag for benchmark names: kind, depth, phases, flag letters
+    /// (`b` dependent bounds, `g` disjunctive guard, `s` straight-line padding).
+    pub fn tag(&self) -> String {
+        let kind = match self.kind {
+            PairKind::Delta => 'D',
+            PairKind::Equivalent => 'E',
+        };
+        let mut tag = format!("{kind}d{}p{}", self.depth, self.phases);
+        if self.dependent {
+            tag.push('b');
+        }
+        if self.disjunctive {
+            tag.push('g');
+        }
+        if self.padding {
+            tag.push('s');
+        }
+        tag
+    }
+}
+
+/// A generated program pair plus its by-construction oracle data.
+#[derive(Debug, Clone)]
+pub struct GeneratedPair {
+    /// Stable benchmark name: `t2_<shape tag>_<seed>`.
+    pub name: String,
+    /// The seed that produced this pair (with [`ShapeParams`], fully reproducing it).
+    pub seed: u64,
+    /// The shape-grid cell this pair was drawn from.
+    pub shape: ShapeParams,
+    /// Source of the base (old) version.
+    pub source_old: String,
+    /// Source of the revised (new) version.
+    pub source_new: String,
+    /// The exact difference bound `sup_x (CostSup_new − CostInf_old)`, by construction.
+    pub tight: i64,
+    /// The template degree sufficient (and expected necessary) to prove `tight`.
+    pub degree: u32,
+    /// Upper bound of the primary input `n`.
+    pub bound_n: i64,
+    /// Upper bound of the secondary input `m` (0 when `m` is not used).
+    pub bound_m: i64,
+    /// Longest run of consecutive simple statements actually emitted
+    /// (≤ [`MAX_BLOCK_STATEMENTS`] by construction).
+    pub max_block_len: usize,
+}
+
+/// Everything drawn from the RNG, fixed before rendering so the old and new versions
+/// are rendered from the *same* plan and differ only by the injections.
+#[derive(Debug, Clone)]
+struct Plan {
+    shape: ShapeParams,
+    bound_n: i64,
+    bound_m: i64,
+    uses_m: bool,
+    /// Per-phase base tick amplitude at depth 1.
+    base1: Vec<i64>,
+    /// Per-phase base tick amplitude at depth 2 (unused entries 0).
+    base2: Vec<i64>,
+    /// Per-phase injection site depth (1 or 2) and delta amplitude.
+    site: Vec<u32>,
+    delta: Vec<i64>,
+    /// Dependent inner-loop tick amplitude (0 when the class is off).
+    dep_delta: i64,
+    /// Padding prelude amplitude per phase, epilogue amplitude, one-shot setup delta.
+    pad_prelude: Vec<i64>,
+    pad_epilogue: i64,
+    pad_setup_delta: i64,
+}
+
+impl Plan {
+    fn draw(rng: &mut SmallRng, shape: ShapeParams) -> Plan {
+        let depth = shape.depth;
+        let phases = shape.phases as usize;
+        let is_delta = shape.kind == PairKind::Delta;
+        let bound_n = rng.gen_range_inclusive(3, 12);
+        let uses_m = depth >= 2 || shape.dependent;
+        let bound_m = if uses_m { rng.gen_range_inclusive(2, 9) } else { 0 };
+        let mut base1 = Vec::new();
+        let mut base2 = Vec::new();
+        let mut site = Vec::new();
+        let mut delta = Vec::new();
+        let mut pad_prelude = Vec::new();
+        for phase in 0..phases {
+            base1.push(rng.gen_range_inclusive(1, 3));
+            base2.push(if depth >= 2 { rng.gen_range_inclusive(1, 2) } else { 0 });
+            // Later phases are depth-1 loops, so their injection site is pinned to 1.
+            let max_site = if phase == 0 { depth.min(2) } else { 1 };
+            site.push(rng.gen_range_inclusive(1, max_site as i64) as u32);
+            delta.push(if is_delta { rng.gen_range_inclusive(1, 3) } else { 0 });
+            pad_prelude.push(if shape.padding { rng.gen_range_inclusive(1, 2) } else { 0 });
+        }
+        let dep_delta =
+            if is_delta && shape.dependent { rng.gen_range_inclusive(1, 2) } else { 0 };
+        let pad_epilogue = if shape.padding { rng.gen_range_inclusive(1, 2) } else { 0 };
+        let pad_setup_delta =
+            if is_delta && shape.padding { rng.gen_range_inclusive(1, 3) } else { 0 };
+        Plan {
+            shape,
+            bound_n,
+            bound_m,
+            uses_m,
+            base1,
+            base2,
+            site,
+            delta,
+            dep_delta,
+            pad_prelude,
+            pad_epilogue,
+            pad_setup_delta,
+        }
+    }
+
+    /// Trip count of an injection site at the upper-bound corner of the input box.
+    fn trips(&self, site_depth: u32) -> i64 {
+        match site_depth {
+            1 => self.bound_n,
+            2 => self.bound_n * self.bound_m,
+            other => unreachable!("no injection sites at depth {other}"),
+        }
+    }
+
+    /// The exact difference bound: the summed worst-case contribution of every
+    /// injection, attained simultaneously at the all-upper-bounds input corner.
+    fn tight(&self) -> i64 {
+        if self.shape.kind == PairKind::Equivalent {
+            return 0;
+        }
+        let mut total = 0;
+        for (site, delta) in self.site.iter().zip(&self.delta) {
+            total += delta * self.trips(*site);
+        }
+        if self.shape.dependent {
+            total += self.dep_delta * self.bound_n * self.bound_m;
+        }
+        total + self.pad_setup_delta
+    }
+
+    /// Effective nesting depth of a phase: phase 0 carries the full nest, later
+    /// phases are plain depth-1 counting loops (see [`ShapeParams::phases`]).
+    fn phase_depth(&self, phase: usize) -> u32 {
+        if phase == 0 {
+            self.shape.depth
+        } else {
+            1
+        }
+    }
+
+    /// Degree of the densest cost polynomial either version carries: bilinear
+    /// (`n·m`) cost appears as soon as a tick sits at depth 2 or a dependent inner
+    /// loop is injected; everything else is affine. The depth-3 spinner loop carries
+    /// no cost, so structural depth 3 does not force degree 3.
+    fn degree(&self) -> u32 {
+        if self.shape.depth >= 2 || self.shape.dependent {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// Statement emitter enforcing the [`MAX_BLOCK_STATEMENTS`] cap on straight-line runs.
+struct Emitter {
+    lines: Vec<String>,
+    indent: usize,
+    run: usize,
+    max_run: usize,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter { lines: Vec::new(), indent: 0, run: 0, max_run: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        self.lines.push(format!("{}{}", "    ".repeat(self.indent), text));
+    }
+
+    /// A simple statement (assignment or tick): extends the current straight-line run.
+    fn simple(&mut self, text: &str) {
+        self.run += 1;
+        self.max_run = self.max_run.max(self.run);
+        assert!(
+            self.run <= MAX_BLOCK_STATEMENTS,
+            "generator emitted a straight-line run longer than {MAX_BLOCK_STATEMENTS}: {text}"
+        );
+        self.line(text);
+    }
+
+    /// A control statement header (`while`, `if`): ends the current run.
+    fn open(&mut self, header: &str) {
+        self.run = 0;
+        self.line(header);
+        self.indent += 1;
+    }
+
+    fn close(&mut self, footer: &str) {
+        self.run = 0;
+        self.indent -= 1;
+        self.line(footer);
+    }
+
+    fn finish(self) -> (String, usize) {
+        (self.lines.join("\n"), self.max_run)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    Old,
+    New,
+}
+
+/// Renders one version of the pair from the plan.
+fn render(plan: &Plan, version: Version) -> (String, usize) {
+    let new = version == Version::New;
+    let equivalent = plan.shape.kind == PairKind::Equivalent;
+    // The equivalent rewrite flips every loop to count down; injections only exist in
+    // Delta revisions.
+    let rewrite = new && equivalent;
+    let inject = new && !equivalent;
+    let mut e = Emitter::new();
+    let params = if plan.uses_m { "n, m" } else { "n" };
+    e.open(&format!("proc t2({params}) {{"));
+    let mut assume = format!("n >= 1 && n <= {}", plan.bound_n);
+    if plan.uses_m {
+        assume.push_str(&format!(" && m >= 1 && m <= {}", plan.bound_m));
+    }
+    e.simple(&format!("assume({assume});"));
+    // `assume` lowers into Θ0, not into a transition, so it does not start a run.
+    e.run = 0;
+
+    for phase in 0..plan.shape.phases as usize {
+        if plan.shape.padding {
+            let mut amplitude = plan.pad_prelude[phase];
+            if inject && phase == 0 {
+                amplitude += plan.pad_setup_delta;
+            }
+            e.simple(&format!("tick({amplitude});"));
+        }
+        render_loop(&mut e, plan, phase, 1, rewrite, inject);
+    }
+    if plan.shape.padding {
+        e.simple(&format!("tick({});", plan.pad_epilogue));
+    }
+    e.close("}");
+    e.finish()
+}
+
+/// Renders the loop nest of one phase from `level` inward.
+fn render_loop(e: &mut Emitter, plan: &Plan, phase: usize, level: u32, rewrite: bool, inject: bool) {
+    let (counter, bound) = match level {
+        1 => ("i", "n"),
+        2 => ("j", "m"),
+        3 => ("k", "m"),
+        other => unreachable!("no loops at level {other}"),
+    };
+    if rewrite {
+        e.simple(&format!("{counter} = {bound};"));
+        e.open(&format!("while ({counter} > 0) {{"));
+    } else {
+        e.simple(&format!("{counter} = 0;"));
+        e.open(&format!("while ({counter} < {bound}) {{"));
+    }
+
+    // The cost-carrying body: depth-3 spinner loops are cost-free by design (they
+    // exercise deep nesting without forcing degree-3 templates).
+    if level <= 2 {
+        let base = if level == 1 { plan.base1[phase] } else { plan.base2[phase] };
+        if base > 0 {
+            let injected = inject && plan.site[phase] == level;
+            let amplitude = if injected { base + plan.delta[phase] } else { base };
+            if injected && plan.shape.disjunctive && phase == 0 {
+                // Disjunctive guard: the delta hides in the worst-case branch.
+                e.open("if (*) {");
+                e.simple(&format!("tick({amplitude});"));
+                e.close(&format!("}} else {{ tick({base}); }}"));
+            } else {
+                e.simple(&format!("tick({amplitude});"));
+            }
+        }
+        if level < plan.phase_depth(phase) {
+            render_loop(e, plan, phase, level + 1, rewrite, inject);
+        }
+        // The dependent inner loop exists only in the revision, at depth 1 of phase 0.
+        if inject && plan.shape.dependent && level == 1 && phase == 0 {
+            e.simple("q = 0;");
+            e.open("while (q < m) {");
+            e.simple(&format!("tick({});", plan.dep_delta));
+            e.simple("q = q + 1;");
+            e.close("}");
+        }
+    }
+
+    if rewrite {
+        e.simple(&format!("{counter} = {counter} - 1;"));
+    } else {
+        e.simple(&format!("{counter} = {counter} + 1;"));
+    }
+    e.close("}");
+}
+
+/// Generates one program pair from a seed and a shape-grid cell.
+///
+/// Determinism contract: equal `(seed, shape)` inputs produce byte-identical sources
+/// and identical oracle data on every platform (all draws go through [`SmallRng`],
+/// whose stream is pinned by a golden test).
+pub fn generate_pair(seed: u64, shape: &ShapeParams) -> GeneratedPair {
+    assert!((1..=3).contains(&shape.depth), "depth must be 1–3");
+    assert!((1..=3).contains(&shape.phases), "phases must be 1–3");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let plan = Plan::draw(&mut rng, *shape);
+    let (source_old, run_old) = render(&plan, Version::Old);
+    let (source_new, run_new) = render(&plan, Version::New);
+    GeneratedPair {
+        name: format!("t2_{}_{:05}", shape.tag(), seed & 0xFFFF),
+        seed,
+        shape: *shape,
+        source_old,
+        source_new,
+        tight: plan.tight(),
+        degree: plan.degree(),
+        bound_n: plan.bound_n,
+        bound_m: plan.bound_m,
+        max_block_len: run_old.max(run_new),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(depth: u32, phases: u32, dep: bool, dis: bool, pad: bool) -> ShapeParams {
+        ShapeParams {
+            depth,
+            phases,
+            dependent: dep,
+            disjunctive: dis,
+            padding: pad,
+            kind: PairKind::Delta,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = shape(2, 2, true, true, true);
+        let a = generate_pair(17, &s);
+        let b = generate_pair(17, &s);
+        assert_eq!(a.source_old, b.source_old);
+        assert_eq!(a.source_new, b.source_new);
+        assert_eq!(a.tight, b.tight);
+        let c = generate_pair(18, &s);
+        assert!(a.source_old != c.source_old || a.tight != c.tight);
+    }
+
+    #[test]
+    fn equivalent_pairs_have_zero_tight_and_differ_syntactically() {
+        let s = ShapeParams {
+            depth: 2,
+            phases: 1,
+            dependent: false,
+            disjunctive: false,
+            padding: true,
+            kind: PairKind::Equivalent,
+        };
+        let pair = generate_pair(5, &s);
+        assert_eq!(pair.tight, 0);
+        assert_ne!(pair.source_old, pair.source_new, "rewrite must change the text");
+        assert!(pair.source_new.contains("i = n;"), "count-down rewrite");
+        assert!(pair.source_new.contains("while (i > 0)"));
+    }
+
+    #[test]
+    fn delta_pairs_have_positive_tight() {
+        for depth in 1..=3 {
+            for &dep in &[false, true] {
+                let pair = generate_pair(depth as u64 * 7 + dep as u64, &shape(depth, 1, dep, false, false));
+                assert!(pair.tight > 0, "delta pairs always inject something");
+                assert_eq!(pair.degree, if depth >= 2 || dep { 2 } else { 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn block_cap_is_respected_across_the_grid() {
+        for depth in 1..=3u32 {
+            for phases in 1..=2u32 {
+                for flags in 0..8u32 {
+                    let s = shape(
+                        depth,
+                        phases,
+                        flags & 1 != 0,
+                        flags & 2 != 0,
+                        flags & 4 != 0,
+                    );
+                    for seed in 0..8u64 {
+                        let pair = generate_pair(seed, &s);
+                        assert!(
+                            pair.max_block_len <= MAX_BLOCK_STATEMENTS,
+                            "{}: run of {} simple statements",
+                            pair.name,
+                            pair.max_block_len
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjunctive_revisions_branch_nondeterministically() {
+        let pair = generate_pair(3, &shape(1, 1, false, true, false));
+        assert!(pair.source_new.contains("if (*)"));
+        assert!(!pair.source_old.contains("if (*)"), "base stays deterministic");
+    }
+
+    #[test]
+    fn sources_share_the_same_interface() {
+        // Old and new must declare the same parameters and the same Θ0 box, so the
+        // differential analysis quantifies over a shared initial region.
+        for s in [shape(1, 1, true, false, false), shape(3, 2, true, true, true)] {
+            let pair = generate_pair(11, &s);
+            let header = |src: &str| {
+                src.lines()
+                    .take(2)
+                    .map(|l| l.trim().to_string())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(header(&pair.source_old), header(&pair.source_new));
+        }
+    }
+}

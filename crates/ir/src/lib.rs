@@ -49,6 +49,7 @@
 //! ```
 
 mod explore;
+mod generate;
 mod interp;
 mod loops;
 mod rng;
@@ -56,6 +57,9 @@ mod state;
 mod system;
 
 pub use explore::{enumerate_box, sample_initial_states, CostBounds, CostExplorer};
+pub use generate::{
+    generate_pair, GeneratedPair, PairKind, ShapeParams, MAX_BLOCK_STATEMENTS,
+};
 pub use loops::{BackEdge, LoopNest};
 pub use rng::SmallRng;
 pub use interp::{FixedOracle, Interpreter, NondetOracle, RandomOracle, RunOutcome, RunResult};

@@ -1,0 +1,95 @@
+//! Seed-stability golden test for [`dca_ir::SmallRng`].
+//!
+//! The Table-2 manifest is committed as *code*: a seed plus the generator reproduce
+//! the whole corpus. That only holds if the RNG stream itself is frozen — any change
+//! to the seeding or stepping function silently regenerates a *different* corpus under
+//! the same names, invalidating the committed `BENCH_table2.json` baselines. These
+//! golden values pin the first draws of fixed seeds (including the Table-2 manifest
+//! seed `0x7AB1E2`) so such a change fails loudly here instead.
+
+use dca_ir::{generate_pair, PairKind, ShapeParams, SmallRng};
+
+fn stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.next_u64()).collect()
+}
+
+#[test]
+fn raw_streams_are_frozen() {
+    assert_eq!(
+        stream(0, 4),
+        [
+            8916199331640804048,
+            16032783972208265725,
+            12954103179475586193,
+            16173463928478733820
+        ]
+    );
+    assert_eq!(
+        stream(1, 4),
+        [
+            5424204624148110235,
+            15555979849632202484,
+            6851360858507811590,
+            4263911567865507035
+        ]
+    );
+    assert_eq!(
+        stream(42, 4),
+        [
+            3580622183945639842,
+            10378725325292465923,
+            8967075514996744559,
+            5001014893397904463
+        ]
+    );
+    assert_eq!(
+        stream(0xDEADBEEF, 4),
+        [
+            18361595787741247823,
+            8382779196145280957,
+            7897452601676751431,
+            8091508390058281924
+        ]
+    );
+    // The Table-2 manifest seed.
+    assert_eq!(
+        stream(0x7AB1E2, 4),
+        [
+            10440558046550920990,
+            10521493702035715241,
+            2904263593258965184,
+            14900453598368127629
+        ]
+    );
+}
+
+#[test]
+fn derived_draws_are_frozen() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let ranged: Vec<i64> = (0..8).map(|_| rng.gen_range_inclusive(-5, 20)).collect();
+    assert_eq!(ranged, [17, -3, 15, 15, 13, 0, 17, 20]);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let indices: Vec<usize> = (0..8).map(|_| rng.gen_index(10)).collect();
+    assert_eq!(indices, [8, 3, 3, 8, 3, 9, 2, 6]);
+}
+
+/// End-to-end seed stability: a generated pair's oracle data is itself a golden value.
+/// (The full sources are exercised structurally by the generator's own unit tests;
+/// pinning the drawn bounds and tight value here detects any re-ordering of draws.)
+#[test]
+fn generated_pair_oracle_is_frozen() {
+    let shape = ShapeParams {
+        depth: 2,
+        phases: 1,
+        dependent: true,
+        disjunctive: true,
+        padding: true,
+        kind: PairKind::Delta,
+    };
+    let a = generate_pair(0x7AB1E2, &shape);
+    assert_eq!(a.name, "t2_Dd2p1bgs_45538");
+    assert_eq!((a.tight, a.bound_n, a.bound_m, a.degree), (34, 4, 7, 2));
+    assert!(a.source_new.contains("if (*)"));
+    assert!(a.source_old.contains("assume(n >= 1 && n <= 4 && m >= 1 && m <= 7);"));
+}
