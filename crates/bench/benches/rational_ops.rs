@@ -118,6 +118,64 @@ fn main() {
         });
     }
 
+    if wants("eta_chain") {
+        // The exact backend's eta-update/refactorization trade-off (see
+        // `dca_lp`'s `should_refactorize`): every pivot appends one product-form
+        // eta, and every subsequent FTRAN/BTRAN pays for the whole chain — so the
+        // policy question is when rebuilding a short fresh factorization beats
+        // dragging the update debris along. This pins both sides: one FTRAN
+        // through a base factorization plus a 64-eta update chain vs through the
+        // rebuilt base alone. The solver's real
+        // structures are crate-private; this is the same product-form arithmetic
+        // (x[p] /= v, then x[r] -= a·x[p] per off-diagonal) over the same
+        // operand distribution.
+        let m = 96usize;
+        let mut state = 0xD1B54A32D192ED03u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut make_eta = |pivot: usize| {
+            let pivot_value = Rational::new(1 + (next() % 40) as i64, 1 + (next() % 7) as i64);
+            let others: Vec<(usize, Rational)> = (0..6)
+                .map(|_| {
+                    let row = (next() as usize) % m;
+                    let value =
+                        Rational::new((next() % 201) as i64 - 100, 1 + (next() % 12) as i64);
+                    (row, value)
+                })
+                .filter(|(row, _)| *row != pivot)
+                .collect();
+            (pivot, pivot_value, others)
+        };
+        let base: Vec<_> = (0..m).map(&mut make_eta).collect();
+        let updates: Vec<_> = (0..64).map(|i| make_eta(i % m)).collect();
+        let b: Vec<Rational> =
+            (0..m).map(|i| Rational::new(i as i64 - 40, 1 + i as i64 % 5)).collect();
+        let ftran = |etas: &[&[(usize, Rational, Vec<(usize, Rational)>)]], x: &mut Vec<Rational>| {
+            for chain in etas {
+                for (pivot, pivot_value, others) in *chain {
+                    x[*pivot] = &x[*pivot] / pivot_value;
+                    for (row, value) in others {
+                        x[*row] = &x[*row] - &(value * &x[*pivot]);
+                    }
+                }
+            }
+        };
+        bench("lu/ftran_base_plus_64_eta_updates", Duration::from_secs(3), || {
+            let mut x = b.clone();
+            ftran(&[&base, &updates], &mut x);
+            black_box(x);
+        });
+        bench("lu/ftran_rebuilt_base_only", Duration::from_secs(3), || {
+            let mut x = b.clone();
+            ftran(&[&base], &mut x);
+            black_box(x);
+        });
+    }
+
     if wants("gcd_normalize") {
         // Construction-time normalization of raw fractions (gcd-heavy).
         bench("rational/gcd_normalize", Duration::from_secs(3), || {

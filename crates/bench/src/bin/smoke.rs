@@ -46,7 +46,7 @@ fn main() {
     // regression when it runs > 2x its baseline AND slower than an absolute floor
     // (sub-second rows drown in machine noise at a 2x threshold).
     const TIME_REGRESSION_FACTOR: f64 = 2.0;
-    const TIME_FLOOR_SECONDS: f64 = 1.0;
+    const TIME_FLOOR_SECONDS: f64 = 0.5;
     let baseline: Vec<(String, f64)> = match std::fs::read_to_string("BENCH_table1.json") {
         Ok(json) => parse_baseline_seconds(&json),
         Err(error) => {

@@ -201,7 +201,10 @@ fn main() {
     }
 
     if let Some(path) = &json_path {
-        std::fs::write(path, format_table2_json(&rows, report.wall_clock, report.jobs))
+        std::fs::write(
+            path,
+            format_table2_json(&rows, report.wall_clock, report.cpu_time(), report.jobs),
+        )
             .unwrap_or_else(|e| {
                 eprintln!("error: cannot write {path}: {e}");
                 exit(2);

@@ -46,6 +46,17 @@ pub struct TableRow {
     pub phase_seconds: (f64, f64, f64, f64),
     /// Rows and columns the LP presolve removed (0 on failure).
     pub presolve_removed: (usize, usize),
+    /// Handelman product multipliers eligible for lazy generation (0 when the
+    /// encoding has no degree-≥-2 products or row generation is disabled).
+    pub products_total: usize,
+    /// Lazy product multipliers actually activated by separation (≤ `products_total`).
+    pub products_generated: usize,
+    /// Separation rounds of the row-generation loop (0 = plain eager solve).
+    pub separation_rounds: usize,
+    /// Exact simplex pivots absorbed as incremental eta updates of the LU factors.
+    pub lu_updates: usize,
+    /// Full Markowitz refactorizations performed mid-run by the exact simplex.
+    pub lu_refactorizations: usize,
 }
 
 impl TableRow {
@@ -91,6 +102,20 @@ impl TableRow {
                 .stats()
                 .map(|s| (s.presolve_rows_removed, s.presolve_cols_removed))
                 .unwrap_or((0, 0)),
+            products_total: outcome.stats().map(|s| s.lp_products_total).unwrap_or(0),
+            products_generated: outcome
+                .stats()
+                .map(|s| s.lp_products_generated)
+                .unwrap_or(0),
+            separation_rounds: outcome
+                .stats()
+                .map(|s| s.lp_separation_rounds)
+                .unwrap_or(0),
+            lu_updates: outcome.stats().map(|s| s.lp_lu_updates).unwrap_or(0),
+            lu_refactorizations: outcome
+                .stats()
+                .map(|s| s.lp_lu_refactorizations)
+                .unwrap_or(0),
         }
     }
 }
@@ -131,6 +156,11 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
                 result.stats.presolve_rows_removed,
                 result.stats.presolve_cols_removed,
             ),
+            products_total: result.stats.lp_products_total,
+            products_generated: result.stats.lp_products_generated,
+            separation_rounds: result.stats.lp_separation_rounds,
+            lu_updates: result.stats.lp_lu_updates,
+            lu_refactorizations: result.stats.lp_lu_refactorizations,
         },
         Err(_) => TableRow {
             name: benchmark.name.to_string(),
@@ -150,6 +180,11 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             lp_certified: false,
             phase_seconds: (0.0, 0.0, 0.0, 0.0),
             presolve_removed: (0, 0),
+            products_total: 0,
+            products_generated: 0,
+            separation_rounds: 0,
+            lu_updates: 0,
+            lu_refactorizations: 0,
         },
     }
 }
@@ -279,7 +314,10 @@ pub fn format_json(run: &SuiteRun) -> String {
                     "\"lp_truncated\": {}, \"lp_certified\": {}, ",
                     "\"presolve_s\": {:.3}, \"float_s\": {:.3}, ",
                     "\"certify_s\": {:.3}, \"repair_s\": {:.3}, ",
-                    "\"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}}}"
+                    "\"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, ",
+                    "\"products_total\": {}, \"products_generated\": {}, ",
+                    "\"separation_rounds\": {}, \"lu_updates\": {}, ",
+                    "\"lu_refactorizations\": {}}}"
                 ),
                 escape(&row.name),
                 escape(&row.group),
@@ -304,6 +342,11 @@ pub fn format_json(run: &SuiteRun) -> String {
                 row.phase_seconds.3,
                 row.presolve_removed.0,
                 row.presolve_removed.1,
+                row.products_total,
+                row.products_generated,
+                row.separation_rounds,
+                row.lu_updates,
+                row.lu_refactorizations,
             )
         })
         .collect();
@@ -342,7 +385,7 @@ pub fn format_history_line_tagged(
     format!(
         "{{\"date\": \"{}\", \"commit\": \"{}\", \"suite\": \"{}\", \"jobs\": {}, \
          \"tight\": {}, \"total\": {}, \
-         \"wall_clock_s\": {:.2}, \"row_seconds\": {{{}}}}}",
+         \"wall_clock_s\": {:.2}, \"cpu_time_s\": {:.2}, \"row_seconds\": {{{}}}}}",
         escape(date),
         escape(commit),
         escape(suite),
@@ -350,6 +393,7 @@ pub fn format_history_line_tagged(
         run.rows.iter().filter(|r| r.is_tight()).count(),
         run.rows.len(),
         run.wall_clock.as_secs_f64(),
+        run.cpu_time.as_secs_f64(),
         rows.join(", "),
     )
 }
@@ -502,6 +546,20 @@ pub fn table2_row(
             .stats()
             .map(|s| (s.presolve_rows_removed, s.presolve_cols_removed))
             .unwrap_or((0, 0)),
+        products_total: outcome.stats().map(|s| s.lp_products_total).unwrap_or(0),
+        products_generated: outcome
+            .stats()
+            .map(|s| s.lp_products_generated)
+            .unwrap_or(0),
+        separation_rounds: outcome
+            .stats()
+            .map(|s| s.lp_separation_rounds)
+            .unwrap_or(0),
+        lu_updates: outcome.stats().map(|s| s.lp_lu_updates).unwrap_or(0),
+        lu_refactorizations: outcome
+            .stats()
+            .map(|s| s.lp_lu_refactorizations)
+            .unwrap_or(0),
     }
 }
 
@@ -510,7 +568,12 @@ pub fn table2_row(
 /// [`time_regressions`] gate consume it unchanged). The top level carries the
 /// tight/loose/failed breakdown and the harness verdict counts the acceptance
 /// criteria are stated in.
-pub fn format_table2_json(rows: &[Table2Row], wall_clock: Duration, jobs: usize) -> String {
+pub fn format_table2_json(
+    rows: &[Table2Row],
+    wall_clock: Duration,
+    cpu_time: Duration,
+    jobs: usize,
+) -> String {
     fn opt_f64(v: Option<f64>) -> String {
         v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "null".to_string())
     }
@@ -570,10 +633,12 @@ pub fn format_table2_json(rows: &[Table2Row], wall_clock: Duration, jobs: usize)
         })
         .collect();
     format!(
-        "{{\n  \"wall_clock_s\": {:.2},\n  \"jobs\": {},\n  \"total\": {},\n  \
+        "{{\n  \"wall_clock_s\": {:.2},\n  \"cpu_time_s\": {:.2},\n  \"jobs\": {},\n  \
+         \"total\": {},\n  \
          \"tight\": {},\n  \"loose\": {},\n  \"failed\": {},\n  \"sound\": {},\n  \
          \"agree\": {},\n  \"lp_certified\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         wall_clock.as_secs_f64(),
+        cpu_time.as_secs_f64(),
         jobs,
         rows.len(),
         tight,
@@ -610,6 +675,11 @@ mod tests {
             lp_certified: true,
             phase_seconds: (0.01, 1.2, 0.1, 0.2),
             presolve_removed: (3, 7),
+            products_total: 12,
+            products_generated: 5,
+            separation_rounds: 2,
+            lu_updates: 40,
+            lu_refactorizations: 1,
         };
         let run = SuiteRun {
             rows: vec![row],
@@ -620,6 +690,7 @@ mod tests {
         let line = format_history_line(&run, "2026-07-29", "abc1234");
         assert!(line.contains("\"date\": \"2026-07-29\""));
         assert!(line.contains("\"commit\": \"abc1234\""));
+        assert!(line.contains("\"cpu_time_s\": 1.60"), "history line reports cpu time");
         assert!(line.contains("\"Example\": 1.50"));
         assert!(!line.contains('\n'), "one line per run");
         // The committed BENCH json parses back into per-row baselines.
@@ -676,6 +747,11 @@ mod tests {
             lp_certified: true,
             phase_seconds: (0.0, 0.1, 0.1, 0.0),
             presolve_removed: (1, 1),
+            products_total: 0,
+            products_generated: 0,
+            separation_rounds: 0,
+            lu_updates: 0,
+            lu_refactorizations: 0,
         };
         let rows = vec![Table2Row {
             table,
@@ -684,7 +760,13 @@ mod tests {
             agree: Some(true),
             pruned: 2,
         }];
-        let json = format_table2_json(&rows, Duration::from_secs_f64(0.3), 1);
+        let json = format_table2_json(
+            &rows,
+            Duration::from_secs_f64(0.3),
+            Duration::from_secs_f64(0.25),
+            1,
+        );
+        assert!(json.contains("\"cpu_time_s\": 0.25"), "table2 json reports cpu time");
         assert!(json.contains("\"tight\": 1,"), "breakdown counts present");
         assert!(json.contains("\"sound\": 1,"));
         assert!(json.contains("\"agree\": 1,"));
@@ -730,6 +812,11 @@ mod tests {
             lp_certified: true,
             phase_seconds: (0.01, 1.2, 0.1, 0.2),
             presolve_removed: (3, 7),
+            products_total: 12,
+            products_generated: 5,
+            separation_rounds: 2,
+            lu_updates: 40,
+            lu_refactorizations: 1,
         };
         assert!(row.is_tight());
         let table = format_table(&[row.clone()]);
@@ -753,6 +840,11 @@ mod tests {
             lp_certified: false,
             phase_seconds: (0.0, 0.0, 0.0, 0.0),
             presolve_removed: (0, 0),
+            products_total: 0,
+            products_generated: 0,
+            separation_rounds: 0,
+            lu_updates: 0,
+            lu_refactorizations: 0,
         };
         assert!(!failed.is_tight());
         assert!(format_table(&[failed.clone()]).contains('x'));
@@ -770,6 +862,11 @@ mod tests {
         assert!(json.contains("\"status\": \"failed\""));
         assert!(json.contains("\"tier\": 1"));
         assert!(json.contains("\"tight\": 1,"));
+        assert!(json.contains("\"products_total\": 12"));
+        assert!(json.contains("\"products_generated\": 5"));
+        assert!(json.contains("\"separation_rounds\": 2"));
+        assert!(json.contains("\"lu_updates\": 40"));
+        assert!(json.contains("\"lu_refactorizations\": 1"));
     }
 
     #[test]

@@ -12,6 +12,19 @@ use dca_poly::{
 
 use crate::potential::PotentialFunction;
 
+/// What [`collect_program_constraints`] produced besides the constraint rows
+/// themselves.
+#[derive(Debug, Clone, Default)]
+pub struct CollectOutcome {
+    /// Transitions skipped because their premise `I(ℓ) ∧ G` was infeasible (the
+    /// implication holds vacuously; encoding it would only destabilize the LP).
+    pub pruned: usize,
+    /// Handelman multiplier unknowns for degree-≥-2 products: the candidates the
+    /// certified LP backend may defer under lazy row generation. Degree-≤-1
+    /// products stay eagerly encoded as the always-active core.
+    pub lazy_multipliers: Vec<UnknownId>,
+}
+
 /// Whether a template plays the role of a potential (upper bound) or anti-potential
 /// (lower bound) function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,12 +151,13 @@ pub fn collect_program_constraints(
     max_products: u32,
     factory: &mut UnknownFactory,
     out: &mut ConstraintSet,
-) -> usize {
+) -> CollectOutcome {
     let cost = ts.cost_var();
     // Fresh universally-quantified variables for non-deterministic updates must not clash
     // with program variables or with anything the invariant analysis introduced.
     let mut fresh_counter = ts.pool().len() as u32 + 4096;
     let mut pruned = 0usize;
+    let mut lazy_multipliers: Vec<UnknownId> = Vec::new();
 
     for (index, transition) in ts.transitions().iter().enumerate() {
         let is_terminal_self_loop = transition.source == ts.terminal()
@@ -205,6 +219,7 @@ pub fn collect_program_constraints(
             ts.location_name(transition.target)
         );
         let encoding = encode_nonnegativity(&aff, &poly, max_products, factory, &origin);
+        lazy_multipliers.extend(encoding.lazy_multipliers());
         out.extend(encoding.constraints);
     }
 
@@ -218,8 +233,9 @@ pub fn collect_program_constraints(
     };
     let origin = format!("{}:{:?}:terminal", ts.name(), role);
     let encoding = encode_nonnegativity(&aff, &poly, max_products, factory, &origin);
+    lazy_multipliers.extend(encoding.lazy_multipliers());
     out.extend(encoding.constraints);
-    pruned
+    CollectOutcome { pruned, lazy_multipliers }
 }
 
 /// Remaps the variables of a template polynomial through `mapping` (old id → new id),
@@ -457,7 +473,7 @@ mod tests {
         let mut factory = UnknownFactory::new();
         let templates = ProgramTemplates::allocate(&ts, 1, false, &mut factory, "phi");
         let mut set = ConstraintSet::new();
-        let pruned = collect_program_constraints(
+        let outcome = collect_program_constraints(
             &ts,
             &invariants,
             &templates,
@@ -466,7 +482,7 @@ mod tests {
             &mut factory,
             &mut set,
         );
-        assert_eq!(pruned, 1, "exactly the contradictory transition is pruned");
+        assert_eq!(outcome.pruned, 1, "exactly the contradictory transition is pruned");
         assert!(
             set.constraints().iter().all(|c| !c.origin.contains("transition1")),
             "no constraint row of the pruned transition may reach the simplex"

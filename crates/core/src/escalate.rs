@@ -183,7 +183,11 @@ pub fn solve_with_escalation(
     // [`DiffCostSolver::solve_with_warm_start`]). Soundness never depends on the
     // basis (a stale one degrades to a cold start), though the f64 pivot *path* —
     // and therefore solve time, or which vertex an anytime-truncated solve lands
-    // on — can differ from a cold start's.
+    // on — can differ from a cold start's. The basis also carries lazy
+    // row-generation state across rungs: warm column *names* that belong to the
+    // next rung's lazy product set are pre-activated before its first separation
+    // round (warm ∩ lazy, see `dca_lp`'s `solve_certified_lazy`), so a rung never
+    // re-discovers the product multipliers its predecessor already proved it needs.
     let mut warm: Option<dca_lp::LpBasis> = None;
     'ladder: for degree in policy.degrees() {
         for tier in policy.tiers(base.invariant_tier) {

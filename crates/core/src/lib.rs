@@ -59,7 +59,7 @@ pub mod verify;
 
 pub use batch::{run_batch, BatchConfig, BatchJob, BatchReport, PairInput, PairOutcome};
 pub use constraints::{
-    collect_program_constraints, ConstraintSet, ProgramTemplates, TemplateRole,
+    collect_program_constraints, CollectOutcome, ConstraintSet, ProgramTemplates, TemplateRole,
 };
 pub use escalate::{
     solve_with_escalation, EscalatedResult, EscalationAttempt, EscalationFailure,

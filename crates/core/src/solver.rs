@@ -11,8 +11,8 @@ use dca_numeric::Rational;
 use dca_poly::{LinExpr, LinForm, Polynomial, TemplatePolynomial, UnknownId, VarId};
 
 use crate::constraints::{
-    collect_program_constraints, remap_linexpr_vars, remap_template_vars, ConstraintSet,
-    ProgramTemplates, TemplateRole,
+    collect_program_constraints, remap_linexpr_vars, remap_template_vars, CollectOutcome,
+    ConstraintSet, ProgramTemplates, TemplateRole,
 };
 use crate::options::{AnalysisOptions, LpBackend};
 use crate::potential::PotentialFunction;
@@ -101,6 +101,20 @@ pub struct SolveStats {
     /// infeasible (vacuous implications; pruning is sound and keeps
     /// contradictory-premise Handelman products away from the simplex).
     pub transitions_pruned: usize,
+    /// Lazy row-generation candidate columns (degree-≥-2 Handelman multipliers)
+    /// that survived LP presolve. 0 when row generation did not run.
+    pub lp_products_total: usize,
+    /// Lazy candidate columns actually activated by separation. 0 when row
+    /// generation did not run.
+    pub lp_products_generated: usize,
+    /// Row-generation solve rounds (1 = the initial core sufficed; 0 = eager).
+    pub lp_separation_rounds: usize,
+    /// Exact simplex pivots absorbed as incremental rank-1 eta updates of the
+    /// rational LU factorization.
+    pub lp_lu_updates: usize,
+    /// Full Markowitz refactorizations the exact simplex performed mid-run
+    /// (growth-triggered rebuilds; warm-start builds are not counted).
+    pub lp_lu_refactorizations: usize,
     /// Wall-clock time spent constructing and solving the LP.
     pub duration: Duration,
 }
@@ -242,8 +256,9 @@ impl DiffCostSolver {
         let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
         let threshold = factory.fresh("t", UnknownKind::Free);
-        let (templates_new, templates_old, mut set, pruned) =
+        let (templates_new, templates_old, mut set, collected) =
             self.collect_both(new, old, &mut factory);
+        let mut lazy = collected.lazy_multipliers;
 
         // Differential constraint: Θ0 ⟹ t − (φ_new(ℓ0,x) − χ_old(ℓ0,x)) ≥ 0.
         let (phi0, chi0, theta0) = self.initial_difference(new, old, &templates_new, &templates_old);
@@ -255,11 +270,12 @@ impl DiffCostSolver {
             &mut factory,
             "differential",
         );
+        lazy.extend(encoding.lazy_multipliers());
         set.extend(encoding.constraints);
 
-        let attempt = self.solve_lp(&factory, &set, Some(threshold), start, warm);
+        let attempt = self.solve_lp(&factory, &set, Some(threshold), start, warm, &lazy);
         let result = attempt.result.map(|(objective_value, assignment, mut stats)| {
-            stats.transitions_pruned = pruned;
+            stats.transitions_pruned = collected.pruned;
             DiffCostResult {
                 threshold: objective_value,
                 potential_new: templates_new.instantiate(&assignment),
@@ -289,8 +305,9 @@ impl DiffCostSolver {
         let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
         let (new, old) = (new.as_ref(), old.as_ref());
         let mut factory = UnknownFactory::new();
-        let (templates_new, templates_old, mut set, pruned) =
+        let (templates_new, templates_old, mut set, collected) =
             self.collect_both(new, old, &mut factory);
+        let mut lazy = collected.lazy_multipliers;
         let (phi0, chi0, theta0) = self.initial_difference(new, old, &templates_new, &templates_old);
         let poly = &(&TemplatePolynomial::from_polynomial(bound) - &phi0) + &chi0;
         let encoding = encode_nonnegativity(
@@ -300,9 +317,11 @@ impl DiffCostSolver {
             &mut factory,
             "symbolic-bound",
         );
+        lazy.extend(encoding.lazy_multipliers());
         set.extend(encoding.constraints);
-        let (_, assignment, mut stats) = self.solve_lp(&factory, &set, None, start, None).result?;
-        stats.transitions_pruned = pruned;
+        let (_, assignment, mut stats) =
+            self.solve_lp(&factory, &set, None, start, None, &lazy).result?;
+        stats.transitions_pruned = collected.pruned;
         Ok(SymbolicBoundResult {
             potential_new: templates_new.instantiate(&assignment),
             anti_potential_old: templates_old.instantiate(&assignment),
@@ -348,7 +367,7 @@ impl DiffCostSolver {
             "phi_old",
         );
         let mut set = ConstraintSet::new();
-        collect_program_constraints(
+        let mut lazy = collect_program_constraints(
             &new.ts,
             &new.invariants,
             &templates_new,
@@ -356,15 +375,19 @@ impl DiffCostSolver {
             self.options.max_products,
             &mut factory,
             &mut set,
-        );
-        collect_program_constraints(
-            &old.ts,
-            &old.invariants,
-            &templates_old,
-            TemplateRole::Potential,
-            self.options.max_products,
-            &mut factory,
-            &mut set,
+        )
+        .lazy_multipliers;
+        lazy.extend(
+            collect_program_constraints(
+                &old.ts,
+                &old.invariants,
+                &templates_old,
+                TemplateRole::Potential,
+                self.options.max_products,
+                &mut factory,
+                &mut set,
+            )
+            .lazy_multipliers,
         );
 
         let mapping = variable_mapping(old, new);
@@ -398,7 +421,7 @@ impl DiffCostSolver {
             let exceeded = &difference - &LinForm::constant(Rational::from_int(threshold + 1));
             let mut candidate_set = set.clone();
             candidate_set.push(UnknownConstraint::ge(exceeded, "refutation"));
-            match self.solve_lp(&factory, &candidate_set, None, start, None).result {
+            match self.solve_lp(&factory, &candidate_set, None, start, None, &lazy).result {
                 Ok((_, assignment, stats)) => {
                     return Ok(RefutationResult {
                         witness_input: candidate,
@@ -439,7 +462,7 @@ impl DiffCostSolver {
         new: &AnalyzedProgram,
         old: &AnalyzedProgram,
         factory: &mut UnknownFactory,
-    ) -> (ProgramTemplates, ProgramTemplates, ConstraintSet, usize) {
+    ) -> (ProgramTemplates, ProgramTemplates, ConstraintSet, CollectOutcome) {
         let templates_new = ProgramTemplates::allocate(
             &new.ts,
             self.options.degree,
@@ -455,7 +478,7 @@ impl DiffCostSolver {
             "chi_old",
         );
         let mut set = ConstraintSet::new();
-        let mut pruned = collect_program_constraints(
+        let mut outcome = collect_program_constraints(
             &new.ts,
             &new.invariants,
             &templates_new,
@@ -464,7 +487,7 @@ impl DiffCostSolver {
             factory,
             &mut set,
         );
-        pruned += collect_program_constraints(
+        let old_outcome = collect_program_constraints(
             &old.ts,
             &old.invariants,
             &templates_old,
@@ -473,7 +496,9 @@ impl DiffCostSolver {
             factory,
             &mut set,
         );
-        (templates_new, templates_old, set, pruned)
+        outcome.pruned += old_outcome.pruned;
+        outcome.lazy_multipliers.extend(old_outcome.lazy_multipliers);
+        (templates_new, templates_old, set, outcome)
     }
 
     /// Builds `φ_new(ℓ0)`, the remapped `χ_old(ℓ0)` and the shared Θ0 over the new
@@ -516,6 +541,7 @@ impl DiffCostSolver {
         objective: Option<UnknownId>,
         start: Instant,
         warm: Option<&LpBasis>,
+        lazy: &[UnknownId],
     ) -> LpAttempt {
         let mut lp = LpProblem::new();
         if let Some(budget) = self.options.time_budget {
@@ -600,6 +626,11 @@ impl DiffCostSolver {
             // Filled in by the callers that know their program pair (pruning happens
             // during constraint collection, before the LP exists).
             transitions_pruned: 0,
+            lp_products_total: info.products_total,
+            lp_products_generated: info.products_generated,
+            lp_separation_rounds: info.separation_rounds,
+            lp_lu_updates: info.lu_updates,
+            lp_lu_refactorizations: info.lu_refactorizations,
             duration,
         };
         // Shared interpretation of an exact-rational solve outcome (the `Exact`
@@ -628,7 +659,16 @@ impl DiffCostSolver {
         };
         let solve_exact = |lp: &LpProblem| -> LpAttempt { rational_attempt(lp.solve_exact()) };
         match self.options.backend {
-            LpBackend::Certified => rational_attempt(lp.solve_certified_warm(warm)),
+            LpBackend::Certified => {
+                // Only the certified driver understands lazy row generation; the
+                // plain backends below always solve the eager encoding. The lazy
+                // set names Handelman multiplier columns the driver may defer and
+                // separate on demand — the verdict is proven identical to the
+                // eager one before it is accepted (see `dca_lp::certify`).
+                let lazy_names: Vec<String> =
+                    lazy.iter().map(|&u| factory.name(u).to_string()).collect();
+                rational_attempt(lp.solve_certified_lazy(warm, &lazy_names))
+            }
             LpBackend::F64 => {
                 let solution = lp.solve_f64_warm(warm);
                 let basis = Some(solution.basis.clone());

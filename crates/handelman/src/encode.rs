@@ -48,6 +48,23 @@ pub struct HandelmanEncoding {
     pub products: Vec<Polynomial>,
 }
 
+impl HandelmanEncoding {
+    /// Multiplier unknowns whose product has degree ≥ 2 — the candidates a lazy
+    /// row-generation LP solve may defer. Degree-≤-1 products (the constant `1`
+    /// and the premise expressions themselves) form the always-active core: they
+    /// are few, they anchor feasibility, and the stable graded product order
+    /// guarantees they occupy a prefix of `multipliers`, so the lazy set is
+    /// always a suffix per origin.
+    pub fn lazy_multipliers(&self) -> Vec<UnknownId> {
+        self.products
+            .iter()
+            .zip(&self.multipliers)
+            .filter(|(product, _)| product.degree() >= 2)
+            .map(|(_, &multiplier)| multiplier)
+            .collect()
+    }
+}
+
 /// Enumerates `Prod_K(Aff)`: all products of at most `max_factors` expressions from
 /// `aff` (with repetition), including the empty product `1`.
 ///

@@ -58,6 +58,21 @@ pub(crate) struct PhaseStats {
     /// Certification rounds performed (0 = the float phase never produced a
     /// candidate, 1 = first candidate accepted, …).
     pub certify_rounds: usize,
+    /// Lazy row-generation candidate columns (Handelman product multipliers the
+    /// caller marked deferrable) that survived presolve. 0 on the eager path.
+    pub products_total: usize,
+    /// Lazy candidate columns actually activated by separation (present in the
+    /// final solve). 0 on the eager path.
+    pub products_generated: usize,
+    /// Row-generation solve rounds (1 = the initial core sufficed). 0 on the
+    /// eager path.
+    pub separation_rounds: usize,
+    /// Exact simplex pivots absorbed as incremental rank-1 eta updates of the
+    /// rational LU (exact backend only; the f64 phase reports 0 here).
+    pub lu_updates: usize,
+    /// Full Markowitz refactorizations performed mid-run by the exact simplex
+    /// (growth-triggered rebuilds; the initial warm-start build is not counted).
+    pub lu_refactorizations: usize,
 }
 
 /// Exact certificate for an accepted basis.
@@ -66,6 +81,10 @@ struct Certificate {
     values: Vec<Rational>,
     /// The structural basis columns (for warm-starting follow-up solves).
     basis: Vec<usize>,
+    /// The exact optimal dual `y = c_B B⁻¹`. Verified dual-feasible over every
+    /// column of the certified problem; the row-generation driver prices lazily
+    /// excluded columns against it to extend the certificate to the full set.
+    dual: Vec<Rational>,
 }
 
 /// Repair-round pivot caps: round `k` may spend `REPAIR_CAPS[k]` exact pivots before
@@ -149,7 +168,56 @@ fn certify_basis(
         }
     }
     let basis = lu.factor.basis.iter().copied().filter(|&col| col < n).collect();
-    Some(Certificate { values, basis })
+    Some(Certificate { values, basis, dual: y })
+}
+
+/// Exact Farkas certificate extracted from a terminal *infeasible* exact solve.
+///
+/// The exact simplex concludes `Infeasible` only at a phase-1 optimum with a
+/// positive artificial sum, so refactorizing its final basis and pricing with the
+/// phase-1 costs (`1` on artificial rows, `0` on structural columns) yields
+/// `y₁ = c_B B⁻¹` with `y₁·b > 0` and `y₁·A_j ≤ 0` for every solved column. Both
+/// properties are *re-verified exactly* here — the Markowitz rebuild may pivot
+/// the given columns onto different rows than the simplex did, and a certificate
+/// is only returned when it genuinely proves `{Ax = b, x ≥ 0}` empty for the
+/// solved column set. A lazily excluded column can break the certificate only by
+/// pricing `y₁·A_j > 0`; if none does, the same `y₁` certifies the full system
+/// infeasible.
+fn phase1_farkas(
+    form: &StandardForm<Rational>,
+    columns: &Columns<Rational>,
+    basis: &[usize],
+    deadline: Option<Instant>,
+) -> Option<Vec<Rational>> {
+    let past_deadline = || deadline.map_or(false, |d| Instant::now() >= d);
+    if past_deadline() {
+        return None;
+    }
+    let n = columns.cols.len();
+    let lu = factorize_markowitz(columns, basis);
+    let mut y = vec![Rational::zero(); columns.rows];
+    for (pos, value) in y.iter_mut().enumerate() {
+        if lu.factor.basis[pos] >= n {
+            *value = Rational::one();
+        }
+    }
+    lu.factor.btran(&mut y);
+    let mut y_dot_b = Rational::zero();
+    for (value, b) in y.iter().zip(&form.rhs) {
+        y_dot_b = y_dot_b.add(&value.mul(b));
+    }
+    if !y_dot_b.is_positive() {
+        return None;
+    }
+    for j in 0..n {
+        if j % 256 == 0 && past_deadline() {
+            return None;
+        }
+        if columns.dot(&y, j).is_positive() {
+            return None;
+        }
+    }
+    Some(y)
 }
 
 /// Solves a standard-form problem with the float-first / exact-repair loop.
@@ -157,10 +225,17 @@ fn certify_basis(
 /// The returned solution is always exact ([`Rational`]); see the module docs for the
 /// soundness argument. `warm` carries preferred structural columns in original
 /// (pre-presolve) indices, exactly like [`crate::simplex::solve_standard_form`].
+///
+/// `lazy_cols` (also original indices) marks columns eligible for delayed
+/// generation: the solve starts without them and brings them in only as exact
+/// pricing demands ([`solve_with_row_generation`]). Passing an empty slice — or
+/// setting `DCA_LP_NO_ROWGEN=1` — solves every column eagerly; either way the
+/// verdict is identical.
 pub(crate) fn solve_float_first(
     form: &StandardForm<Rational>,
     deadline: Option<Instant>,
     warm: Option<&[usize]>,
+    lazy_cols: &[usize],
 ) -> RawSolution<Rational> {
     let debug = std::env::var("DCA_LP_DEBUG").is_ok();
     let num_original_cols = form.costs.len();
@@ -212,6 +287,8 @@ pub(crate) fn solve_float_first(
         );
         phases.repair_time = repair_start.elapsed();
         phases.exact_iterations = solution.iterations;
+        phases.lu_updates = solution.phases.lu_updates;
+        phases.lu_refactorizations = solution.phases.lu_refactorizations;
         if solution.status == LpStatus::Optimal {
             solution.values = pre.restore(&solution.values, num_original_cols);
         }
@@ -223,61 +300,134 @@ pub(crate) fn solve_float_first(
         return solution;
     }
 
-    // ---- Float phase: solve the f64 image of the reduced problem. -----------------
-    let float_start = Instant::now();
-    let float_form = StandardForm {
-        matrix: pre
-            .form
-            .matrix
-            .iter()
-            .map(|row| row.iter().map(Rational::to_f64).collect())
-            .collect(),
-        rhs: pre.form.rhs.iter().map(Rational::to_f64).collect(),
-        costs: pre.form.costs.iter().map(Rational::to_f64).collect(),
-        model_columns: pre.form.model_columns.clone(),
+    // `DCA_LP_NO_ROWGEN=1` is the row-generation A/B switch: the eager path below
+    // solves every column up front (the pre-row-generation behavior, bit-identical
+    // verdicts by the separation argument in `solve_with_row_generation`).
+    let lazy_reduced: Vec<usize> = if std::env::var("DCA_LP_NO_ROWGEN").is_ok() {
+        Vec::new()
+    } else {
+        pre.map_cols(lazy_cols)
     };
-    // The float phase only proposes a basis; cap its budget so the exact phases keep
-    // most of the wall-clock (they are the sound anytime fallback).
-    let float_deadline = deadline.map(|d| {
-        let remaining = d.saturating_duration_since(Instant::now());
-        Instant::now() + remaining.mul_f64(FLOAT_BUDGET_FRACTION)
-    });
-    let perturbation =
-        if float_form.matrix.len() >= PERTURB_ROWS_THRESHOLD { PERTURBATION } else { 0.0 };
-    let float = solve_standard_form_inner(
-        &float_form,
-        float_deadline,
-        perturbation,
-        warm_reduced.as_deref(),
-        None,
-    );
-    phases.float_time = float_start.elapsed();
-    phases.float_iterations = float.iterations;
-    if debug {
-        eprintln!(
-            "[lp] float-first: f64 phase {:?} in {:.2}s ({} pivots, {} rows, {} cols)",
-            float.status,
-            phases.float_time.as_secs_f64(),
-            float.iterations,
-            pre.form.matrix.len(),
-            pre.form.costs.len()
-        );
-    }
 
-    let columns = Columns::from_form(&pre.form);
-    let mut candidate: Vec<usize> = float.basis.clone();
+    let mut solution = if lazy_reduced.is_empty() {
+        let (solution, _) = certified_core(
+            &pre.form,
+            deadline,
+            warm_reduced.as_deref(),
+            &mut phases,
+            debug,
+            false,
+            true,
+        );
+        solution
+    } else {
+        solve_with_row_generation(
+            &pre.form,
+            deadline,
+            warm_reduced.as_deref(),
+            &lazy_reduced,
+            &mut phases,
+            debug,
+        )
+    };
+
+    // Map the reduced solution back to the original column space.
+    if solution.status == LpStatus::Optimal {
+        solution.values = pre.restore(&solution.values, num_original_cols);
+    }
+    solution.basis = solution.basis.iter().map(|&col| pre.kept_cols[col]).collect();
+    solution.presolve_rows_removed = pre.rows_removed;
+    solution.presolve_cols_removed = pre.cols_removed;
+    solution.iterations = phases.float_iterations + phases.exact_iterations;
+    // Every terminal verdict above came out of exact arithmetic: the certifier, the
+    // exact repair, or the exact fallback. (A truncated anytime answer is exactly
+    // feasible — its bound is sound — but not a proven optimum.)
+    phases.certified = true;
+    solution.phases = phases;
+    solution
+}
+
+/// The float-first / certify / exact-repair pipeline on one (possibly
+/// column-restricted) problem.
+///
+/// `form` is solved as-is — no presolve; the caller already reduced it — and
+/// `warm` carries preferred columns in `form`'s own index space. Effort is
+/// *accumulated* into `phases` so the row-generation driver can call this once
+/// per round and keep a single whole-solve account.
+///
+/// With `want_dual`, an exact optimal dual vector accompanies an `Optimal`
+/// non-truncated solution: taken from the accepted certificate when the
+/// certifier concluded the solve, or recovered by one extra certification pass
+/// when the answer came out of the exact simplex. `None` alongside `Optimal`
+/// then means the deadline expired before the dual could be certified.
+fn certified_core(
+    form: &StandardForm<Rational>,
+    deadline: Option<Instant>,
+    warm: Option<&[usize]>,
+    phases: &mut PhaseStats,
+    debug: bool,
+    want_dual: bool,
+    use_float: bool,
+) -> (RawSolution<Rational>, Option<Vec<Rational>>) {
+    let columns = Columns::from_form(form);
+    let mut candidate: Vec<usize> = Vec::new();
     let mut result: Option<RawSolution<Rational>> = None;
+    let mut dual: Option<Vec<Rational>> = None;
+    let mut float_optimal = false;
+
+    // ---- Float phase: solve the f64 image of the problem. --------------------------
+    // Skipped (`use_float = false`) by the row-generation driver after its first
+    // round: the previous round's optimal basis stays primal feasible when columns
+    // are only *added*, so warm-started exact pricing beats a from-scratch f64 solve
+    // whose basis would displace that warm start.
+    if use_float {
+        let float_start = Instant::now();
+        let float_form = StandardForm {
+            matrix: form
+                .matrix
+                .iter()
+                .map(|row| row.iter().map(Rational::to_f64).collect())
+                .collect(),
+            rhs: form.rhs.iter().map(Rational::to_f64).collect(),
+            costs: form.costs.iter().map(Rational::to_f64).collect(),
+            model_columns: form.model_columns.clone(),
+        };
+        // The float phase only proposes a basis; cap its budget so the exact phases
+        // keep most of the wall-clock (they are the sound anytime fallback).
+        let float_deadline = deadline.map(|d| {
+            let remaining = d.saturating_duration_since(Instant::now());
+            Instant::now() + remaining.mul_f64(FLOAT_BUDGET_FRACTION)
+        });
+        let perturbation =
+            if float_form.matrix.len() >= PERTURB_ROWS_THRESHOLD { PERTURBATION } else { 0.0 };
+        let float =
+            solve_standard_form_inner(&float_form, float_deadline, perturbation, warm, None);
+        phases.float_time += float_start.elapsed();
+        phases.float_iterations += float.iterations;
+        if debug {
+            eprintln!(
+                "[lp] float-first: f64 phase {:?} in {:.2}s ({} pivots, {} rows, {} cols)",
+                float.status,
+                float_start.elapsed().as_secs_f64(),
+                float.iterations,
+                form.matrix.len(),
+                form.costs.len()
+            );
+        }
+        candidate = float.basis;
+        float_optimal = float.status == LpStatus::Optimal && !float.truncated;
+    }
 
     // ---- Certify / repair loop. ----------------------------------------------------
     // Round r: certify the current candidate; on rejection run a pivot-capped exact
     // repair warm-started from it and try again. After the capped rounds the exact
     // simplex runs uncapped (self-certifying).
-    if float.status == LpStatus::Optimal && !float.truncated {
+    if float_optimal {
         for (round, cap) in REPAIR_CAPS.iter().enumerate() {
             let certify_start = Instant::now();
-            let certificate = certify_basis(&pre.form, &columns, &candidate, deadline);
+            let certificate = certify_basis(form, &columns, &candidate, deadline);
             phases.certify_time += certify_start.elapsed();
-            phases.certify_rounds = round + 1;
+            phases.certify_rounds += 1;
             if let Some(certificate) = certificate {
                 if debug {
                     eprintln!(
@@ -289,6 +439,7 @@ pub(crate) fn solve_float_first(
                 let mut solution = RawSolution::bare(LpStatus::Optimal);
                 solution.values = certificate.values;
                 solution.basis = certificate.basis;
+                dual = Some(certificate.dual);
                 result = Some(solution);
                 break;
             }
@@ -300,7 +451,7 @@ pub(crate) fn solve_float_first(
             }
             let repair_start = Instant::now();
             let repaired = solve_standard_form_inner::<Rational>(
-                &pre.form,
+                form,
                 deadline,
                 0.0,
                 Some(&candidate),
@@ -308,6 +459,8 @@ pub(crate) fn solve_float_first(
             );
             phases.repair_time += repair_start.elapsed();
             phases.exact_iterations += repaired.iterations;
+            phases.lu_updates += repaired.phases.lu_updates;
+            phases.lu_refactorizations += repaired.phases.lu_refactorizations;
             match repaired.status {
                 // The capped exact run converged: its answer is exact and final.
                 LpStatus::Optimal | LpStatus::Infeasible | LpStatus::Unbounded => {
@@ -330,19 +483,17 @@ pub(crate) fn solve_float_first(
     }
 
     // ---- Pure exact fallback (uncapped, warm-started from the best basis seen). ----
-    let mut solution = match result {
+    let solution = match result {
         Some(solution) => solution,
         None => {
-            let warm_exact: Option<&[usize]> = if !candidate.is_empty() {
-                Some(&candidate)
-            } else {
-                warm_reduced.as_deref()
-            };
+            let warm_exact: Option<&[usize]> =
+                if !candidate.is_empty() { Some(&candidate) } else { warm };
             let repair_start = Instant::now();
-            let exact =
-                solve_standard_form_inner::<Rational>(&pre.form, deadline, 0.0, warm_exact, None);
+            let exact = solve_standard_form_inner::<Rational>(form, deadline, 0.0, warm_exact, None);
             phases.repair_time += repair_start.elapsed();
             phases.exact_iterations += exact.iterations;
+            phases.lu_updates += exact.phases.lu_updates;
+            phases.lu_refactorizations += exact.phases.lu_refactorizations;
             if debug {
                 eprintln!(
                     "[lp] float-first: exact fallback {:?} in {:.2}s ({} pivots)",
@@ -355,20 +506,226 @@ pub(crate) fn solve_float_first(
         }
     };
 
-    // Map the reduced solution back to the original column space.
-    if solution.status == LpStatus::Optimal {
-        solution.values = pre.restore(&solution.values, num_original_cols);
+    // An optimum produced by the exact simplex (repair or fallback) carries its own
+    // terminal dual out of the revised simplex; prefer it — re-deriving the dual via
+    // Markowitz can pad a degenerate basis differently and fail to re-certify.
+    if dual.is_none() {
+        dual = solution.dual.clone();
     }
-    solution.basis = solution.basis.iter().map(|&col| pre.kept_cols[col]).collect();
-    solution.presolve_rows_removed = pre.rows_removed;
-    solution.presolve_cols_removed = pre.cols_removed;
-    solution.iterations = phases.float_iterations + phases.exact_iterations;
-    // Every terminal verdict above came out of exact arithmetic: the certifier, the
-    // exact repair, or the exact fallback. (A truncated anytime answer is exactly
-    // feasible — its bound is sound — but not a proven optimum.)
-    phases.certified = true;
-    solution.phases = phases;
-    solution
+    // Last resort: certify the basis once more when the caller needs a dual. The
+    // pass can only confirm — the exact simplex terminated on this basis — or run
+    // out of time.
+    if want_dual && dual.is_none() && solution.status == LpStatus::Optimal && !solution.truncated {
+        let certify_start = Instant::now();
+        let certificate = certify_basis(form, &columns, &solution.basis, deadline);
+        phases.certify_time += certify_start.elapsed();
+        dual = certificate.map(|certificate| certificate.dual);
+    }
+    // Defensive: a solution whose basis failed dual recovery must not silently claim
+    // proven optimality to the row-generation driver; the driver downgrades it to an
+    // anytime answer (see the `None` dual arm there).
+    (solution, dual)
+}
+
+/// Delayed column generation over the lazy Handelman-multiplier columns.
+///
+/// Starts from the active core — every non-lazy column plus any lazy column the
+/// warm-start basis names — solves the column-restricted sub-problem with the
+/// full float-first pipeline, then *exactly* prices every still-excluded lazy
+/// column against the sub-problem's exact dual:
+///
+/// * `Optimal`: a column with negative exact reduced cost `c_j − y·A_j < 0`
+///   could improve the optimum, so it is activated and the solve repeats,
+///   warm-started from the previous basis. When none prices negative, exact
+///   dual feasibility holds over the *full* column set, so the restricted
+///   optimum extended with zeros is a certified optimum of the full problem —
+///   the verdict (status and optimal value) is identical to the eager solve's.
+/// * `Infeasible`: the exact phase-1 Farkas certificate of the restricted
+///   system is re-derived and re-verified ([`phase1_farkas`]); an excluded
+///   column pricing `y₁·A_j > 0` could break it, so it is activated and the
+///   solve repeats. When none can, the same certificate proves the full system
+///   infeasible. If the certificate cannot be recovered in time, every
+///   remaining lazy column is activated and the final round degenerates to the
+///   eager solve — slower, never wrong.
+/// * Anything else (unbounded, timeout, anytime-truncated optimum) is returned
+///   as-is: a restricted feasible point is a feasible point of the full
+///   problem, so truncated answers keep their sound-upper-bound meaning, and an
+///   unbounded restricted problem makes the full problem unbounded a fortiori.
+///
+/// Every non-terminal round strictly grows the active set, so the loop
+/// terminates after at most `lazy.len()` activations.
+fn solve_with_row_generation(
+    form: &StandardForm<Rational>,
+    deadline: Option<Instant>,
+    warm: Option<&[usize]>,
+    lazy: &[usize],
+    phases: &mut PhaseStats,
+    debug: bool,
+) -> RawSolution<Rational> {
+    let n = form.costs.len();
+    let mut is_lazy = vec![false; n];
+    for &col in lazy {
+        is_lazy[col] = true;
+    }
+    // Active core: everything that is not lazy, plus warm-start columns — a basis
+    // threaded in from a previous escalation rung already names the lazy columns
+    // that mattered there, so row-generation state travels across rungs for free.
+    let mut active: Vec<bool> = is_lazy.iter().map(|&lazy| !lazy).collect();
+    if let Some(warm) = warm {
+        for &col in warm {
+            active[col] = true;
+        }
+    }
+    phases.products_total = lazy.len();
+    let full_columns = Columns::from_form(form);
+    let mut warm_full: Option<Vec<usize>> = warm.map(<[usize]>::to_vec);
+
+    let (mut sub, sub_cols, basis_full) = loop {
+        phases.separation_rounds += 1;
+        let sub_cols: Vec<usize> = (0..n).filter(|&j| active[j]).collect();
+        let mut sub_of = vec![usize::MAX; n];
+        for (sub_j, &j) in sub_cols.iter().enumerate() {
+            sub_of[j] = sub_j;
+        }
+        // All rows are kept, so the sub-problem's duals are directly usable for
+        // pricing full-form columns. `model_columns` is presolve metadata and the
+        // sub-form never passes through presolve, so it stays empty.
+        let sub_form = StandardForm {
+            matrix: form
+                .matrix
+                .iter()
+                .map(|row| sub_cols.iter().map(|&j| row[j].clone()).collect())
+                .collect(),
+            rhs: form.rhs.clone(),
+            costs: sub_cols.iter().map(|&j| form.costs[j].clone()).collect(),
+            model_columns: Vec::new(),
+        };
+        let warm_sub: Option<Vec<usize>> = warm_full.as_ref().map(|warm| {
+            warm.iter().filter(|&&j| sub_of[j] != usize::MAX).map(|&j| sub_of[j]).collect()
+        });
+        if debug {
+            eprintln!(
+                "[lp] rowgen round {}: {}/{} columns active",
+                phases.separation_rounds,
+                sub_cols.len(),
+                n
+            );
+        }
+        // The f64 phase only pays off on the first round: later rounds re-solve the
+        // same rows with a strictly larger column set, where the previous optimal
+        // basis (primal feasible by construction) makes warm-started exact pricing
+        // the fastest path to the new optimum.
+        let use_float = phases.separation_rounds == 1;
+        let (mut sub, dual) = certified_core(
+            &sub_form,
+            deadline,
+            warm_sub.as_deref(),
+            phases,
+            debug,
+            true,
+            use_float,
+        );
+        let basis_full: Vec<usize> = sub.basis.iter().map(|&j| sub_cols[j]).collect();
+        warm_full = Some(basis_full.clone());
+
+        let excluded = || (0..n).filter(|&j| is_lazy[j] && !active[j]);
+        match sub.status {
+            LpStatus::Optimal if !sub.truncated => {
+                let Some(dual) = dual else {
+                    // Deadline before the dual could be certified: the restricted
+                    // optimum is still exactly feasible for the full problem, so
+                    // report it with anytime semantics rather than claiming a
+                    // proven optimum the separation check never confirmed.
+                    if debug {
+                        eprintln!("[lp] rowgen: no dual for restricted optimum; anytime");
+                    }
+                    sub.truncated = true;
+                    break (sub, sub_cols, basis_full);
+                };
+                let violated: Vec<usize> = excluded()
+                    .filter(|&j| form.costs[j].sub(&full_columns.dot(&dual, j)).is_negative())
+                    .collect();
+                if violated.is_empty() {
+                    if debug {
+                        eprintln!("[lp] rowgen: no excluded column prices negative; optimal");
+                    }
+                    break (sub, sub_cols, basis_full);
+                }
+                if debug {
+                    eprintln!("[lp] rowgen: activating {} violated columns", violated.len());
+                }
+                for j in violated {
+                    active[j] = true;
+                }
+            }
+            LpStatus::Infeasible => {
+                let sub_columns = Columns::from_form(&sub_form);
+                let certify_start = Instant::now();
+                let farkas = phase1_farkas(&sub_form, &sub_columns, &sub.basis, deadline);
+                phases.certify_time += certify_start.elapsed();
+                match farkas {
+                    Some(farkas) => {
+                        // Phase-1 structural costs are 0, so an excluded column
+                        // prices `−y₁·A_j`: only `y₁·A_j > 0` could pull the
+                        // artificial sum below its positive optimum.
+                        let violated: Vec<usize> = excluded()
+                            .filter(|&j| full_columns.dot(&farkas, j).is_positive())
+                            .collect();
+                        if violated.is_empty() {
+                            break (sub, sub_cols, basis_full);
+                        }
+                        if debug {
+                            eprintln!(
+                                "[lp] rowgen: {} columns may break the Farkas certificate",
+                                violated.len()
+                            );
+                        }
+                        for j in violated {
+                            active[j] = true;
+                        }
+                    }
+                    None if deadline.map_or(false, |d| Instant::now() >= d) => {
+                        sub.status = LpStatus::TimedOut;
+                        sub.truncated = true;
+                        break (sub, sub_cols, basis_full);
+                    }
+                    None => {
+                        // The certificate could not be re-derived from the final
+                        // basis (Markowitz re-pivoting landed elsewhere). Activate
+                        // everything: the next round solves the full column set,
+                        // whose verdict needs no separation argument.
+                        if debug {
+                            eprintln!(
+                                "[lp] rowgen: Farkas recovery failed; falling back to eager"
+                            );
+                        }
+                        if excluded().next().is_none() {
+                            break (sub, sub_cols, basis_full);
+                        }
+                        for j in 0..n {
+                            if is_lazy[j] {
+                                active[j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => break (sub, sub_cols, basis_full),
+        }
+    };
+
+    phases.products_generated = lazy.iter().filter(|&&j| active[j]).count();
+    // Expand the restricted answer to the full column space: excluded columns sit
+    // at zero (they are nonbasic by construction).
+    if sub.status == LpStatus::Optimal {
+        let mut values = vec![Rational::zero(); n];
+        for (sub_j, value) in sub.values.iter().enumerate() {
+            values[sub_cols[sub_j]] = value.clone();
+        }
+        sub.values = values;
+    }
+    sub.basis = basis_full;
+    sub
 }
 
 #[cfg(test)]
@@ -388,7 +745,7 @@ mod tests {
             costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
             model_columns: Vec::new(),
         };
-        let solution = solve_float_first(&form, None, None);
+        let solution = solve_float_first(&form, None, None, &[]);
         assert_eq!(solution.status, LpStatus::Optimal);
         assert!(solution.phases.certified);
         assert!(solution.phases.certify_rounds >= 1, "the certifier must have run");
@@ -405,7 +762,7 @@ mod tests {
             costs: vec![r(0, 1)],
             model_columns: Vec::new(),
         };
-        let solution = solve_float_first(&form, None, None);
+        let solution = solve_float_first(&form, None, None, &[]);
         assert_eq!(solution.status, LpStatus::Infeasible);
     }
 

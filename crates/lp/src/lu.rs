@@ -49,6 +49,39 @@ pub(crate) struct LuFactors<S> {
 /// no longer pays for the scan).
 const CANDIDATE_COLS: usize = 8;
 
+/// Growth threshold for the exact backend's incremental eta updates: a full
+/// refactorization is worthwhile once the *weighted* eta size appended since the
+/// last rebuild (non-zeros scaled by rational bit length, see
+/// `crate::revised::Eta::weight`) exceeds this multiple of the basis fill itself,
+/// because every FTRAN/BTRAN then spends most of its arithmetic on update debris
+/// rather than the factorization proper. Weighting by bit length is what makes the
+/// policy react to the dominant exact-arithmetic failure mode — fractions
+/// compounding down a long eta chain while plain fill stays flat. The baseline is
+/// floored at the row count so tiny near-identity factorizations (fill ≈ a handful
+/// of entries) do not trigger rebuilds after every pivot.
+const ETA_FILL_FACTOR: usize = 2;
+
+/// Hard cap on etas accumulated between exact rebuilds: an absolute backstop that
+/// bounds update-chain length even when the weighted-growth trigger stays quiet.
+const ETA_COUNT_CAP: usize = 256;
+
+/// Decides whether the exact backend should replace its incrementally-updated
+/// factorization (rank-1 eta appends per pivot) with a fresh Markowitz rebuild.
+///
+/// Exact arithmetic makes this purely a *cost* policy — the updated factorization is
+/// exactly correct regardless (see the eta-update consistency fuzz in this module's
+/// tests) — so the trigger is eta-file growth, not numerical drift: rebuild when the
+/// appended weighted size exceeds [`ETA_FILL_FACTOR`] × the basis fill (floored at
+/// `rows`), or when [`ETA_COUNT_CAP`] etas have accumulated since the last rebuild.
+pub(crate) fn should_refactorize(
+    etas_since: usize,
+    eta_nnz_since: usize,
+    base_fill: usize,
+    rows: usize,
+) -> bool {
+    etas_since >= ETA_COUNT_CAP || eta_nnz_since > ETA_FILL_FACTOR * base_fill.max(rows)
+}
+
 /// One active column of the working matrix: sorted `(row, value)` non-zeros.
 type SparseCol<S> = Vec<(usize, S)>;
 
@@ -387,6 +420,114 @@ mod tests {
             "fill {} should stay linear in the dimension",
             lu.fill
         );
+    }
+
+    /// The simplex's incremental eta updates and a fresh Markowitz factorization are
+    /// interchangeable: after every simulated pivot (`push_eta` on the transformed
+    /// entering column), solving `B·x = b` through the updated eta file gives exactly
+    /// the same per-column solution as refactorizing the current basis from scratch.
+    /// This is the correctness contract behind [`should_refactorize`] being a pure
+    /// *cost* policy — the fuzz drives 120 random pivots across 4 deterministic seeds
+    /// and compares both `ftran` (primal) and `btran` (dual pricing) answers exactly.
+    #[test]
+    fn eta_updates_match_fresh_markowitz_factorization() {
+        // xorshift-style LCG: deterministic, no external randomness.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        for seed in 0..4 {
+            let m = 6 + seed as usize; // 6..=9 rows
+            let n = 2 * m;
+            // Sparse-ish random matrix with small rational entries.
+            let mut matrix = vec![vec![Rational::zero(); n]; m];
+            for row in matrix.iter_mut() {
+                for value in row.iter_mut() {
+                    if next() % 2 == 0 {
+                        let num = next() % 7 - 3;
+                        let den = next() % 3 + 1;
+                        *value = r(num, den);
+                    }
+                }
+            }
+            let cols = columns(matrix);
+            // Start from the all-artificial basis (always nonsingular) and walk a
+            // random pivot sequence, mirroring the simplex's update exactly:
+            // d = B⁻¹·A_entering, replace the basis column at a row where d ≠ 0.
+            let mut factor = Factorization {
+                etas: Vec::new(),
+                basis: (n..n + m).collect(),
+            };
+            let b: Vec<Rational> = (0..m).map(|i| r(next() % 9 - 4, i as i64 + 1)).collect();
+            let costs: Vec<Rational> = (0..m).map(|_| r(next() % 5 - 2, 1)).collect();
+            let mut pivots = 0;
+            let mut attempts = 0;
+            while pivots < 30 && attempts < 300 {
+                attempts += 1;
+                let entering = (next() as usize) % n;
+                if factor.basis.contains(&entering) {
+                    continue;
+                }
+                let mut d = vec![Rational::zero(); m];
+                cols.scatter(entering, &mut d);
+                factor.ftran(&mut d);
+                // Any row with d ≠ 0 keeps the basis nonsingular; pick pseudo-randomly.
+                let nonzero: Vec<usize> =
+                    (0..m).filter(|&row| !d[row].is_exactly_zero()).collect();
+                if nonzero.is_empty() {
+                    continue; // dependent column: not a legal pivot
+                }
+                let leaving = nonzero[(next() as usize) % nonzero.len()];
+                factor.basis[leaving] = entering;
+                factor.push_eta(&d, leaving);
+                pivots += 1;
+
+                // Fresh factorization of the same basis set.
+                let fresh = factorize_markowitz(&cols, &factor.basis);
+                assert!(
+                    fresh.artificial_rows.is_empty() && fresh.dropped_cols.is_empty(),
+                    "seed {seed}: pivoted basis must stay nonsingular"
+                );
+                // Primal: B x = b, compared per basis column (the two factorizations
+                // may assign columns to different row positions).
+                let mut via_eta = b.clone();
+                factor.ftran(&mut via_eta);
+                let mut via_fresh = b.clone();
+                fresh.factor.ftran(&mut via_fresh);
+                for (pos, &col) in factor.basis.iter().enumerate() {
+                    let fresh_pos = fresh
+                        .factor
+                        .basis
+                        .iter()
+                        .position(|&c| c == col)
+                        .expect("same basis set");
+                    assert_eq!(
+                        via_eta[pos], via_fresh[fresh_pos],
+                        "seed {seed} pivot {pivots}: primal solutions diverge on column {col}"
+                    );
+                }
+                // Dual: y = c_B B⁻¹ with c permuted to each factorization's own row
+                // assignment; the resulting y is basis-intrinsic and must agree.
+                let cost_of = |col: usize| -> Rational {
+                    // Deterministic per-column phase-2-style cost.
+                    if col < n { costs[col % m].clone() } else { Rational::zero() }
+                };
+                let mut y_eta: Vec<Rational> =
+                    factor.basis.iter().map(|&c| cost_of(c)).collect();
+                factor.btran(&mut y_eta);
+                let mut y_fresh: Vec<Rational> =
+                    fresh.factor.basis.iter().map(|&c| cost_of(c)).collect();
+                fresh.factor.btran(&mut y_fresh);
+                assert_eq!(
+                    y_eta, y_fresh,
+                    "seed {seed} pivot {pivots}: dual vectors diverge"
+                );
+            }
+            assert!(pivots >= 10, "seed {seed}: fuzz must exercise real pivots");
+        }
     }
 
     #[test]

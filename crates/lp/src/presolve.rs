@@ -137,6 +137,7 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
     // Reduction fixpoint. Each pass substitutes known values, then applies the row
     // rules; fixing a column can enable further reductions, so iterate (the cascade
     // depth is small in practice — the cap is a safety net, not a tuning knob).
+    let mut difference_scanned = false;
     for _ in 0..24 {
         let mut changed = false;
         for slot in rows.iter_mut() {
@@ -239,9 +240,37 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
                 continue;
             }
         }
-        if infeasible || suspect || !changed {
+        if infeasible || suspect {
             break;
         }
+        if changed {
+            continue;
+        }
+        // The classical reductions reached a fixpoint. One shot of the
+        // difference-bound prefilter: propagate the rows that encode difference
+        // constraints through a Bellman–Ford scan, which can prove infeasibility
+        // (negative cycle) or force variables whose derived bounds coincide.
+        // Exact backend only — an approximate negative cycle proves nothing, and
+        // an approximate forced value would corrupt every later substitution.
+        if difference_scanned || !S::IS_EXACT {
+            break;
+        }
+        difference_scanned = true;
+        let outcome = difference_prefilter(&rows, form);
+        if outcome.infeasible {
+            infeasible = true;
+            break;
+        }
+        if outcome.fixes.is_empty() {
+            break;
+        }
+        for (col, value) in outcome.fixes {
+            if fixed[col].is_none() {
+                fixed[col] = Some(value);
+            }
+        }
+        // Loop once more: the forced values substitute through the system and can
+        // cascade into fresh singleton/forcing reductions.
     }
 
     if suspect {
@@ -510,6 +539,243 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
     }
 }
 
+/// What the difference-bound scan concluded.
+struct DiffOutcome<S> {
+    /// The difference subsystem (implied by the full system) contains a negative
+    /// cycle: the LP is infeasible. Sound only in exact arithmetic.
+    infeasible: bool,
+    /// Variables whose derived upper and lower difference bounds coincide — every
+    /// feasible solution of the full LP takes exactly these values.
+    fixes: Vec<(usize, S)>,
+}
+
+/// Difference-bound prefilter over the surviving rows.
+///
+/// Classifies rows that encode single-variable bounds (`x ≤ c`, `x ≥ c`) or
+/// two-variable difference bounds (`x − y ≤ c`, `x − y = c`) — in standard form
+/// these are rows whose only disposable column is one zero-cost slack singleton
+/// (direction from the slack's sign), or pure two-term equalities with opposite
+/// equal-magnitude coefficients. The bounds induce the classical constraint graph
+/// (edge `v → u` of weight `c` per `x_u − x_v ≤ c`, plus a virtual zero vertex
+/// carrying `x ≥ 0` and the explicit variable bounds), which a queue-based
+/// Bellman–Ford (SPFA) scan processes incrementally:
+///
+/// * a negative cycle proves the subsystem — hence the LP — infeasible;
+/// * otherwise shortest paths from/to the zero vertex are exact upper/lower
+///   bounds on each variable, and a variable whose bounds meet is *forced*: the
+///   returned fix is substituted through the system by the caller's reduction
+///   loop, exactly like a singleton row's.
+///
+/// Everything here is implied constraints only — no row is modified or removed,
+/// so the scan can never weaken the system; rows made redundant by a forced fix
+/// are cleaned up by the ordinary reductions afterwards.
+fn difference_prefilter<S: Scalar>(
+    rows: &[Option<Row<S>>],
+    form: &StandardForm<S>,
+) -> DiffOutcome<S> {
+    let num_cols = form.costs.len();
+    let no_op = DiffOutcome { infeasible: false, fixes: Vec::new() };
+
+    // Occurrence counts and the model-column mask decide which columns may play
+    // the disposable-slack role (same criterion as dominated-row elimination).
+    let mut occurrence = vec![0usize; num_cols];
+    for row in rows.iter().flatten() {
+        for (col, _) in &row.terms {
+            occurrence[*col] += 1;
+        }
+    }
+    let mut is_model_column = vec![false; num_cols];
+    for (positive, negative) in &form.model_columns {
+        if *positive < num_cols {
+            is_model_column[*positive] = true;
+        }
+        if let Some(negative) = negative {
+            if *negative < num_cols {
+                is_model_column[*negative] = true;
+            }
+        }
+    }
+
+    // Extract difference edges. `None` is the virtual zero vertex; an edge
+    // `(from, to, w)` encodes `x_to − x_from ≤ w` (with `x_None ≡ 0`).
+    let mut raw_edges: Vec<(Option<usize>, Option<usize>, S)> = Vec::new();
+    for row in rows.iter().flatten() {
+        let slacks: Vec<usize> = row
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, (col, _))| {
+                occurrence[*col] == 1
+                    && !is_model_column[*col]
+                    && form.costs[*col].is_exactly_zero()
+            })
+            .map(|(pos, _)| pos)
+            .collect();
+        // Each entry is one `core · y ≤ bound` inequality implied by the row.
+        let mut inequalities: Vec<(Vec<(usize, S)>, S)> = Vec::new();
+        if slacks.len() == 1 && row.terms.len() >= 2 {
+            // `core·y + c_s·s = b`, `s ≥ 0`: an inequality whose direction follows
+            // the slack's sign (normalize to `≤` by negating when `c_s < 0`).
+            let slack_coeff = &row.terms[slacks[0]].1;
+            let core: Vec<(usize, S)> = row
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| *pos != slacks[0])
+                .map(|(_, (col, a))| (*col, a.clone()))
+                .collect();
+            if slack_coeff.is_positive() {
+                inequalities.push((core, row.rhs.clone()));
+            } else {
+                let negated = core.iter().map(|(col, a)| (*col, a.neg())).collect();
+                inequalities.push((negated, row.rhs.neg()));
+            }
+        } else if slacks.is_empty() {
+            // A pure equality is both inequalities at once.
+            let core: Vec<(usize, S)> = row.terms.clone();
+            let negated: Vec<(usize, S)> =
+                core.iter().map(|(col, a)| (*col, a.neg())).collect();
+            inequalities.push((core, row.rhs.clone()));
+            inequalities.push((negated, row.rhs.neg()));
+        }
+        for (core, bound) in inequalities {
+            match core.as_slice() {
+                // `a·x ≤ b`: an explicit upper (a > 0) or lower (a < 0) bound.
+                [(col, a)] => {
+                    if a.is_positive() {
+                        raw_edges.push((None, Some(*col), bound.div(a)));
+                    } else {
+                        raw_edges.push((Some(*col), None, bound.div(a).neg()));
+                    }
+                }
+                // `a·u − a·v ≤ b`: a difference bound (only exact opposite
+                // coefficients qualify; anything else is not a difference row).
+                [(u, a), (v, c)] => {
+                    if !a.add(c).is_exactly_zero() {
+                        continue;
+                    }
+                    if a.is_positive() {
+                        raw_edges.push((Some(*v), Some(*u), bound.div(a)));
+                    } else {
+                        raw_edges.push((Some(*u), Some(*v), bound.div(c)));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if raw_edges.is_empty() {
+        return no_op;
+    }
+
+    // Compact node numbering: node 0 is the virtual zero vertex.
+    let mut node_of = vec![usize::MAX; num_cols];
+    let mut col_of_node: Vec<usize> = Vec::new();
+    let mut node = |col: Option<usize>, node_of: &mut Vec<usize>| -> usize {
+        match col {
+            None => 0,
+            Some(col) => {
+                if node_of[col] == usize::MAX {
+                    col_of_node.push(col);
+                    node_of[col] = col_of_node.len();
+                }
+                node_of[col]
+            }
+        }
+    };
+    let mut edges: Vec<(usize, usize, S)> = Vec::new();
+    for (from, to, weight) in raw_edges {
+        let from = node(from, &mut node_of);
+        let to = node(to, &mut node_of);
+        edges.push((from, to, weight));
+    }
+    let num_nodes = col_of_node.len() + 1;
+    // Implicit `x ≥ 0` on every participating column: edge `col → 0` of weight 0.
+    for n in 1..num_nodes {
+        edges.push((n, 0, S::zero()));
+    }
+
+    // SPFA from the zero vertex. In the *reverse* graph every node is reachable
+    // (the implicit non-negativity edges reverse into `0 → col`), so the reverse
+    // scan doubles as a complete negative-cycle detector: any negative cycle is a
+    // negative cycle of the reverse graph too, and reachable there.
+    let spfa = |forward: bool| -> Option<Vec<Option<S>>> {
+        let mut adjacency: Vec<Vec<(usize, S)>> = vec![Vec::new(); num_nodes];
+        for (from, to, weight) in &edges {
+            if forward {
+                adjacency[*from].push((*to, weight.clone()));
+            } else {
+                adjacency[*to].push((*from, weight.clone()));
+            }
+        }
+        let mut dist: Vec<Option<S>> = vec![None; num_nodes];
+        let mut in_queue = vec![false; num_nodes];
+        let mut relaxations = vec![0usize; num_nodes];
+        let mut queue = std::collections::VecDeque::new();
+        dist[0] = Some(S::zero());
+        queue.push_back(0usize);
+        in_queue[0] = true;
+        while let Some(u) = queue.pop_front() {
+            in_queue[u] = false;
+            let du = dist[u].clone().expect("queued nodes have a distance");
+            for (v, weight) in &adjacency[u] {
+                let candidate = du.add(weight);
+                let better = match &dist[*v] {
+                    None => true,
+                    Some(existing) => candidate.lt(existing),
+                };
+                if !better {
+                    continue;
+                }
+                relaxations[*v] += 1;
+                if relaxations[*v] > num_nodes {
+                    // A node relaxed more than |V| times lies on (or behind) a
+                    // negative cycle.
+                    return None;
+                }
+                dist[*v] = Some(candidate);
+                if !in_queue[*v] {
+                    queue.push_back(*v);
+                    in_queue[*v] = true;
+                }
+            }
+        }
+        Some(dist)
+    };
+
+    // Reverse first: complete cycle detection (see above).
+    let Some(reverse) = spfa(false) else {
+        return DiffOutcome { infeasible: true, fixes: Vec::new() };
+    };
+    // Forward: upper bounds for nodes reachable from the zero vertex. A negative
+    // cycle here would already have been caught, but the guard stays sound either
+    // way (a relaxation blow-up is a negative cycle by the same argument).
+    let Some(forward) = spfa(true) else {
+        return DiffOutcome { infeasible: true, fixes: Vec::new() };
+    };
+
+    let mut fixes = Vec::new();
+    let mut infeasible = false;
+    for n in 1..num_nodes {
+        let Some(upper) = &forward[n] else { continue };
+        let Some(to_zero) = &reverse[n] else { continue };
+        // Shortest path `col → 0` of weight w means `0 − x ≤ w`, i.e. `x ≥ −w`.
+        let lower = to_zero.neg();
+        if upper.lt(&lower) {
+            // ub < lb is a negative cycle through the zero vertex; defensive only.
+            infeasible = true;
+            break;
+        }
+        if upper.sub(&lower).is_exactly_zero() && !upper.is_negative() {
+            fixes.push((col_of_node[n - 1], upper.clone()));
+        }
+    }
+    if infeasible {
+        return DiffOutcome { infeasible: true, fixes: Vec::new() };
+    }
+    DiffOutcome { infeasible: false, fixes }
+}
+
 fn collect_fixed<S: Scalar>(fixed: &[Option<S>]) -> Vec<(usize, S)> {
     fixed
         .iter()
@@ -729,6 +995,87 @@ mod tests {
         );
         let pre = presolve(&f);
         assert_eq!(pre.form.matrix.len(), 2, "costed slack keeps its row");
+    }
+
+    /// `x − y ≤ −1` and `y − x ≤ −1` form a negative cycle (their sum demands
+    /// `0 ≤ −2`): the difference prefilter must conclude infeasibility before any
+    /// simplex runs.
+    #[test]
+    fn difference_negative_cycle_is_infeasible() {
+        // Columns: x, y, s1, s2 (zero-cost slacks).
+        let f = form(
+            vec![
+                vec![r(1, 1), r(-1, 1), r(1, 1), r(0, 1)],
+                vec![r(-1, 1), r(1, 1), r(0, 1), r(1, 1)],
+            ],
+            vec![r(-1, 1), r(-1, 1)],
+            vec![r(1, 1), r(1, 1), r(0, 1), r(0, 1)],
+        );
+        assert_eq!(presolve(&f).verdict, Some(LpStatus::Infeasible));
+    }
+
+    /// `x ≤ 5` and `x ≥ 5` pin `x = 5`; the prefilter forces the value and the
+    /// cascade then resolves both slack rows, leaving nothing for the simplex.
+    #[test]
+    fn coinciding_difference_bounds_force_the_variable() {
+        // Columns: x, s1 (for ≤), s2 (for ≥).
+        let f = form(
+            vec![
+                vec![r(1, 1), r(1, 1), r(0, 1)],
+                vec![r(1, 1), r(0, 1), r(-1, 1)],
+            ],
+            vec![r(5, 1), r(5, 1)],
+            vec![r(1, 1), r(0, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.form.matrix.len(), 0, "the forced value resolves both rows");
+        let values = pre.restore(&[], 3);
+        assert_eq!(values[0], r(5, 1));
+    }
+
+    /// Transitive chains: `x − y ≤ 2`, `y ≤ 3`, `x ≥ 5` force `x = 5` *and* `y = 3`
+    /// even though no single row pins either variable — the fix only emerges from
+    /// the Bellman–Ford propagation across rows.
+    #[test]
+    fn difference_chain_forces_transitively() {
+        // Columns: x, y, s1, s2, s3.
+        let f = form(
+            vec![
+                vec![r(1, 1), r(-1, 1), r(1, 1), r(0, 1), r(0, 1)],
+                vec![r(0, 1), r(1, 1), r(0, 1), r(1, 1), r(0, 1)],
+                vec![r(1, 1), r(0, 1), r(0, 1), r(0, 1), r(-1, 1)],
+            ],
+            vec![r(2, 1), r(3, 1), r(5, 1)],
+            vec![r(1, 1), r(1, 1), r(0, 1), r(0, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        let values = pre.restore(&vec![Rational::zero(); pre.kept_cols.len()], 5);
+        assert_eq!(values[0], r(5, 1), "x is pinned by x ≥ 5 and x ≤ y + 2 ≤ 5");
+        assert_eq!(values[1], r(3, 1), "y is pinned by y ≤ 3 and y ≥ x − 2 = 3");
+    }
+
+    /// A satisfiable difference system must pass through untouched: bounds that do
+    /// not coincide fix nothing, and no verdict is issued.
+    #[test]
+    fn slack_difference_bounds_leave_feasible_systems_alone() {
+        // x − y ≤ 2, x ≥ 1: feasible with slack, nothing forced.
+        let f = form(
+            vec![
+                vec![r(1, 1), r(-1, 1), r(1, 1), r(0, 1)],
+                vec![r(1, 1), r(0, 1), r(0, 1), r(-1, 1)],
+            ],
+            vec![r(2, 1), r(1, 1)],
+            vec![r(1, 1), r(1, 1), r(0, 1), r(0, 1)],
+        );
+        let pre = presolve(&f);
+        assert_eq!(pre.verdict, None);
+        assert_eq!(pre.form.matrix.len(), 2, "no row may be dropped");
+        // The reduced LP still solves to the true optimum x = 1, y = 0.
+        let solution = crate::simplex::solve_standard_form(&f, None, None);
+        assert_eq!(solution.status, LpStatus::Optimal);
+        assert_eq!(solution.values[0], r(1, 1));
     }
 
     #[test]

@@ -141,6 +141,21 @@ pub struct LpSolveInfo {
     pub certify_time: Duration,
     /// Wall-clock spent in exact repair pivoting (float-first driver only).
     pub repair_time: Duration,
+    /// Lazy row-generation candidate columns that survived presolve (certified
+    /// driver with a non-empty lazy set only; 0 on the eager path).
+    pub products_total: usize,
+    /// Lazy candidate columns activated by separation — present in the final
+    /// certified solve (0 on the eager path).
+    pub products_generated: usize,
+    /// Row-generation solve rounds (1 = the initial core already priced out;
+    /// 0 = eager solve without row generation).
+    pub separation_rounds: usize,
+    /// Exact simplex pivots absorbed as incremental rank-1 eta updates of the
+    /// rational LU factorization (cheap, O(nnz) each).
+    pub lu_updates: usize,
+    /// Full Markowitz refactorizations the exact simplex performed mid-run when
+    /// the eta file grew past its fill budget (expensive, O(m·nnz) each).
+    pub lu_refactorizations: usize,
 }
 
 /// Result of an LP solve in the chosen scalar type.
@@ -325,11 +340,72 @@ impl LpProblem {
     /// Like [`LpProblem::solve_certified`], seeding the float phase (and any exact
     /// repair) with a warm-start basis from a previous related solve.
     pub fn solve_certified_warm(&self, warm: Option<&LpBasis>) -> LpResult<Rational> {
+        self.solve_certified_lazy(warm, &[])
+    }
+
+    /// Like [`LpProblem::solve_certified_warm`], additionally marking a set of
+    /// *lazy* columns the driver may leave out of the initial solve and generate
+    /// on demand (delayed column generation).
+    ///
+    /// `lazy_names` are display names of `NonNegative` model variables (in
+    /// practice: Handelman product multipliers of degree ≥ 2). The driver starts
+    /// from the non-lazy core plus any lazy column present in `warm`, solves,
+    /// then *exactly* prices every excluded column against the exact dual; any
+    /// column that could improve the solution is activated and the solve is
+    /// repeated warm-started. The accepted verdict therefore carries the same
+    /// exact certificate as a full eager solve — excluded columns are proven
+    /// non-improving (or, for infeasibility, proven unable to break the exact
+    /// Farkas certificate) before anything is reported. Names that are unknown
+    /// or not `NonNegative` are ignored (a `Free` variable's split column pair
+    /// must never be separated independently). `DCA_LP_NO_ROWGEN=1` disables
+    /// the mechanism (A/B switch: full eager solve, identical verdicts).
+    ///
+    /// The returned basis names any activated lazy columns, so threading it into
+    /// the next related solve (as the escalation ladder does) also seeds that
+    /// solve's active set — row-generation state travels across rungs for free.
+    pub fn solve_certified_lazy(
+        &self,
+        warm: Option<&LpBasis>,
+        lazy_names: &[String],
+    ) -> LpResult<Rational> {
         let standard = self.to_standard_form::<Rational>();
         let col_names = self.standard_col_names();
         let warm_cols = self.warm_to_cols(warm, &col_names);
-        let raw =
-            crate::certify::solve_float_first(&standard, self.deadline, warm_cols.as_deref());
+        let lazy_cols: Vec<usize> = if lazy_names.is_empty() {
+            Vec::new()
+        } else {
+            let index_of: std::collections::HashMap<&str, usize> = col_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i))
+                .collect();
+            let free_split: std::collections::HashSet<usize> = self
+                .var_names
+                .iter()
+                .zip(&self.var_kinds)
+                .filter(|(_, kind)| **kind == VarKind::Free)
+                .filter_map(|(name, _)| index_of.get(name.as_str()).copied())
+                .collect();
+            lazy_names
+                .iter()
+                .filter_map(|name| index_of.get(name.as_str()).copied())
+                .filter(|col| !free_split.contains(col))
+                .collect()
+        };
+        if std::env::var("DCA_LP_DEBUG").is_ok() {
+            eprintln!(
+                "[lp] certified solve: {} cols, {} lazy names -> {} lazy cols",
+                col_names.len(),
+                lazy_names.len(),
+                lazy_cols.len()
+            );
+        }
+        let raw = crate::certify::solve_float_first(
+            &standard,
+            self.deadline,
+            warm_cols.as_deref(),
+            &lazy_cols,
+        );
         self.assemble_result(raw, &col_names)
     }
 
@@ -416,6 +492,11 @@ impl LpProblem {
             float_time: raw.phases.float_time,
             certify_time: raw.phases.certify_time,
             repair_time: raw.phases.repair_time,
+            products_total: raw.phases.products_total,
+            products_generated: raw.phases.products_generated,
+            separation_rounds: raw.phases.separation_rounds,
+            lu_updates: raw.phases.lu_updates,
+            lu_refactorizations: raw.phases.lu_refactorizations,
         };
         match raw.status {
             LpStatus::Optimal => {

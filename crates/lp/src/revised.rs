@@ -13,8 +13,13 @@
 //!   eta file is rebuilt from scratch against the untouched columns
 //!   ([`Factorization::reinvert`]), clearing accumulated round-off the way the dense
 //!   code's Gauss–Jordan refactorization did — but at sparse cost;
-//! * pricing recomputes reduced costs from a fresh `BTRAN` every iteration, so there is
-//!   no incrementally-maintained (and drifting) reduced-cost row at all.
+//! * `f64` pricing recomputes reduced costs from a fresh `BTRAN` every iteration, so
+//!   there is no incrementally-maintained (and drifting) reduced-cost row at all;
+//! * the *exact* backend, which cannot drift, instead maintains the dual `y = c_B B⁻¹`
+//!   incrementally across pivots (`y' = y + (d̄_q/α_r)·ρ_r`, one sparse unit-vector
+//!   `BTRAN` per pivot instead of a dense one per pricing pass) and memoizes each
+//!   column's reduced-cost verdict until a dual row in its support actually changes —
+//!   both updates are exact rational arithmetic, so the optimality proof is untouched.
 //!
 //! The same machinery provides **warm starts**: a caller-supplied set of preferred
 //! columns is run through the reinversion routine first (columns that prove dependent
@@ -60,11 +65,15 @@ const DROP_EPS: f64 = 1e-12;
 /// keeps the factorization honest at a bounded (~sparse) rebuild cost.
 const REINVERT_EVERY: usize = 64;
 
-/// Reinversion period for the exact backend. Exact arithmetic accumulates no
-/// round-off — the rebuild only exists to keep the eta file (and thus FTRAN/BTRAN
-/// cost) from growing without bound — so the Markowitz refactorization can be
-/// amortized over far more pivots than the `f64` drift control allows.
-const REINVERT_EVERY_EXACT: usize = 256;
+/// Reinversion for the exact backend is **growth-driven**, not periodic. Exact
+/// arithmetic accumulates no round-off — a rebuild only exists to keep the eta file
+/// (and thus FTRAN/BTRAN cost) from growing without bound — so each pivot is absorbed
+/// as a rank-1 eta *update* of the rational factorization and a full Markowitz
+/// refactorization runs only when the accumulated eta fill blows past the policy in
+/// [`crate::lu::should_refactorize`]. On the degree-3 `nested` repair (41.7k exact
+/// pivots) the previous fixed every-256-pivots cadence spent most of its ~212 s in
+/// ~160 full rational refactorizations at ≥1 s each; the growth policy collapses
+/// those to a handful while the per-pivot eta append stays at sparse cost.
 
 /// One eta matrix: the identity with column `pivot` replaced by the stored vector.
 #[derive(Debug, Clone)]
@@ -73,6 +82,18 @@ pub(crate) struct Eta<S> {
     pub(crate) pivot_value: S,
     /// Off-pivot non-zero entries `(row, value)`.
     pub(crate) others: Vec<(usize, S)>,
+}
+
+impl<S: Scalar> Eta<S> {
+    /// Traversal cost of this eta in machine-word units: its non-zero count for
+    /// fixed-width scalars, bit-length-scaled for rationals ([`Scalar::complexity`]).
+    /// Rational eta entries can balloon to thousands of bits each, so counting
+    /// plain non-zeros would drastically under-report how expensive FTRAN/BTRAN
+    /// through the file has become.
+    pub(crate) fn weight(&self) -> usize {
+        self.pivot_value.complexity()
+            + self.others.iter().map(|(_, value)| value.complexity()).sum::<usize>()
+    }
 }
 
 /// The sparse constraint matrix plus the virtual artificial identity columns.
@@ -153,6 +174,11 @@ impl<S: Scalar> Factorization<S> {
     }
 
     /// `y := y B⁻¹` (backward transformation, applied to a row vector).
+    ///
+    /// The zero fast path matters for *sparse* inputs: the incremental dual update
+    /// BTRANs a unit vector `e_r` per pivot, and on most etas every read position is
+    /// still zero — skipping the rational division there keeps that BTRAN at
+    /// near-fill cost instead of one division per eta.
     pub(crate) fn btran(&self, y: &mut [S]) {
         for eta in self.etas.iter().rev() {
             let mut s = y[eta.pivot].clone();
@@ -161,12 +187,20 @@ impl<S: Scalar> Factorization<S> {
                     s = s.sub(&y[*row].mul(value));
                 }
             }
-            y[eta.pivot] = s.div(&eta.pivot_value);
+            y[eta.pivot] = if s.is_exactly_zero() { s } else { s.div(&eta.pivot_value) };
         }
     }
 
+    /// Total *weighted* size of the eta file (pivot entries included): non-zeros
+    /// for fixed-width scalars, bit-length-scaled for rationals. This is the
+    /// quantity every FTRAN/BTRAN traverses, i.e. the incremental-update cost the
+    /// exact reinversion policy monitors.
+    pub(crate) fn eta_nnz(&self) -> usize {
+        self.etas.iter().map(Eta::weight).sum()
+    }
+
     /// Appends the eta for pivoting column data `d = B⁻¹ A_q` on row `pivot`.
-    fn push_eta(&mut self, d: &[S], pivot: usize) {
+    pub(crate) fn push_eta(&mut self, d: &[S], pivot: usize) {
         let mut others = Vec::new();
         for (row, value) in d.iter().enumerate() {
             if row == pivot || value.is_exactly_zero() {
@@ -313,6 +347,17 @@ pub(crate) struct RevisedOutcome<S> {
     /// phase-2 vertex satisfies all original constraints, so the objective value is a
     /// sound — merely loose — bound).
     pub truncated: bool,
+    /// Exact pivots absorbed as incremental rank-1 eta updates of the rational
+    /// factorization (exact backend only; the `f64` backend reports 0 so the
+    /// telemetry attributes incremental-update work unambiguously).
+    pub lu_updates: usize,
+    /// Full Markowitz refactorizations performed mid-run by the exact backend
+    /// (exact backend only, for the same attribution reason).
+    pub lu_refactorizations: usize,
+    /// The terminal dual `y = c_B B⁻¹` of a proven exact optimum (exact backend,
+    /// non-truncated `Optimal` only): computed with one BTRAN over the final
+    /// factorization, with artificial basis positions priced at cost zero.
+    pub dual: Option<Vec<S>>,
 }
 
 /// Solves a standard-form problem (`min c·y`, `Ay = b`, `y ≥ 0`, `b ≥ 0`) with the
@@ -449,15 +494,39 @@ pub(crate) fn solve_revised_capped<S: Scalar>(
     }
     if debug {
         eprintln!(
-            "[lp] revised phase2: {:?}{} in {:.2}s ({} iters total)",
+            "[lp] revised phase2: {:?}{} in {:.2}s ({} iters total, {} eta updates, \
+             {} refactorizations, {} sweeps, {} queue-served, {} degenerate; \
+             btran {:.2}s, reinvert {:.2}s, sweep {:.2}s)",
             status,
             if truncated { " (anytime-truncated)" } else { "" },
             phase2_start.elapsed().as_secs_f64(),
-            state.iterations
+            state.iterations,
+            state.lu_updates,
+            state.lu_refactorizations,
+            state.pricing_sweeps,
+            state.queue_served,
+            state.degenerate_pivots,
+            state.btran_time.as_secs_f64(),
+            state.reinvert_time.as_secs_f64(),
+            state.sweep_time.as_secs_f64()
         );
     }
     let mut outcome = state.outcome(status, n);
     outcome.truncated = truncated;
+    // A proven exact optimum carries its dual out: the row-generation driver prices
+    // excluded columns against it directly, skipping a Markowitz re-derivation that
+    // could land on a different (uncertifiable) padding of a degenerate basis.
+    if S::IS_EXACT && status == LpStatus::Optimal && !truncated {
+        let mut y = vec![S::zero(); m];
+        for (pos, value) in y.iter_mut().enumerate() {
+            let col = state.factor.basis[pos];
+            if col < n {
+                *value = form.costs[col].clone();
+            }
+        }
+        state.factor.btran(&mut y);
+        outcome.dual = Some(y);
+    }
     outcome
 }
 
@@ -475,6 +544,31 @@ struct State<'a, S> {
     in_basis: Vec<bool>,
     iterations: usize,
     etas_since_reinvert: usize,
+    /// Weighted eta-file size appended since the last rebuild (non-zeros scaled by
+    /// rational bit length, see [`Eta::weight`]) — the incremental cost the exact
+    /// reinversion policy weighs against `base_fill`.
+    eta_nnz_since_reinvert: usize,
+    /// Weighted eta-file size right after the last rebuild (the Markowitz fill of
+    /// the basis itself), the baseline the growth policy compares against.
+    base_fill: usize,
+    /// Exact pivots absorbed as eta updates (see [`RevisedOutcome::lu_updates`]).
+    lu_updates: usize,
+    /// Mid-run full refactorizations (see [`RevisedOutcome::lu_refactorizations`]).
+    lu_refactorizations: usize,
+    /// Full pricing sweeps over all columns (exact backend; each is `O(n · nnz)` in
+    /// rational arithmetic — the dominant per-pivot cost when the candidate queue
+    /// starves on degenerate streaks).
+    pricing_sweeps: usize,
+    /// Pivots whose entering column came straight from the candidate queue.
+    queue_served: usize,
+    /// Zero-step (degenerate) pivots.
+    degenerate_pivots: usize,
+    /// Exact backend: time in the per-pivot pricing BTRAN (`y = c_B B⁻¹`).
+    btran_time: std::time::Duration,
+    /// Exact backend: time in mid-run Markowitz refactorizations.
+    reinvert_time: std::time::Duration,
+    /// Exact backend: time in pricing sweeps (prescreen + exact verification).
+    sweep_time: std::time::Duration,
     /// `true` when the last reinversion had to replace a (near-)dependent basis
     /// column with an artificial — the factorization then describes a *different*
     /// basis than the pivot sequence built, so verdicts are suspect.
@@ -509,6 +603,7 @@ impl<'a, S: Scalar> State<'a, S> {
         for &col in &factor.basis {
             in_basis[col] = true;
         }
+        let base_fill = factor.eta_nnz();
         State {
             columns,
             form,
@@ -517,6 +612,16 @@ impl<'a, S: Scalar> State<'a, S> {
             in_basis,
             iterations: 0,
             etas_since_reinvert: 0,
+            eta_nnz_since_reinvert: 0,
+            base_fill,
+            lu_updates: 0,
+            lu_refactorizations: 0,
+            pricing_sweeps: 0,
+            queue_served: 0,
+            degenerate_pivots: 0,
+            btran_time: std::time::Duration::ZERO,
+            reinvert_time: std::time::Duration::ZERO,
+            sweep_time: std::time::Duration::ZERO,
             degraded: false,
         }
     }
@@ -575,6 +680,11 @@ impl<'a, S: Scalar> State<'a, S> {
         self.x_basic = self.form.rhs.clone();
         self.factor.ftran(&mut self.x_basic);
         self.etas_since_reinvert = 0;
+        self.eta_nnz_since_reinvert = 0;
+        self.base_fill = self.factor.eta_nnz();
+        if S::IS_EXACT {
+            self.lu_refactorizations += 1;
+        }
     }
 
     fn optimize(&mut self, phase: Phase, max_iters: usize, deadline: Option<Instant>) -> LpStatus {
@@ -622,7 +732,52 @@ impl<'a, S: Scalar> State<'a, S> {
         const EXACT_QUEUE: usize = 32;
         let mut exact_candidates: std::collections::VecDeque<usize> =
             std::collections::VecDeque::new();
+        // Rigorous `f64` prescreen for the exact sweep. On the heavily degenerate
+        // Handelman systems ~97% of exact pivots run during degenerate streaks where
+        // the queue is cleared every iteration, so nearly every pivot pays a full
+        // O(n · nnz) *rational* pricing sweep. The prescreen computes each reduced
+        // cost in `f64` against cached `f64` column copies TOGETHER with a forward
+        // error bound (`PRESCREEN_EPS` × the accumulated magnitude sum): a column is
+        // skipped only when its reduced cost is *provably* positive — the true
+        // rounding error is ≤ ~3·nnz·2⁻⁵² × the magnitude sum, orders of magnitude
+        // below the threshold — so Bland's lowest-index order and the optimality
+        // verdict remain exact. Overflow/NaN (huge rationals) fails `is_finite` and
+        // falls through to the exact dot product, never to a wrong skip.
+        const PRESCREEN_EPS: f64 = 1e-9;
+        let (cols64, costs64): (Vec<Vec<(usize, f64)>>, Vec<f64>) = if S::IS_EXACT {
+            (
+                self.columns
+                    .cols
+                    .iter()
+                    .map(|col| col.iter().map(|(row, v)| (*row, v.to_f64())).collect())
+                    .collect(),
+                (0..n).map(|j| self.cost(&phase, j).to_f64()).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut y64 = vec![0.0f64; m];
         let mut y = vec![S::zero(); m];
+        // Exact backend: `y` is maintained *incrementally* across pivots (see the
+        // update at the pivot step) and only recomputed from a dense `c_B` BTRAN
+        // when this flag is down — at phase start and after a refactorization. The
+        // `f64` backend recomputes every iteration (the fresh BTRAN is its defense
+        // against reduced-cost drift; exact arithmetic has none to defend against).
+        let mut y_valid = false;
+        // Reduced-cost memoization (exact backend). A pivot's dual update touches
+        // only the rows where ρ_r is non-zero, so a column whose support none of
+        // those rows intersect has an *unchanged* reduced cost — re-deriving it
+        // every sweep is pure waste on the long degenerate streaks. `changed_at`
+        // stamps each dual row with the tick of its last change; `r_cache[j]`
+        // holds the verdict computed at some tick (`None` = proven non-negative,
+        // `Some(r)` = exact negative reduced cost) and is trusted while no row in
+        // the column's support carries a newer stamp. Exactness makes this sound:
+        // a cached verdict is bit-for-bit what a fresh dot product would produce,
+        // so Bland's order and the optimality proof are unchanged.
+        let mut tick: u64 = 0;
+        let mut changed_at = vec![0u64; m];
+        let mut r_cache: Vec<(u64, Option<S>)> =
+            if S::IS_EXACT { vec![(0, None); n] } else { Vec::new() };
         for iteration in 0..max_iters {
             if S::IS_EXACT || iteration % DEADLINE_EVERY == 0 {
                 if let Some(deadline) = deadline {
@@ -631,17 +786,52 @@ impl<'a, S: Scalar> State<'a, S> {
                     }
                 }
             }
-            let reinvert_every = if S::IS_EXACT { REINVERT_EVERY_EXACT } else { REINVERT_EVERY };
-            if self.etas_since_reinvert >= reinvert_every {
+            // `f64` rebuilds on a short fixed cadence (round-off control); the exact
+            // backend rebuilds only when the eta file's fill outgrows the basis fill
+            // (see `lu::should_refactorize`) — eta updates are exact, so the rebuild
+            // is purely a cost decision.
+            let wants_reinvert = if S::IS_EXACT {
+                crate::lu::should_refactorize(
+                    self.etas_since_reinvert,
+                    self.eta_nnz_since_reinvert,
+                    self.base_fill,
+                    m,
+                )
+            } else {
+                self.etas_since_reinvert >= REINVERT_EVERY
+            };
+            if wants_reinvert {
+                let reinvert_start = Instant::now();
                 self.reinvert();
+                self.reinvert_time += reinvert_start.elapsed();
                 banned.iter_mut().for_each(|b| *b = false);
                 ban_active = false;
+                // The dual `y = c_B B⁻¹` depends only on the basis, which a rebuild
+                // preserves — but a rebuild may *degrade* (swap a dependent column
+                // for an artificial), and a fresh short factorization re-derives the
+                // same values through far fewer etas, so recompute either way.
+                y_valid = false;
             }
-            // Pricing from a fresh BTRAN: y = c_B B⁻¹, r_j = c_j − y · A_j.
-            for (pos, value) in y.iter_mut().enumerate() {
-                *value = self.cost(&phase, self.factor.basis[pos]);
+            // Pricing dual: y = c_B B⁻¹, r_j = c_j − y · A_j. Recomputed from a
+            // dense BTRAN when stale (f64: every iteration; exact: see `y_valid`).
+            if !S::IS_EXACT || !y_valid {
+                let btran_start = Instant::now();
+                for (pos, value) in y.iter_mut().enumerate() {
+                    *value = self.cost(&phase, self.factor.basis[pos]);
+                }
+                self.factor.btran(&mut y);
+                self.btran_time += btran_start.elapsed();
+                y_valid = true;
+                if S::IS_EXACT {
+                    // Every row is considered touched: the rebuild may have degraded
+                    // the basis, so no cached verdict survives a full recompute.
+                    tick += 1;
+                    changed_at.fill(tick);
+                    for (value, exact) in y64.iter_mut().zip(&y) {
+                        *value = exact.to_f64();
+                    }
+                }
             }
-            self.factor.btran(&mut y);
             // Entering rule. The exact backend stays on Bland's rule (low-index
             // first): it is termination-safe, and the greedier alternatives were
             // *measured worse* on the degree-3 `nested` system — full Dantzig and
@@ -654,6 +844,10 @@ impl<'a, S: Scalar> State<'a, S> {
                 || iteration >= bland_after
                 || consecutive_degenerate >= BLAND_AFTER_DEGENERATE;
             let mut entering: Option<(usize, f64)> = None;
+            // Exact backend: the entering column's *exact* reduced cost, recorded at
+            // pricing time — the incremental dual update at the pivot step needs it
+            // (γ = d̄_q / α_r) and re-deriving it would cost another exact dot.
+            let mut entering_reduced: Option<S> = None;
             if S::IS_EXACT {
                 if consecutive_degenerate >= BLAND_AFTER_DEGENERATE {
                     // Zero-step streak: drop the stale queue and run textbook Bland.
@@ -664,28 +858,73 @@ impl<'a, S: Scalar> State<'a, S> {
                         continue;
                     }
                     let reduced = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
-                    if reduced.is_negative() {
+                    let negative = reduced.is_negative();
+                    r_cache[j] = (tick, if negative { Some(reduced.clone()) } else { None });
+                    if negative {
                         entering = Some((j, reduced.to_f64()));
+                        entering_reduced = Some(reduced);
+                        self.queue_served += 1;
                         break;
                     }
                 }
             }
             if entering.is_none() {
+                let sweep_start = Instant::now();
+                if S::IS_EXACT {
+                    self.pricing_sweeps += 1;
+                }
                 let mut queued = 0usize;
                 for j in 0..n {
                     if self.in_basis[j] || banned[j] {
                         continue;
                     }
-                    let reduced = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
-                    let improving = if S::IS_EXACT {
-                        reduced.is_negative()
-                    } else if fine_pricing {
-                        reduced.to_f64() < -FINE_PRICING_EPS
+                    let reduced;
+                    if S::IS_EXACT {
+                        // Memoized verdict first: trusted while no dual row in the
+                        // column's support changed since it was computed.
+                        let stamp = r_cache[j].0;
+                        let cached_fresh = stamp != 0
+                            && self.columns.cols[j]
+                                .iter()
+                                .all(|(row, _)| changed_at[*row] <= stamp);
+                        if cached_fresh {
+                            match &r_cache[j].1 {
+                                None => continue,
+                                Some(r) => reduced = r.clone(),
+                            }
+                        } else {
+                            // Provably-positive reduced costs are skipped without
+                            // any rational arithmetic (see PRESCREEN_EPS above).
+                            let mut r64 = costs64[j];
+                            let mut mag = r64.abs();
+                            for &(row, v) in &cols64[j] {
+                                let term = y64[row] * v;
+                                r64 -= term;
+                                mag += term.abs();
+                            }
+                            if r64.is_finite() && mag.is_finite() && r64 > PRESCREEN_EPS * mag {
+                                r_cache[j] = (tick, None);
+                                continue;
+                            }
+                            let exact = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
+                            let negative = exact.is_negative();
+                            r_cache[j] =
+                                (tick, if negative { Some(exact.clone()) } else { None });
+                            if !negative {
+                                continue;
+                            }
+                            reduced = exact;
+                        }
                     } else {
-                        reduced.to_f64() < -COARSE_PRICING_EPS
-                    };
-                    if !improving {
-                        continue;
+                        reduced = self.cost(&phase, j).sub(&self.columns.dot(&y, j));
+                        let improving = if fine_pricing {
+                            reduced.to_f64() < -FINE_PRICING_EPS
+                        } else {
+                            reduced.to_f64() < -COARSE_PRICING_EPS
+                        };
+                        if !improving {
+                            continue;
+                        }
                     }
                     if use_bland {
                         if entering.is_none() {
@@ -693,6 +932,7 @@ impl<'a, S: Scalar> State<'a, S> {
                             if !S::IS_EXACT {
                                 break;
                             }
+                            entering_reduced = Some(reduced);
                             continue;
                         }
                         // Exact backend: bank the following improving columns.
@@ -712,6 +952,7 @@ impl<'a, S: Scalar> State<'a, S> {
                         Some(_) => {}
                     }
                 }
+                self.sweep_time += sweep_start.elapsed();
             }
             let Some((entering, _)) = entering else {
                 // Apparent optimality. For the floating-point backend, confirm on a
@@ -799,8 +1040,24 @@ impl<'a, S: Scalar> State<'a, S> {
                         .filter(|&j| !self.in_basis[j])
                         .map(|j| self.cost(&phase, j).sub(&self.columns.dot(&y, j)).to_f64())
                         .fold(f64::INFINITY, f64::min);
+                    // Exact backend: the verdict was priced against the
+                    // *incrementally maintained* dual — audit it against a fresh
+                    // dense BTRAN of c_B (the two must agree exactly).
+                    let mut dual_drift = 0usize;
+                    if S::IS_EXACT {
+                        let mut fresh = vec![S::zero(); m];
+                        for (pos, value) in fresh.iter_mut().enumerate() {
+                            *value = self.cost(&phase, self.factor.basis[pos]);
+                        }
+                        self.factor.btran(&mut fresh);
+                        dual_drift = fresh
+                            .iter()
+                            .zip(&y)
+                            .filter(|(a, b)| !a.sub(b).is_exactly_zero())
+                            .count();
+                    }
                     eprintln!(
-                        "[lp] optimality audit: max |Bx-b| = {max_residual:e}, min reduced cost = {min_reduced:e}"
+                        "[lp] optimality audit: max |Bx-b| = {max_residual:e}, min reduced cost = {min_reduced:e}, dual drift rows = {dual_drift}"
                     );
                 }
                 return LpStatus::Optimal;
@@ -1005,6 +1262,7 @@ impl<'a, S: Scalar> State<'a, S> {
             let theta = self.x_basic[leaving].div(&d[leaving]);
             if theta.to_f64().abs() <= 1e-12 {
                 consecutive_degenerate += 1;
+                self.degenerate_pivots += 1;
             } else {
                 consecutive_degenerate = 0;
             }
@@ -1015,12 +1273,51 @@ impl<'a, S: Scalar> State<'a, S> {
                 self.x_basic[row] = self.x_basic[row].sub(&theta.mul(&d[row]));
             }
             self.x_basic[leaving] = theta;
+            // Exact backend: incremental dual update in place of next iteration's
+            // dense `c_B` BTRAN. With B̄ the post-pivot basis, the new dual is
+            // exactly y' = y + (d̄_q / α_r)·ρ_r, where d̄_q is the entering column's
+            // reduced cost (recorded at pricing), α_r = d[leaving] the pivot
+            // element, and ρ_r = e_r B⁻¹ row r of the *pre-pivot* basis inverse —
+            // one BTRAN of a unit vector, which stays sparse through the eta file
+            // (vs the dense cost vector the full recomputation drags through it).
+            // Proof it prices B̄ correctly: for a surviving basic column A_{B(i)},
+            // ρ_r·A_{B(i)} = (e_r)_i = 0, so y'·A_{B(i)} = c_{B(i)} unchanged; for
+            // the entering column, ρ_r·A_q = d_r = α_r, so y'·A_q = (c_q − d̄_q) +
+            // d̄_q = c_q. Exact arithmetic means no drift — the verdict sweep can
+            // trust the maintained dual outright (and `DCA_LP_CHECK` audits it).
+            if S::IS_EXACT {
+                let btran_start = Instant::now();
+                let mut rho = vec![S::zero(); m];
+                rho[leaving] = S::one();
+                self.factor.btran(&mut rho);
+                let gamma = entering_reduced
+                    .take()
+                    .expect("exact pricing always records the entering reduced cost")
+                    .div(&d[leaving]);
+                tick += 1;
+                for (row, (value, r)) in y.iter_mut().zip(&rho).enumerate() {
+                    if !r.is_exactly_zero() {
+                        *value = value.add(&gamma.mul(r));
+                        // Stamp the touched rows (this is what invalidates cached
+                        // reduced costs) and keep the f64 shadow dual in step.
+                        changed_at[row] = tick;
+                        y64[row] = value.to_f64();
+                    }
+                }
+                self.btran_time += btran_start.elapsed();
+            }
             self.in_basis[self.factor.basis[leaving]] = false;
             self.in_basis[entering] = true;
             self.factor.basis[leaving] = entering;
             let pivot_magnitude = d[leaving].to_f64().abs();
             self.factor.push_eta(&d, leaving);
             self.etas_since_reinvert += 1;
+            if let Some(eta) = self.factor.etas.last() {
+                self.eta_nnz_since_reinvert += eta.weight();
+            }
+            if S::IS_EXACT {
+                self.lu_updates += 1;
+            }
             self.iterations += 1;
             if !S::IS_EXACT && pivot_magnitude < 1e-6 {
                 // A small accepted pivot is exactly what compounds into an
@@ -1046,7 +1343,16 @@ impl<'a, S: Scalar> State<'a, S> {
         };
         let basis: Vec<usize> =
             self.factor.basis.iter().copied().filter(|&col| col < n).collect();
-        RevisedOutcome { status, values, basis, iterations: self.iterations, truncated: false }
+        RevisedOutcome {
+            status,
+            values,
+            basis,
+            iterations: self.iterations,
+            truncated: false,
+            lu_updates: self.lu_updates,
+            lu_refactorizations: self.lu_refactorizations,
+            dual: None,
+        }
     }
 }
 

@@ -45,6 +45,13 @@ pub trait Scalar: Clone + std::fmt::Debug + PartialEq {
     fn is_negative(&self) -> bool;
     /// Strict comparison used by the ratio test.
     fn lt(&self, other: &Self) -> bool;
+    /// Approximate arithmetic cost of carrying this value through a solve, in
+    /// machine-word units (1 for fixed-width scalars). The exact backend's
+    /// eta-file growth monitor sums this over stored entries so that rational
+    /// bit-length blowup — not just fill-in — triggers refactorization.
+    fn complexity(&self) -> usize {
+        1
+    }
 }
 
 /// Absolute tolerance used by the floating-point backend.
@@ -147,6 +154,9 @@ impl Scalar for Rational {
     }
     fn lt(&self, other: &Self) -> bool {
         self < other
+    }
+    fn complexity(&self) -> usize {
+        self.storage_weight()
     }
 }
 

@@ -58,6 +58,12 @@ pub(crate) struct RawSolution<S> {
     /// `true` when the deadline expired during phase 2 and the reported optimum is
     /// the last feasible (sound but possibly loose) iterate.
     pub truncated: bool,
+    /// The terminal dual `y = c_B B⁻¹` of a *proven* exact optimum, over the rows
+    /// of the form the simplex actually pivoted on (post-presolve). Only the exact
+    /// backend fills this in (the `f64` dual certifies nothing), and only for
+    /// non-truncated `Optimal`; the row-generation driver prices excluded columns
+    /// against it without a separate Markowitz re-derivation.
+    pub dual: Option<Vec<S>>,
     /// Per-phase effort accounting (populated by the float-first driver; the plain
     /// single-backend paths leave it at its defaults).
     pub phases: PhaseStats,
@@ -73,6 +79,7 @@ impl<S> RawSolution<S> {
             presolve_rows_removed: 0,
             presolve_cols_removed: 0,
             truncated: false,
+            dual: None,
             phases: PhaseStats::default(),
         }
     }
@@ -614,6 +621,9 @@ pub(crate) fn solve_standard_form_inner<S: Scalar>(
     } else {
         outcome.values = Vec::new();
     }
+    let mut phases = PhaseStats::default();
+    phases.lu_updates = outcome.lu_updates;
+    phases.lu_refactorizations = outcome.lu_refactorizations;
     RawSolution {
         status: outcome.status,
         values: outcome.values,
@@ -622,7 +632,10 @@ pub(crate) fn solve_standard_form_inner<S: Scalar>(
         presolve_rows_removed: 0,
         presolve_cols_removed: 0,
         truncated: outcome.truncated,
-        phases: PhaseStats::default(),
+        // Exact runs skip equilibration entirely, so the revised simplex's terminal
+        // dual needs no unscaling; the `f64` backend never sets one.
+        dual: outcome.dual,
+        phases,
     }
 }
 
@@ -643,6 +656,9 @@ fn solve_dense<S: Scalar>(
         basis: Vec::new(),
         iterations: 0,
         truncated: false,
+        lu_updates: 0,
+        lu_refactorizations: 0,
+        dual: None,
     };
 
     // Phase 1: add one artificial variable per row and minimize their sum.
@@ -772,6 +788,11 @@ fn solve_dense<S: Scalar>(
         basis: tableau.basis.iter().copied().filter(|&b| b < num_structural).collect(),
         iterations,
         truncated,
+        // The dense tableau maintains no LU at all; its pivots are neither eta
+        // updates nor refactorizations.
+        lu_updates: 0,
+        lu_refactorizations: 0,
+        dual: None,
     }
 }
 

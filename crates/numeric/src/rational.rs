@@ -219,6 +219,18 @@ impl Rational {
         matches!(self.repr, Repr::Small(..))
     }
 
+    /// Approximate storage (and arithmetic) cost of this value in 128-bit words:
+    /// `1` on the inline fast path, the combined numerator/denominator limb count
+    /// scaled to 128-bit units otherwise. Cheap (no allocation); used by the exact
+    /// LP basis to decide when accumulated eta-file entries have grown expensive
+    /// enough that a fresh factorization pays for itself.
+    pub fn storage_weight(&self) -> usize {
+        match &self.repr {
+            Repr::Small(..) => 1,
+            Repr::Big(n, d) => 1 + (n.bits() + d.bits()) / 128,
+        }
+    }
+
     /// Numerator (sign-carrying).
     pub fn numerator(&self) -> BigInt {
         match &self.repr {

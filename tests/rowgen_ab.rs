@@ -1,0 +1,121 @@
+//! A/B equivalence check for lazy Handelman row generation: solving with the
+//! separation loop enabled (the default) and disabled (`DCA_LP_NO_ROWGEN=1`, which
+//! activates every product multiplier eagerly) must produce *bit-identical*
+//! thresholds and identical certification status. Row generation is a pure
+//! performance device — the final certificate is priced against the full product
+//! set, so any divergence is a separation bug, not a tolerance issue.
+//!
+//! This lives in its own integration-test binary because the switch is a
+//! process-wide environment variable; sharing a binary with other tests would race —
+//! and the tests *in* this binary serialize on [`ENV_LOCK`] for the same reason
+//! (same pattern as `tests/presolve_ab.rs`).
+
+use std::sync::Mutex;
+
+use diffcost::benchmarks::table2::{table2_manifest, table2_options};
+use diffcost::benchmarks::{all_benchmarks, running_example, Benchmark};
+use diffcost::prelude::*;
+
+/// Guards every section that toggles `DCA_LP_NO_ROWGEN` (cargo runs the tests of
+/// one binary on parallel threads by default).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// The observable outcome the A/B must preserve: the threshold's exact bits, its
+/// integer rounding, and whether the LP answer carried an exact certificate.
+/// Failures compare by error kind.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Solved { threshold_bits: u64, threshold_int: i64, certified: bool },
+    Failed(std::mem::Discriminant<AnalysisError>),
+}
+
+fn outcome(result: &Result<DiffCostResult, AnalysisError>) -> Outcome {
+    match result {
+        Ok(r) => Outcome::Solved {
+            threshold_bits: r.threshold.to_bits(),
+            threshold_int: r.threshold_int(),
+            certified: r.stats.lp_certified,
+        },
+        Err(e) => Outcome::Failed(std::mem::discriminant(e)),
+    }
+}
+
+/// Runs one closure with row generation on, then off, and demands identical
+/// outcomes. The caller holds [`ENV_LOCK`].
+fn assert_rowgen_invariant<F>(name: &str, solve: F)
+where
+    F: Fn() -> Result<DiffCostResult, AnalysisError>,
+{
+    let with_rowgen = outcome(&solve());
+    std::env::set_var("DCA_LP_NO_ROWGEN", "1");
+    let eager = outcome(&solve());
+    std::env::remove_var("DCA_LP_NO_ROWGEN");
+    assert_eq!(
+        with_rowgen, eager,
+        "{name}: row generation changed the verdict (lazy {with_rowgen:?} vs eager {eager:?})"
+    );
+}
+
+fn check_benchmark(benchmark: &Benchmark) {
+    // The Table-1 suite's per-attempt budget. Without it the *eager* `nested`
+    // proof — deadline-truncated in every recorded benchmark run — pivots for
+    // hours. Hitting the budget is part of the observable outcome being compared
+    // (threshold + certified flag), exactly as `BENCH_table1.json` records it.
+    let options =
+        benchmark.options().with_time_budget(std::time::Duration::from_secs(240));
+    assert_rowgen_invariant(benchmark.name, || {
+        DiffCostSolver::new(options.clone())
+            .solve(&benchmark.new_program(), &benchmark.old_program())
+    });
+}
+
+fn check_table2_pair(pair: &diffcost::ir::GeneratedPair) {
+    let new = AnalyzedProgram::from_source(&pair.source_new).expect("generated source");
+    let old = AnalyzedProgram::from_source(&pair.source_old).expect("generated source");
+    assert_rowgen_invariant(&pair.name, || {
+        DiffCostSolver::new(table2_options(pair)).solve(&new, &old)
+    });
+}
+
+/// Fast smoke slice: a few Table-1 rows spanning zero / non-zero / infeasible-rung
+/// verdicts plus a strided handful of generated pairs. Runs on every `cargo test`.
+#[test]
+fn rowgen_and_eager_agree_on_fast_pairs() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    const SUBSET: [&str; 4] = ["SimpleSingle", "SimpleSingle2", "sum", "ddec modified"];
+    for name in SUBSET {
+        let benchmark = all_benchmarks().into_iter().find(|b| b.name == name).unwrap();
+        check_benchmark(&benchmark);
+    }
+    let manifest = table2_manifest();
+    for pair in manifest.iter().step_by(manifest.len() / 10).take(10) {
+        check_table2_pair(pair);
+    }
+}
+
+/// The full Table-1 A/B (all 19 paper rows + the running example). `nested` alone
+/// runs for minutes eagerly, so this is opt-in: `cargo test -- --ignored`.
+#[test]
+#[ignore = "slow: eager nested solve takes minutes; run with -- --ignored"]
+fn rowgen_and_eager_agree_on_all_table1_pairs() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut benchmarks = all_benchmarks();
+    benchmarks.push(running_example());
+    assert_eq!(benchmarks.len(), 20, "Table 1 is 19 rows plus the running example");
+    for benchmark in &benchmarks {
+        check_benchmark(benchmark);
+    }
+}
+
+/// A 50-pair strided sample of the generated Table-2 corpus. Opt-in for the same
+/// wall-clock reason: 100 solves of mid-size LPs.
+#[test]
+#[ignore = "slow: 50 pairs x 2 solves; run with -- --ignored"]
+fn rowgen_and_eager_agree_on_table2_sample() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let manifest = table2_manifest();
+    assert!(manifest.len() >= 50);
+    for pair in manifest.iter().step_by(manifest.len() / 50).take(50) {
+        check_table2_pair(pair);
+    }
+}
