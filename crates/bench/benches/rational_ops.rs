@@ -60,7 +60,7 @@ fn sample_pool() -> Vec<Rational> {
 
 fn main() {
     let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with("--"));
-    let wants = |name: &str| filter.as_deref().map_or(true, |f| name.contains(f));
+    let wants = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
     let pool = sample_pool();
 
     if wants("add_mul_mix") {
@@ -154,7 +154,8 @@ fn main() {
         let updates: Vec<_> = (0..64).map(|i| make_eta(i % m)).collect();
         let b: Vec<Rational> =
             (0..m).map(|i| Rational::new(i as i64 - 40, 1 + i as i64 % 5)).collect();
-        let ftran = |etas: &[&[(usize, Rational, Vec<(usize, Rational)>)]], x: &mut Vec<Rational>| {
+        type Eta = (usize, Rational, Vec<(usize, Rational)>);
+        let ftran = |etas: &[&[Eta]], x: &mut Vec<Rational>| {
             for chain in etas {
                 for (pivot, pivot_value, others) in *chain {
                     x[*pivot] = &x[*pivot] / pivot_value;

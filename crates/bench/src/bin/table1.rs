@@ -60,7 +60,7 @@ fn main() {
     // `--json` takes an optional path, consumed only when the next argument ends in
     // `.json` (benchmark-name filters never do, so the grammar stays unambiguous).
     let json_takes_value = |pos: usize| {
-        args.get(pos + 1).map_or(false, |next| next.ends_with(".json"))
+        args.get(pos + 1).is_some_and(|next| next.ends_with(".json"))
     };
     let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|pos| {
         if json_takes_value(pos) {

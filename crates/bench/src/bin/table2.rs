@@ -22,7 +22,7 @@
 //! Exit code 0 requires: every pair solved, 100% sampled-sound, 100% differential
 //! agreement (when run), ≥90% of pairs proven tight *and* lp-certified, and no
 //! >2x per-row time regression against the committed baseline (rows without a
-//! baseline entry are skipped — new pairs never fail CI on first introduction).
+//! > baseline entry are skipped — new pairs never fail CI on first introduction).
 
 use std::process::exit;
 use std::time::Duration;
@@ -65,7 +65,7 @@ fn main() {
     let samples: usize = parse_flag(&args, "--samples").unwrap_or(6);
     let differential = !args.iter().any(|a| a == "--no-differential");
     let json_takes_value =
-        |pos: usize| args.get(pos + 1).map_or(false, |next| next.ends_with(".json"));
+        |pos: usize| args.get(pos + 1).is_some_and(|next| next.ends_with(".json"));
     let json_path: Option<String> = args.iter().position(|a| a == "--json").map(|pos| {
         if json_takes_value(pos) {
             args[pos + 1].clone()

@@ -57,6 +57,11 @@ pub struct TableRow {
     pub lu_updates: usize,
     /// Full Markowitz refactorizations performed mid-run by the exact simplex.
     pub lu_refactorizations: usize,
+    /// Transitions dropped by the exact infeasible-premise pruner during encoding.
+    pub transitions_pruned: usize,
+    /// Loop-phase splits applied to the winning solve (0 = unsplit system won or
+    /// no phase structure was detected).
+    pub phases_split: usize,
 }
 
 impl TableRow {
@@ -116,6 +121,11 @@ impl TableRow {
                 .stats()
                 .map(|s| s.lp_lu_refactorizations)
                 .unwrap_or(0),
+            transitions_pruned: outcome
+                .stats()
+                .map(|s| s.transitions_pruned)
+                .unwrap_or(0),
+            phases_split: outcome.stats().map(|s| s.phases_split).unwrap_or(0),
         }
     }
 }
@@ -161,6 +171,8 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             separation_rounds: result.stats.lp_separation_rounds,
             lu_updates: result.stats.lp_lu_updates,
             lu_refactorizations: result.stats.lp_lu_refactorizations,
+            transitions_pruned: result.stats.transitions_pruned,
+            phases_split: result.stats.phases_split,
         },
         Err(_) => TableRow {
             name: benchmark.name.to_string(),
@@ -185,6 +197,8 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             separation_rounds: 0,
             lu_updates: 0,
             lu_refactorizations: 0,
+            transitions_pruned: 0,
+            phases_split: 0,
         },
     }
 }
@@ -317,7 +331,8 @@ pub fn format_json(run: &SuiteRun) -> String {
                     "\"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, ",
                     "\"products_total\": {}, \"products_generated\": {}, ",
                     "\"separation_rounds\": {}, \"lu_updates\": {}, ",
-                    "\"lu_refactorizations\": {}}}"
+                    "\"lu_refactorizations\": {}, ",
+                    "\"transitions_pruned\": {}, \"phases_split\": {}}}"
                 ),
                 escape(&row.name),
                 escape(&row.group),
@@ -347,6 +362,8 @@ pub fn format_json(run: &SuiteRun) -> String {
                 row.separation_rounds,
                 row.lu_updates,
                 row.lu_refactorizations,
+                row.transitions_pruned,
+                row.phases_split,
             )
         })
         .collect();
@@ -385,6 +402,7 @@ pub fn format_history_line_tagged(
     format!(
         "{{\"date\": \"{}\", \"commit\": \"{}\", \"suite\": \"{}\", \"jobs\": {}, \
          \"tight\": {}, \"total\": {}, \
+         \"transitions_pruned\": {}, \"phases_split\": {}, \
          \"wall_clock_s\": {:.2}, \"cpu_time_s\": {:.2}, \"row_seconds\": {{{}}}}}",
         escape(date),
         escape(commit),
@@ -392,6 +410,8 @@ pub fn format_history_line_tagged(
         run.jobs,
         run.rows.iter().filter(|r| r.is_tight()).count(),
         run.rows.len(),
+        run.rows.iter().map(|r| r.transitions_pruned).sum::<usize>(),
+        run.rows.iter().map(|r| r.phases_split).sum::<usize>(),
         run.wall_clock.as_secs_f64(),
         run.cpu_time.as_secs_f64(),
         rows.join(", "),
@@ -560,6 +580,11 @@ pub fn table2_row(
             .stats()
             .map(|s| s.lp_lu_refactorizations)
             .unwrap_or(0),
+        transitions_pruned: outcome
+            .stats()
+            .map(|s| s.transitions_pruned)
+            .unwrap_or(0),
+        phases_split: outcome.stats().map(|s| s.phases_split).unwrap_or(0),
     }
 }
 
@@ -607,7 +632,7 @@ pub fn format_table2_json(
                     "\"sound\": {}, \"agree\": {}, ",
                     "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
                     "\"lp_certified\": {}, \"lp_truncated\": {}, ",
-                    "\"transitions_pruned\": {}}}"
+                    "\"transitions_pruned\": {}, \"phases_split\": {}}}"
                 ),
                 escape(&r.table.name),
                 escape(&r.table.group),
@@ -629,6 +654,7 @@ pub fn format_table2_json(
                 r.table.lp_certified,
                 r.table.lp_truncated,
                 r.pruned,
+                r.table.phases_split,
             )
         })
         .collect();
@@ -680,6 +706,8 @@ mod tests {
             separation_rounds: 2,
             lu_updates: 40,
             lu_refactorizations: 1,
+            transitions_pruned: 3,
+            phases_split: 1,
         };
         let run = SuiteRun {
             rows: vec![row],
@@ -752,6 +780,8 @@ mod tests {
             separation_rounds: 0,
             lu_updates: 0,
             lu_refactorizations: 0,
+            transitions_pruned: 2,
+            phases_split: 1,
         };
         let rows = vec![Table2Row {
             table,
@@ -817,9 +847,11 @@ mod tests {
             separation_rounds: 2,
             lu_updates: 40,
             lu_refactorizations: 1,
+            transitions_pruned: 3,
+            phases_split: 1,
         };
         assert!(row.is_tight());
-        let table = format_table(&[row.clone()]);
+        let table = format_table(std::slice::from_ref(&row));
         assert!(table.contains("Example"));
         assert!(table.contains("yes"));
         let failed = TableRow {
@@ -845,9 +877,11 @@ mod tests {
             separation_rounds: 0,
             lu_updates: 0,
             lu_refactorizations: 0,
+            transitions_pruned: 0,
+            phases_split: 0,
         };
         assert!(!failed.is_tight());
-        assert!(format_table(&[failed.clone()]).contains('x'));
+        assert!(format_table(std::slice::from_ref(&failed)).contains('x'));
 
         // The JSON rendering carries the same information, machine-readably.
         let run = SuiteRun {

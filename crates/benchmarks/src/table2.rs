@@ -50,11 +50,16 @@ fn delta_reps(depth: u32) -> u64 {
 /// Equivalent-rewrite repetitions per (depth, phases, padding) cell.
 const EQUIV_REPS: u64 = 2;
 
+/// Phase-flip repetitions per (depth, phases, padding) cell.
+const FLIP_REPS: u64 = 3;
+
 /// The full Table-2 manifest, in deterministic grid order.
 ///
 /// Grid: depth 1–3 × phases 1–2 × dependent × disjunctive × padding, 6/4/2 seeds per
 /// cell by depth (96 + 64 + 32 = 192 delta pairs), plus depth 1–3 × phases 1–2 ×
-/// padding equivalent rewrites, 2 seeds per cell (24 pairs) — 216 pairs total.
+/// padding equivalent rewrites, 2 seeds per cell (24 pairs), plus depth 1–2 ×
+/// phases 1–2 × padding phase-flip deltas, 3 seeds per cell (24 pairs) — 240 pairs
+/// total.
 pub fn table2_manifest() -> Vec<GeneratedPair> {
     let mut pairs = Vec::new();
     let mut index = 0u64;
@@ -69,6 +74,7 @@ pub fn table2_manifest() -> Vec<GeneratedPair> {
                             dependent,
                             disjunctive,
                             padding,
+                            phase_flip: false,
                             kind: PairKind::Delta,
                         };
                         for _ in 0..delta_reps(depth) {
@@ -89,9 +95,33 @@ pub fn table2_manifest() -> Vec<GeneratedPair> {
                     dependent: false,
                     disjunctive: false,
                     padding,
+                    phase_flip: false,
                     kind: PairKind::Equivalent,
                 };
                 for _ in 0..EQUIV_REPS {
+                    pairs.push(generate_pair(TABLE2_SEED ^ (index * 0x9E37), &shape));
+                    index += 1;
+                }
+            }
+        }
+    }
+    // Phase-flip delta pairs, appended after the original 216-pair grid so every
+    // pre-existing pair keeps its seed (the golden sources depend on `index`).
+    // The flip interacts with depth and padding but not with the dependent /
+    // disjunctive injections, so those axes stay off to contain solver time.
+    for depth in 1..=2u32 {
+        for phases in 1..=2u32 {
+            for padding in [false, true] {
+                let shape = ShapeParams {
+                    depth,
+                    phases,
+                    dependent: false,
+                    disjunctive: false,
+                    padding,
+                    phase_flip: true,
+                    kind: PairKind::Delta,
+                };
+                for _ in 0..FLIP_REPS {
                     pairs.push(generate_pair(TABLE2_SEED ^ (index * 0x9E37), &shape));
                     index += 1;
                 }
@@ -283,6 +313,7 @@ mod tests {
         assert!(manifest.iter().any(|p| p.shape.dependent));
         assert!(manifest.iter().any(|p| p.shape.disjunctive));
         assert!(manifest.iter().any(|p| p.shape.padding));
+        assert!(manifest.iter().any(|p| p.shape.phase_flip));
         assert!(manifest.iter().any(|p| p.shape.kind == PairKind::Equivalent));
         assert!(manifest.iter().all(|p| p.max_block_len <= dca_ir::MAX_BLOCK_STATEMENTS));
     }
@@ -291,8 +322,11 @@ mod tests {
     fn smoke_subset_is_small_and_cheap() {
         let subset = table2_smoke();
         assert!(!subset.is_empty());
-        assert!(subset.len() <= 20, "smoke must stay bounded, got {}", subset.len());
+        assert!(subset.len() <= 24, "smoke must stay bounded, got {}", subset.len());
         assert!(subset.iter().all(|p| p.shape.depth <= 2 && p.shape.phases == 1));
+        // The phase-flip cells must be represented: the smoke step is what gates
+        // the split pass on every push.
+        assert!(subset.iter().any(|p| p.shape.phase_flip));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! options for diff/bound:
 //!   --degree D          template degree d = K (default 2)
 //!   --max-products K    Handelman product bound K, overriding K = D
-//!   --backend f64|exact LP backend (default f64)
+//!   --backend certified|f64|exact LP backend (default certified)
 //!   --invariant-tier T  invariant precision: 0 baseline, 1 hull, 2 relational (default 0)
 //!   --escalate          discover degree and invariant tier automatically
 //!                       (tiers climb first, then degrees 1 -> 2 -> 3)
@@ -94,7 +94,7 @@ fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: dca <diff old new | bound program | show program | suite> \
-                 [--degree D] [--max-products K] [--backend f64|exact] \
+                 [--degree D] [--max-products K] [--backend certified|f64|exact] \
                  [--invariant-tier 0|1|2] [--escalate] [--jobs N] [--timeout SECS]";
     let Some(command) = args.first() else {
         eprintln!("{usage}");
@@ -146,8 +146,18 @@ fn run_diff(old_path: &str, new_path: &str, args: &[String]) -> Result<(), Strin
     println!("LP: {} variables, {} constraints ({} before dedup), {:?}",
         result.stats.lp_variables, result.stats.lp_constraints,
         result.stats.lp_constraints_raw, result.stats.duration);
-    println!("\npotential function (new version):\n{}", result.potential_new.render(&new.ts));
-    println!("anti-potential function (old version):\n{}", result.anti_potential_old.render(&old.ts));
+    // A winning phase-split analysis keys its witnesses over the split systems'
+    // locations, carried in the result; render against those, not the inputs.
+    let (ts_new, ts_old) = match result.split_systems.as_deref() {
+        Some((split_new, split_old)) => {
+            println!("loop-phase splitting: {} split(s) analyzed; witnesses are over the split system(s)",
+                result.stats.phases_split);
+            (split_new, split_old)
+        }
+        None => (&new.ts, &old.ts),
+    };
+    println!("\npotential function (new version):\n{}", result.potential_new.render(ts_new));
+    println!("anti-potential function (old version):\n{}", result.anti_potential_old.render(ts_old));
     Ok(())
 }
 
@@ -158,8 +168,12 @@ fn run_bound(path: &str, args: &[String]) -> Result<(), String> {
     println!("precision gap: {:.4}", result.threshold);
     println!("template degree: {degree}");
     println!("invariant tier: {tier}");
-    println!("\nupper cost bound:\n{}", result.potential_new.render(&program.ts));
-    println!("lower cost bound:\n{}", result.anti_potential_old.render(&program.ts));
+    let (ts_upper, ts_lower) = match result.split_systems.as_deref() {
+        Some((split_new, split_old)) => (split_new, split_old),
+        None => (&program.ts, &program.ts),
+    };
+    println!("\nupper cost bound:\n{}", result.potential_new.render(ts_upper));
+    println!("lower cost bound:\n{}", result.anti_potential_old.render(ts_lower));
     Ok(())
 }
 
@@ -191,8 +205,8 @@ fn run_suite_command(args: &[String]) -> Result<(), String> {
         invariant_tier,
     });
     println!(
-        "{:<21} | {:>10} | {} | {} | {:>8}",
-        "benchmark", "threshold", "d", "t", "time (s)"
+        "{:<21} | {:>10} | d | t | {:>8}",
+        "benchmark", "threshold", "time (s)"
     );
     println!("{:-<21}-+-{:->10}-+---+---+-{:->8}", "", "", "");
     for outcome in &report.outcomes {

@@ -26,6 +26,9 @@ use crate::solver::{AnalysisError, DiffCostResult, DiffCostSolver, SolveStats};
 /// Source-text jobs are parsed, lowered and invariant-analyzed *inside* the worker, so
 /// the whole front half of the pipeline parallelizes too; pre-analyzed jobs let callers
 /// share an [`AnalyzedProgram`] they already have.
+// `Analyzed` dwarfs `Source`, but jobs are built once per pair and never stored in
+// bulk, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum PairInput {
     /// Both versions already analyzed.
@@ -94,6 +97,7 @@ impl BatchJob {
 
 /// Configuration of one batch run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub struct BatchConfig {
     /// Number of worker threads. `0` means "one per available CPU"; the effective
     /// count is always clamped to the number of jobs.
@@ -107,11 +111,6 @@ pub struct BatchConfig {
     pub time_budget: Option<Duration>,
 }
 
-impl Default for BatchConfig {
-    fn default() -> Self {
-        BatchConfig { jobs: 0, escalation: None, time_budget: None }
-    }
-}
 
 impl BatchConfig {
     /// A fixed-degree configuration with the given worker count.

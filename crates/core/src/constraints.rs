@@ -171,10 +171,12 @@ pub fn collect_program_constraints(
         aff.extend(transition.guard.iter().cloned());
 
         // Vacuous implication: an infeasible premise proves nothing and its Handelman
-        // products only destabilize the LP — skip the transition entirely.
-        let mut premise = dca_invariants::Polyhedron::from_constraints(aff.iter().cloned());
-        premise.normalize_emptiness();
-        if premise.is_bottom() {
+        // products only destabilize the LP — skip the transition entirely. The check is
+        // exact (rational simplex), so an f64 infeasibility artifact can never prune a
+        // premise that is actually satisfiable; this matters for phase-split systems,
+        // whose stale phase-copies of branch edges are exactly what gets dropped here.
+        let premise = dca_invariants::Polyhedron::from_constraints(aff.iter().cloned());
+        if premise.definitely_empty_exact() {
             pruned += 1;
             continue;
         }

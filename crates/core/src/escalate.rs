@@ -203,7 +203,7 @@ pub fn solve_with_escalation(
             };
             let (outcome, basis) =
                 DiffCostSolver::new(options).solve_with_warm_start(new_t, old_t, warm.as_ref());
-            if basis.as_ref().map_or(false, |b| !b.is_empty()) {
+            if basis.as_ref().is_some_and(|b| !b.is_empty()) {
                 warm = basis;
             }
             let duration = start.elapsed();

@@ -73,6 +73,11 @@ pub struct AnalysisOptions {
     /// assembled, so the option is honored regardless of how the
     /// [`crate::AnalyzedProgram`] was produced.
     pub invariant_tier: InvariantTier,
+    /// Whether the solver may apply loop-phase splitting (`dca_ir::split_phases`)
+    /// and keep the better of the split and unsplit answers. On by default; the
+    /// `DCA_NO_SPLIT=1` environment variable disables it process-wide regardless
+    /// of this flag (the A/B escape hatch mirroring `DCA_LP_NO_ROWGEN`).
+    pub phase_split: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -84,6 +89,7 @@ impl Default for AnalysisOptions {
             backend: LpBackend::Certified,
             time_budget: None,
             invariant_tier: InvariantTier::Baseline,
+            phase_split: true,
         }
     }
 }
@@ -143,6 +149,18 @@ impl AnalysisOptions {
         self.invariant_tier = tier;
         self
     }
+
+    /// Enables or disables loop-phase splitting for this solve.
+    ///
+    /// ```
+    /// use dca_core::AnalysisOptions;
+    /// assert!(AnalysisOptions::default().phase_split);
+    /// assert!(!AnalysisOptions::default().without_phase_split().phase_split);
+    /// ```
+    pub fn without_phase_split(mut self) -> AnalysisOptions {
+        self.phase_split = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +174,7 @@ mod tests {
         assert_eq!(options.max_products, 2);
         assert!(!options.include_cost_in_template);
         assert_eq!(options.backend, LpBackend::Certified);
+        assert!(options.phase_split);
     }
 
     #[test]

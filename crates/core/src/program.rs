@@ -104,6 +104,39 @@ impl AnalyzedProgram {
         }
     }
 
+    /// Applies loop-phase splitting ([`dca_ir::split_phases`]) to this program and
+    /// re-analyzes the split system at the given tier, so every phase copy gets its
+    /// own invariants (and, downstream, its own potential template).
+    ///
+    /// Source `invariant(...)` annotations are replayed onto *every* phase copy of
+    /// their location: an annotation holds at a location of the original system,
+    /// and each copy only sees a subset of the runs that reach that location.
+    ///
+    /// Returns the split program together with the number of loop splits applied,
+    /// or `None` when the program has no detectable phase structure.
+    pub fn split_phases_at_tier(
+        &self,
+        tier: InvariantTier,
+    ) -> Option<(AnalyzedProgram, usize)> {
+        let split = dca_ir::split_phases(&self.ts)?;
+        let splits = split.splits.len();
+        let annotations: Vec<(LocId, Vec<LinExpr>)> = self
+            .annotations
+            .iter()
+            .flat_map(|(loc, constraints)| {
+                split
+                    .copies_of(*loc)
+                    .iter()
+                    .map(|copy| (*copy, constraints.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut analyzed = AnalyzedProgram::from_ts_at_tier(split.ts, tier);
+        analyzed.annotations = annotations;
+        analyzed.apply_annotations();
+        Some((analyzed, splits))
+    }
+
     /// The program name (from the `proc` declaration or the builder).
     pub fn name(&self) -> &str {
         self.ts.name()

@@ -5,7 +5,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use dca_handelman::{encode_nonnegativity, ConstraintSense, UnknownConstraint, UnknownFactory, UnknownKind};
-use dca_ir::IntValuation;
+use dca_ir::{IntValuation, TransitionSystem};
 use dca_lp::{ConstraintOp, LpBasis, LpProblem, LpStatus, LpVar, VarKind};
 use dca_numeric::Rational;
 use dca_poly::{LinExpr, LinForm, Polynomial, TemplatePolynomial, UnknownId, VarId};
@@ -101,6 +101,13 @@ pub struct SolveStats {
     /// infeasible (vacuous implications; pruning is sound and keeps
     /// contradictory-premise Handelman products away from the simplex).
     pub transitions_pruned: usize,
+    /// Loop-phase splits the solver detected and analyzed across both program
+    /// sides (see `dca_ir::split_phases`). When non-zero, a second solve ran on
+    /// the split system(s) and the reported result is the better of the two;
+    /// when zero — no split detected, or splitting disabled via
+    /// [`crate::AnalysisOptions::phase_split`] / `DCA_NO_SPLIT=1` — the result
+    /// is bit-identical to the plain unsplit solve.
+    pub phases_split: usize,
     /// Lazy row-generation candidate columns (degree-≥-2 Handelman multipliers)
     /// that survived LP presolve. 0 when row generation did not run.
     pub lp_products_total: usize,
@@ -128,6 +135,15 @@ pub struct DiffCostResult {
     pub potential_new: PotentialFunction,
     /// The anti-potential function for the old program.
     pub anti_potential_old: PotentialFunction,
+    /// The `(new, old)` transition systems the witnesses are keyed over, when they
+    /// differ from the input programs — i.e. when the phase-split analysis produced
+    /// the reported result. The split pass renames and adds locations, so
+    /// [`potential_new`](DiffCostResult::potential_new) and
+    /// [`anti_potential_old`](DiffCostResult::anti_potential_old) must be rendered
+    /// and evaluated against these systems, not the inputs. `None` when the unsplit
+    /// analysis won (the common case): the witnesses are keyed over the input
+    /// systems themselves.
+    pub split_systems: Option<Box<(TransitionSystem, TransitionSystem)>>,
     /// Solve statistics.
     pub stats: SolveStats,
 }
@@ -245,7 +261,60 @@ impl DiffCostSolver {
     /// basis of a *failed*, infeasible attempt — puts the simplex within a few pivots
     /// of the new optimum. The returned basis is `Some` whenever an LP actually ran,
     /// regardless of the analysis outcome.
+    ///
+    /// When [`AnalysisOptions::phase_split`] is on (the default) and
+    /// `dca_ir::split_phases` finds a phase structure in either program, a second
+    /// solve runs on the split system(s) and the better (smaller-threshold) of the
+    /// two answers is reported, with [`SolveStats::phases_split`] recording how many
+    /// splits were analyzed. The returned warm-start basis is always the *unsplit*
+    /// solve's basis: split systems rename locations, so their unknowns cannot seed
+    /// a later unsplit rung. `DCA_NO_SPLIT=1` disables splitting process-wide.
     pub fn solve_with_warm_start(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        warm: Option<&LpBasis>,
+    ) -> (Result<DiffCostResult, AnalysisError>, Option<LpBasis>) {
+        let (base_result, base_basis) = self.solve_unsplit(new, old, warm);
+        if !self.options.phase_split || std::env::var("DCA_NO_SPLIT").is_ok() {
+            return (base_result, base_basis);
+        }
+        let tier = self.options.invariant_tier;
+        let split_new = new.split_phases_at_tier(tier);
+        let split_old = old.split_phases_at_tier(tier);
+        let phases_split = split_new.as_ref().map_or(0, |(_, n)| *n)
+            + split_old.as_ref().map_or(0, |(_, n)| *n);
+        if phases_split == 0 {
+            return (base_result, base_basis);
+        }
+        let new_side = split_new.map_or_else(|| new.clone(), |(program, _)| program);
+        let old_side = split_old.map_or_else(|| old.clone(), |(program, _)| program);
+        // No warm basis: the split system's locations (hence unknown names) differ.
+        let (split_result, _) = self.solve_unsplit(&new_side, &old_side, None);
+        let stamped = |mut result: DiffCostResult| {
+            result.stats.phases_split = phases_split;
+            result
+        };
+        // A winning split result carries the split systems along: its witnesses are
+        // keyed by the split systems' locations, and rendering or evaluating them
+        // against the input systems would be out of bounds (or silently wrong).
+        let stamped_split = |mut result: DiffCostResult| {
+            result.split_systems = Some(Box::new((new_side.ts.clone(), old_side.ts.clone())));
+            stamped(result)
+        };
+        let merged = match (base_result, split_result) {
+            (Ok(base), Ok(split)) if split.threshold < base.threshold => Ok(stamped_split(split)),
+            (Ok(base), _) => Ok(stamped(base)),
+            (Err(_), Ok(split)) => Ok(stamped_split(split)),
+            (Err(base), Err(_)) => Err(base),
+        };
+        (merged, base_basis)
+    }
+
+    /// The plain single-system solve behind [`DiffCostSolver::solve_with_warm_start`]:
+    /// encodes and solves exactly the two programs it is given, with no phase-split
+    /// attempt.
+    fn solve_unsplit(
         &self,
         new: &AnalyzedProgram,
         old: &AnalyzedProgram,
@@ -280,6 +349,7 @@ impl DiffCostSolver {
                 threshold: objective_value,
                 potential_new: templates_new.instantiate(&assignment),
                 anti_potential_old: templates_old.instantiate(&assignment),
+                split_systems: None,
                 stats,
             }
         });
@@ -528,7 +598,7 @@ impl DiffCostSolver {
             // premise set) and completeness-preserving, and prunes the product pool.
             let cost = new.ts.cost_var();
             theta0.retain(|expr| {
-                !(expr.vars().iter().all(|&v| v == cost) && !expr.is_constant())
+                expr.is_constant() || !expr.vars().iter().all(|&v| v == cost)
             });
         }
         (phi0, chi0, theta0)
@@ -566,8 +636,10 @@ impl DiffCostSolver {
         // along — the degree-3 `nested` encoding sheds thousands of rows here — and
         // neither changes the feasible set, so they are dropped up front.
         let raw_rows = set.constraints().len();
-        let mut seen: std::collections::HashSet<(Vec<(LpVar, Rational)>, bool, Rational)> =
-            std::collections::HashSet::new();
+        // One row, canonicalized: sorted (column, coefficient) terms, equality flag,
+        // right-hand side.
+        type RowKey = (Vec<(LpVar, Rational)>, bool, Rational);
+        let mut seen: std::collections::HashSet<RowKey> = std::collections::HashSet::new();
         for constraint in set.constraints() {
             let terms: Vec<(LpVar, Rational)> = constraint
                 .form
@@ -624,8 +696,10 @@ impl DiffCostSolver {
             presolve_rows_removed: info.presolve_rows_removed,
             presolve_cols_removed: info.presolve_cols_removed,
             // Filled in by the callers that know their program pair (pruning happens
-            // during constraint collection, before the LP exists).
+            // during constraint collection, and phase splitting around whole solves —
+            // both before/outside the LP).
             transitions_pruned: 0,
+            phases_split: 0,
             lp_products_total: info.products_total,
             lp_products_generated: info.products_generated,
             lp_separation_rounds: info.separation_rounds,

@@ -130,7 +130,7 @@ fn corner_satisfies(program: &AnalyzedProgram, corner: &IntValuation) -> bool {
                 .collect(),
         );
         // `cost` is absent from the corner; constraints mentioning it are checked later.
-        c.vars().iter().all(|v| corner.contains_key(v)) == false || !value.is_negative()
+        !c.vars().iter().all(|v| corner.contains_key(v)) || !value.is_negative()
     })
 }
 

@@ -180,7 +180,7 @@ impl InvariantAnalysis {
         // both shrinks the downstream LP and speeds up further entailment checks.
         let reduce_above = if self.tier == InvariantTier::Baseline { 12 } else { 0 };
         for polyhedron in invariants.values_mut() {
-            if polyhedron.constraints().map_or(false, |cs| cs.len() > reduce_above) {
+            if polyhedron.constraints().is_some_and(|cs| cs.len() > reduce_above) {
                 *polyhedron = polyhedron.reduce();
             }
         }
@@ -317,13 +317,13 @@ impl InvariantAnalysis {
             }
         };
         for expr in ts.theta0() {
-            if !(self.ignore_cost && !expr.coeff(cost).is_zero()) {
+            if !self.ignore_cost || expr.coeff(cost).is_zero() {
                 push(expr);
             }
         }
         for transition in ts.transitions() {
             for guard in &transition.guard {
-                if !(self.ignore_cost && !guard.coeff(cost).is_zero()) {
+                if !self.ignore_cost || guard.coeff(cost).is_zero() {
                     push(guard);
                     // The one-unit relaxation of the guard: a counter bounded by
                     // `g ≥ 0` *inside* the loop typically satisfies only `g + 1 ≥ 0`
@@ -652,7 +652,7 @@ mod tests {
         assert!(invariants.entails(l1, &extra)); // already implied by i <= lenA <= 100
         let unusual = LinExpr::from_int(2) - LinExpr::var(i);
         assert!(!invariants.entails(l1, &unusual));
-        invariants.strengthen(l1, &[unusual.clone()]);
+        invariants.strengthen(l1, std::slice::from_ref(&unusual));
         assert!(invariants.entails(l1, &unusual));
     }
 

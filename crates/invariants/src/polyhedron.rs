@@ -116,6 +116,36 @@ impl Polyhedron {
         }
     }
 
+    /// Decides emptiness **in exact rational arithmetic**: returns `true` only
+    /// when the exact simplex proves the conjunction infeasible over ℚ.
+    ///
+    /// This is the entry point for the infeasible-transition pruning pass: a
+    /// premise `I(source) ∧ guard` that is contradictory can be dropped before
+    /// the Handelman encoding ever sees it (contradictory premise products
+    /// poison the f64 simplex with degraded reinversions). Pruning is only
+    /// sound in one direction, so anything short of a definite exact
+    /// `Infeasible` — including an f64 infeasibility verdict, which can be a
+    /// numerical artifact — answers `false` and keeps the transition.
+    pub fn definitely_empty_exact(&self) -> bool {
+        match &self.constraints {
+            None => true,
+            Some(cs) if cs.is_empty() => false,
+            Some(cs) => {
+                let (lp, _) = Self::build_lp(cs, None);
+                // Float prescreen: if f64 finds the premise feasible, keep the
+                // transition without paying an exact solve — keeping is always
+                // sound, and feasible premises are the overwhelmingly common
+                // case. Only an f64 infeasibility *suspicion* (which may be a
+                // numerical artifact) escalates to the exact simplex, whose
+                // verdict alone may prune.
+                if lp.solve_f64().status != LpStatus::Infeasible {
+                    return false;
+                }
+                lp.solve_exact().status == LpStatus::Infeasible
+            }
+        }
+    }
+
     /// Returns `true` if the conjunction is satisfiable over the rationals.
     ///
     /// Only a definite `Infeasible` answer may collapse a polyhedron to bottom:
@@ -716,12 +746,14 @@ mod tests {
         let guard_bound = LinExpr::from_int(10) - LinExpr::var(x); // x <= 10, from a guard
         let plain = previous.widen(&next);
         assert!(!plain.entails(&guard_bound), "plain widening must lose the bound");
-        let with_thresholds = previous.widen_with_thresholds(&next, &[guard_bound.clone()]);
+        let with_thresholds =
+            previous.widen_with_thresholds(&next, std::slice::from_ref(&guard_bound));
         assert!(with_thresholds.entails(&guard_bound));
         assert!(with_thresholds.entails(&LinExpr::var(x))); // stable bound kept as before
         // A threshold not implied by both sides is not smuggled in.
         let too_strong = LinExpr::from_int(1) - LinExpr::var(x); // x <= 1 fails in `next`
-        let widened = previous.widen_with_thresholds(&next, &[too_strong.clone()]);
+        let widened =
+            previous.widen_with_thresholds(&next, std::slice::from_ref(&too_strong));
         assert!(!widened.entails(&too_strong));
     }
 

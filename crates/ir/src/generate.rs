@@ -65,13 +65,21 @@ pub struct ShapeParams {
     /// Straight-line padding: a constant prelude tick per phase and an epilogue tick
     /// (both versions), plus a one-shot setup delta in the revision.
     pub padding: bool,
+    /// Phase-flip revision: the depth-1 tick of phase 0 changes amplitude once the
+    /// loop counter crosses a drawn threshold (`if (i < c) tick(a) else tick(a+d)`),
+    /// the shape class exercising the loop-phase splitting pass. The flip guard
+    /// lowers to an exact-negation conjunct pair over the non-decreasing counter,
+    /// which is precisely what `crate::detect_phase_splits` looks for. Only affects
+    /// `Delta` revisions (the `Equivalent` rewrite carries no injections).
+    pub phase_flip: bool,
     /// Delta-injection pair or equivalent rewrite.
     pub kind: PairKind,
 }
 
 impl ShapeParams {
     /// A compact stable tag for benchmark names: kind, depth, phases, flag letters
-    /// (`b` dependent bounds, `g` disjunctive guard, `s` straight-line padding).
+    /// (`b` dependent bounds, `g` disjunctive guard, `s` straight-line padding,
+    /// `f` phase-flip amplitude change).
     pub fn tag(&self) -> String {
         let kind = match self.kind {
             PairKind::Delta => 'D',
@@ -86,6 +94,9 @@ impl ShapeParams {
         }
         if self.padding {
             tag.push('s');
+        }
+        if self.phase_flip {
+            tag.push('f');
         }
         tag
     }
@@ -138,6 +149,12 @@ struct Plan {
     pad_prelude: Vec<i64>,
     pad_epilogue: i64,
     pad_setup_delta: i64,
+    /// Phase-flip threshold (`1 ≤ flip_at < bound_n`) and the extra amplitude the
+    /// depth-1 tick of phase 0 gains once `i ≥ flip_at` (both 0 when the class is
+    /// off). Drawn *after* every other field so pre-existing `(seed, shape)` cells
+    /// keep byte-identical sources.
+    flip_at: i64,
+    flip_delta: i64,
 }
 
 impl Plan {
@@ -167,6 +184,10 @@ impl Plan {
         let pad_epilogue = if shape.padding { rng.gen_range_inclusive(1, 2) } else { 0 };
         let pad_setup_delta =
             if is_delta && shape.padding { rng.gen_range_inclusive(1, 3) } else { 0 };
+        let flip_at =
+            if shape.phase_flip { rng.gen_range_inclusive(1, bound_n - 1) } else { 0 };
+        let flip_delta =
+            if is_delta && shape.phase_flip { rng.gen_range_inclusive(1, 3) } else { 0 };
         Plan {
             shape,
             bound_n,
@@ -180,6 +201,8 @@ impl Plan {
             pad_prelude,
             pad_epilogue,
             pad_setup_delta,
+            flip_at,
+            flip_delta,
         }
     }
 
@@ -204,6 +227,12 @@ impl Plan {
         }
         if self.shape.dependent {
             total += self.dep_delta * self.bound_n * self.bound_m;
+        }
+        if self.shape.phase_flip {
+            // The flipped tick pays `flip_delta` extra on each of the
+            // `n - flip_at` iterations with `i ≥ flip_at`; the revision-vs-base
+            // difference is monotone in `n`, so the supremum sits at the corner.
+            total += self.flip_delta * (self.bound_n - self.flip_at);
         }
         total + self.pad_setup_delta
     }
@@ -342,7 +371,14 @@ fn render_loop(e: &mut Emitter, plan: &Plan, phase: usize, level: u32, rewrite: 
         if base > 0 {
             let injected = inject && plan.site[phase] == level;
             let amplitude = if injected { base + plan.delta[phase] } else { base };
-            if injected && plan.shape.disjunctive && phase == 0 {
+            if inject && plan.shape.phase_flip && level == 1 && phase == 0 {
+                // Phase flip: the tick amplitude grows once the counter crosses
+                // the drawn threshold. The guard lowers to the exact-negation
+                // conjunct pair the loop-phase splitting pass detects.
+                e.open(&format!("if ({counter} < {}) {{", plan.flip_at));
+                e.simple(&format!("tick({amplitude});"));
+                e.close(&format!("}} else {{ tick({}); }}", amplitude + plan.flip_delta));
+            } else if injected && plan.shape.disjunctive && phase == 0 {
                 // Disjunctive guard: the delta hides in the worst-case branch.
                 e.open("if (*) {");
                 e.simple(&format!("tick({amplitude});"));
@@ -409,6 +445,7 @@ mod tests {
             dependent: dep,
             disjunctive: dis,
             padding: pad,
+            phase_flip: false,
             kind: PairKind::Delta,
         }
     }
@@ -433,6 +470,7 @@ mod tests {
             dependent: false,
             disjunctive: false,
             padding: true,
+            phase_flip: false,
             kind: PairKind::Equivalent,
         };
         let pair = generate_pair(5, &s);
@@ -477,6 +515,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn phase_flip_revisions_flip_once_and_split() {
+        let s = ShapeParams { phase_flip: true, ..shape(1, 1, false, false, false) };
+        for seed in 0..16u64 {
+            let pair = generate_pair(seed, &s);
+            assert!(pair.name.contains("Dd1p1f"), "tag letter f: {}", pair.name);
+            assert!(pair.source_new.contains("if (i < "), "flip guard: {}", pair.source_new);
+            assert!(!pair.source_old.contains("if ("), "base has no branch");
+            assert!(pair.tight > 0);
+            assert!(pair.max_block_len <= MAX_BLOCK_STATEMENTS);
+            // The lowered revision exhibits exactly the structure the loop-phase
+            // splitting pass detects: a non-increasing predicate tested against
+            // its exact negation inside the loop body.
+            let pre_flip = ts_of(&pair.source_new);
+            assert_eq!(crate::split::detect_phase_splits(&pre_flip).len(), 1, "{}", pair.source_new);
+            assert!(crate::split::detect_phase_splits(&ts_of(&pair.source_old)).is_empty());
+        }
+    }
+
+    /// Hand-lowers a generated phase-flip source far enough for split detection:
+    /// the `dca_ir` crate cannot depend on the `dca_lang` compiler (it is a
+    /// dependency of it), so this mimics the lowering of the exact statement
+    /// shapes the generator emits. Full end-to-end coverage (compile + solve +
+    /// verify) lives in the workspace-level `split_soundness` test.
+    fn ts_of(source: &str) -> crate::system::TransitionSystem {
+        use crate::system::{TsBuilder, Update};
+        use dca_poly::{LinExpr, Polynomial};
+        let mut b = TsBuilder::new();
+        let i = b.var("i");
+        let n = b.var("n");
+        let head = b.location("head");
+        let mut current = b.location("entry");
+        b.set_initial(current);
+        b.add_theta0(LinExpr::var(n) - LinExpr::from_int(1));
+        // entry: i = 0
+        b.transition(current, head)
+            .update(i, Update::assign(Polynomial::zero()))
+            .finish();
+        // while (i < n)
+        let body = b.location("body");
+        b.transition(head, body)
+            .guard(LinExpr::var(n) - LinExpr::var(i) - LinExpr::from_int(1))
+            .finish();
+        let out = b.terminal();
+        b.transition(head, out).guard(LinExpr::var(i) - LinExpr::var(n)).finish();
+        current = body;
+        // optional flip branch: if (i < c) tick else tick — re-joined immediately
+        if let Some(pos) = source.find("if (i < ") {
+            let rest = &source[pos + 8..];
+            let c: i64 = rest[..rest.find(')').unwrap()].parse().unwrap();
+            let join = b.location("join");
+            b.transition(current, join)
+                .guard(LinExpr::from_int(c) - LinExpr::var(i) - LinExpr::from_int(1))
+                .tick(1)
+                .finish();
+            b.transition(current, join)
+                .guard(LinExpr::var(i) - LinExpr::from_int(c))
+                .tick(2)
+                .finish();
+            current = join;
+        } else {
+            let join = b.location("join");
+            b.transition(current, join).tick(1).finish();
+            current = join;
+        }
+        // i = i + 1; back edge
+        b.transition(current, head)
+            .update(i, Update::assign(Polynomial::var(i) + Polynomial::from_int(1)))
+            .finish();
+        b.build().unwrap()
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod generate;
 mod interp;
 mod loops;
 mod rng;
+mod split;
 mod state;
 mod system;
 
@@ -62,6 +63,7 @@ pub use generate::{
 };
 pub use loops::{BackEdge, LoopNest};
 pub use rng::SmallRng;
+pub use split::{detect_phase_splits, split_phases, PhaseSplit, SplitSystem};
 pub use interp::{FixedOracle, Interpreter, NondetOracle, RandomOracle, RunOutcome, RunResult};
 pub use state::{
     eval_polynomial, eval_polynomial_int, satisfies, satisfies_all, to_rational_valuation,

@@ -140,12 +140,12 @@ impl LoopNest {
         // Nesting: the parent of header h is the innermost *other* header whose body
         // contains h; depth of a location is the number of bodies containing it.
         let mut parents: BTreeMap<LocId, LocId> = BTreeMap::new();
-        for (&header, _) in &bodies {
+        for &header in bodies.keys() {
             let mut best: Option<(LocId, usize)> = None;
             for (&other, other_body) in &bodies {
                 if other != header && other_body.contains(&header) {
                     let size = other_body.len();
-                    if best.map_or(true, |(_, s)| size < s) {
+                    if best.is_none_or(|(_, s)| size < s) {
                         best = Some((other, size));
                     }
                 }

@@ -85,6 +85,7 @@ fn generated_pair_oracle_is_frozen() {
         dependent: true,
         disjunctive: true,
         padding: true,
+        phase_flip: false,
         kind: PairKind::Delta,
     };
     let a = generate_pair(0x7AB1E2, &shape);
@@ -92,4 +93,13 @@ fn generated_pair_oracle_is_frozen() {
     assert_eq!((a.tight, a.bound_n, a.bound_m, a.degree), (34, 4, 7, 2));
     assert!(a.source_new.contains("if (*)"));
     assert!(a.source_old.contains("assume(n >= 1 && n <= 4 && m >= 1 && m <= 7);"));
+
+    // The same seed with the phase-flip class on: every pre-flip draw (bounds,
+    // amplitudes, padding) is identical because `flip_at`/`flip_delta` are drawn
+    // last — this golden pins that ordering alongside the flip draws themselves.
+    let flipped = generate_pair(0x7AB1E2, &ShapeParams { phase_flip: true, ..shape });
+    assert_eq!(flipped.name, "t2_Dd2p1bgsf_45538");
+    assert_eq!((flipped.bound_n, flipped.bound_m), (a.bound_n, a.bound_m));
+    assert!(flipped.source_new.contains("if (i < "));
+    assert!(flipped.tight > a.tight, "flip adds a positive contribution");
 }

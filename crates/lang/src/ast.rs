@@ -77,17 +77,21 @@ impl Expr {
         Expr::Var(name.to_string())
     }
 
-    /// Convenience constructor for an addition.
+    /// Convenience constructor for an addition. These are plain AST builders, not
+    /// arithmetic on `Expr` values, so the operator traits would be misleading.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs))
     }
 
     /// Convenience constructor for a subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs))
     }
 
     /// Convenience constructor for a multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs))
     }

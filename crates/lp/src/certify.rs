@@ -108,7 +108,7 @@ fn certify_basis(
 ) -> Option<Certificate> {
     let m = columns.rows;
     let n = columns.cols.len();
-    let past_deadline = || deadline.map_or(false, |d| Instant::now() >= d);
+    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
     // Certification is exact work too and must honor the per-attempt budget like
     // every other exact loop; an aborted certification is just a rejection — the
     // caller's repair/fallback path times out promptly on the same deadline.
@@ -148,8 +148,8 @@ fn certify_basis(
             in_basis[col] = true;
         }
     }
-    for j in 0..n {
-        if in_basis[j] {
+    for (j, &basic) in in_basis.iter().enumerate() {
+        if basic {
             continue;
         }
         if j % 256 == 0 && past_deadline() {
@@ -189,7 +189,7 @@ fn phase1_farkas(
     basis: &[usize],
     deadline: Option<Instant>,
 ) -> Option<Vec<Rational>> {
-    let past_deadline = || deadline.map_or(false, |d| Instant::now() >= d);
+    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
     if past_deadline() {
         return None;
     }
@@ -684,7 +684,7 @@ fn solve_with_row_generation(
                             active[j] = true;
                         }
                     }
-                    None if deadline.map_or(false, |d| Instant::now() >= d) => {
+                    None if deadline.is_some_and(|d| Instant::now() >= d) => {
                         sub.status = LpStatus::TimedOut;
                         sub.truncated = true;
                         break (sub, sub_cols, basis_full);

@@ -65,15 +65,15 @@ const DROP_EPS: f64 = 1e-12;
 /// keeps the factorization honest at a bounded (~sparse) rebuild cost.
 const REINVERT_EVERY: usize = 64;
 
-/// Reinversion for the exact backend is **growth-driven**, not periodic. Exact
-/// arithmetic accumulates no round-off — a rebuild only exists to keep the eta file
-/// (and thus FTRAN/BTRAN cost) from growing without bound — so each pivot is absorbed
-/// as a rank-1 eta *update* of the rational factorization and a full Markowitz
-/// refactorization runs only when the accumulated eta fill blows past the policy in
-/// [`crate::lu::should_refactorize`]. On the degree-3 `nested` repair (41.7k exact
-/// pivots) the previous fixed every-256-pivots cadence spent most of its ~212 s in
-/// ~160 full rational refactorizations at ≥1 s each; the growth policy collapses
-/// those to a handful while the per-pivot eta append stays at sparse cost.
+// Reinversion for the exact backend is **growth-driven**, not periodic. Exact
+// arithmetic accumulates no round-off — a rebuild only exists to keep the eta file
+// (and thus FTRAN/BTRAN cost) from growing without bound — so each pivot is absorbed
+// as a rank-1 eta *update* of the rational factorization and a full Markowitz
+// refactorization runs only when the accumulated eta fill blows past the policy in
+// [`crate::lu::should_refactorize`]. On the degree-3 `nested` repair (41.7k exact
+// pivots) the previous fixed every-256-pivots cadence spent most of its ~212 s in
+// ~160 full rational refactorizations at ≥1 s each; the growth policy collapses
+// those to a handful while the per-pivot eta append stays at sparse cost.
 
 /// One eta matrix: the identity with column `pivot` replaced by the stored vector.
 #[derive(Debug, Clone)]
@@ -1115,8 +1115,7 @@ impl<'a, S: Scalar> State<'a, S> {
             // a deterministic order the degenerate ties cannot cycle through).
             let mut leaving: Option<usize> = None;
             let mut best_ratio: Option<S> = None;
-            for row in 0..m {
-                let coeff = &d[row];
+            for (row, coeff) in d.iter().enumerate().take(m) {
                 let Some(ratio) = blocking_ratio(row, coeff) else { continue };
                 let better = match &best_ratio {
                     None => true,
@@ -1126,7 +1125,7 @@ impl<'a, S: Scalar> State<'a, S> {
                         } else if best.lt(&ratio) {
                             false
                         } else {
-                            leaving.map_or(false, |l| {
+                            leaving.is_some_and(|l| {
                                 let l_artificial = self.factor.basis[l] >= n;
                                 let artificial = self.factor.basis[row] >= n;
                                 if artificial != l_artificial {
@@ -1154,7 +1153,13 @@ impl<'a, S: Scalar> State<'a, S> {
                 const PIVOT_FLOOR: f64 = 1e-12;
                 let mut best: Option<usize> = None;
                 for (row, value) in d.iter().enumerate() {
-                    if !(value.to_f64() >= PIVOT_FLOOR) {
+                    // `partial_cmp` keeps the NaN behaviour explicit: a NaN pivot
+                    // compares as None and is rejected like a sub-floor one.
+                    let usable = value
+                        .to_f64()
+                        .partial_cmp(&PIVOT_FLOOR)
+                        .is_some_and(|o| o != std::cmp::Ordering::Less);
+                    if !usable {
                         continue;
                     }
                     let better = match best {
@@ -1238,15 +1243,15 @@ impl<'a, S: Scalar> State<'a, S> {
                     rho[leaving] = S::one();
                     self.factor.btran(&mut rho);
                     let reference = weights[entering].max(1.0);
-                    for j in 0..n {
+                    for (j, weight) in weights.iter_mut().enumerate().take(n) {
                         if self.in_basis[j] || j == entering {
                             continue;
                         }
                         let alpha_j = self.columns.dot(&rho, j).to_f64();
                         if alpha_j != 0.0 {
                             let candidate = (alpha_j / alpha_q).powi(2) * reference;
-                            if candidate > weights[j] {
-                                weights[j] = candidate;
+                            if candidate > *weight {
+                                *weight = candidate;
                             }
                         }
                     }
@@ -1266,11 +1271,11 @@ impl<'a, S: Scalar> State<'a, S> {
             } else {
                 consecutive_degenerate = 0;
             }
-            for row in 0..m {
-                if row == leaving || d[row].is_exactly_zero() {
+            for (row, coeff) in d.iter().enumerate().take(m) {
+                if row == leaving || coeff.is_exactly_zero() {
                     continue;
                 }
-                self.x_basic[row] = self.x_basic[row].sub(&theta.mul(&d[row]));
+                self.x_basic[row] = self.x_basic[row].sub(&theta.mul(coeff));
             }
             self.x_basic[leaving] = theta;
             // Exact backend: incremental dual update in place of next iteration's
@@ -1476,6 +1481,7 @@ mod tests {
             let preferred: Vec<usize> = (0..n + 2).map(|_| (next() % n as u64) as usize).collect();
             let (factor, _, _) = Factorization::reinvert(&columns, &preferred, PIVOT_EPS);
             // Check every structural column: multiply B by ftran(A_j) and compare.
+            #[allow(clippy::needless_range_loop)] // j is a column index of `matrix`
             for j in 0..n {
                 let mut d = vec![0.0f64; m];
                 columns.scatter(j, &mut d);
@@ -1493,12 +1499,11 @@ mod tests {
                         reconstructed[col - n] += d[pos];
                     }
                 }
-                for row in 0..m {
+                for (row, &rebuilt) in reconstructed.iter().enumerate() {
                     let expected = matrix[row][j];
                     assert!(
-                        (reconstructed[row] - expected).abs() <= 1e-6 * (1.0 + expected.abs()),
-                        "case {case}: B·ftran(A_{j}) diverges at row {row}: {} vs {expected}\nbasis: {:?}",
-                        reconstructed[row],
+                        (rebuilt - expected).abs() <= 1e-6 * (1.0 + expected.abs()),
+                        "case {case}: B·ftran(A_{j}) diverges at row {row}: {rebuilt} vs {expected}\nbasis: {:?}",
                         factor.basis
                     );
                 }

@@ -173,6 +173,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // IS_EXACT is the property under test
     fn rational_exactness() {
         let tiny = Rational::new(1, 1_000_000_000);
         assert!(!Scalar::is_zero(&tiny));

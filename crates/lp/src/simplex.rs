@@ -307,7 +307,7 @@ impl<S: Scalar> Tableau<S> {
                 let mut best: Option<usize> = None;
                 for j in 0..allowed_cols {
                     if reduced[j].is_negative()
-                        && best.map_or(true, |b| reduced[j].lt(&reduced[b]))
+                        && best.is_none_or(|b| reduced[j].lt(&reduced[b]))
                     {
                         best = Some(j);
                     }
@@ -331,7 +331,7 @@ impl<S: Scalar> Tableau<S> {
                 // the caller's perturbed retry break the tie instead.
                 let objective = self.objective_value(costs).to_f64();
                 let stalled = last_rescue_objective
-                    .map_or(false, |previous| (previous - objective).abs() <= 1e-9);
+                    .is_some_and(|previous| (previous - objective).abs() <= 1e-9);
                 last_rescue_objective = Some(objective);
                 if !stalled && refactor_and_resume(self, &mut reduced, &mut rescues) {
                     since_refresh = 0;
@@ -361,7 +361,7 @@ impl<S: Scalar> Tableau<S> {
                     Some(best) => {
                         ratio.lt(best)
                             || (!best.lt(&ratio)
-                                && leaving.map_or(false, |l| self.basis[row] < self.basis[l]))
+                                && leaving.is_some_and(|l| self.basis[row] < self.basis[l]))
                     }
                 };
                 if better {
@@ -621,9 +621,11 @@ pub(crate) fn solve_standard_form_inner<S: Scalar>(
     } else {
         outcome.values = Vec::new();
     }
-    let mut phases = PhaseStats::default();
-    phases.lu_updates = outcome.lu_updates;
-    phases.lu_refactorizations = outcome.lu_refactorizations;
+    let phases = PhaseStats {
+        lu_updates: outcome.lu_updates,
+        lu_refactorizations: outcome.lu_refactorizations,
+        ..PhaseStats::default()
+    };
     RawSolution {
         status: outcome.status,
         values: outcome.values,
@@ -718,8 +720,8 @@ fn solve_dense<S: Scalar>(
         return fail(LpStatus::IterationLimit);
     }
     let phase1_value = tableau.objective_value(&phase1_costs);
-    if phase1_value.is_positive() {
-        if S::IS_EXACT || phase1_value.to_f64() > noise_floor {
+    if phase1_value.is_positive()
+        && (S::IS_EXACT || phase1_value.to_f64() > noise_floor) {
             if debug {
                 eprintln!(
                     "[lp] dense phase1 positive: value = {:e}, rows = {}, cols = {}",
@@ -730,7 +732,6 @@ fn solve_dense<S: Scalar>(
             }
             return fail(LpStatus::Infeasible);
         }
-    }
 
     // Drive any remaining artificial variables out of the basis.
     for row in 0..num_rows {

@@ -123,7 +123,7 @@ impl BigInt {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 32;
         let off = i % 32;
-        self.limbs.get(limb).map_or(false, |&l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
     }
 
     fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
@@ -143,8 +143,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let s = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(s as u32);
             carry = s >> 32;
         }
@@ -159,8 +159,8 @@ impl BigInt {
         debug_assert!(BigInt::cmp_mag(a, b) != Ordering::Less);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
-        for i in 0..a.len() {
-            let d = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        for (i, &limb) in a.iter().enumerate() {
+            let d = limb as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
             if d < 0 {
                 out.push((d + (1i64 << 32)) as u32);
                 borrow = 1;

@@ -70,7 +70,7 @@ fn main() {
         let len_b = ts.pool().lookup("lenB").unwrap();
         // The *new* program iterates lenB outer / lenA inner; the old one the opposite.
         // Expressed uniformly: outer bound O, inner bound N (per-iteration inner count).
-        let (outer, inner) = if scale == 2 { (len_b, len_a) } else { (len_a, len_b) };
+        let (_outer, inner) = if scale == 2 { (len_b, len_a) } else { (len_a, len_b) };
         let ab = Monomial::var(len_a).mul(&Monomial::var(len_b));
         for loc in ts.locations() {
             let name = ts.location_name(loc).to_string();

@@ -64,7 +64,7 @@ fn check_benchmark(benchmark: &Benchmark) {
     let options =
         benchmark.options().with_time_budget(std::time::Duration::from_secs(240));
     assert_rowgen_invariant(benchmark.name, || {
-        DiffCostSolver::new(options.clone())
+        DiffCostSolver::new(options)
             .solve(&benchmark.new_program(), &benchmark.old_program())
     });
 }
