@@ -12,6 +12,13 @@
 //!
 //! Usage: `cargo run --release -p dca-bench --bin smoke`
 //! Exit code 0 = all subset rows tight; 1 = regression (details on stderr).
+//!
+//! Under `DCA_FAULT=<phase>:<kind>` the bin switches to *fault-injection mode*: the
+//! injected fault must degrade exactly one row to a machine-distinguishable
+//! non-certified outcome (`aborted` in the injected phase for `panic`; `truncated`
+//! or `aborted` for `deadline`, with any reported bound still sound), while every
+//! other row stays tight and certified — proving one faulty pair cannot take down
+//! or silently corrupt the rest of the batch.
 
 use std::process::exit;
 use std::time::Duration;
@@ -42,6 +49,11 @@ fn main() {
         run.wall_clock.as_secs_f64()
     );
 
+    if let Ok(spec) = std::env::var("DCA_FAULT") {
+        fault_mode(&run.rows, &spec);
+        return;
+    }
+
     // Per-row time baseline from the committed benchmark record. A row is a time
     // regression when it runs > 2x its baseline AND slower than an absolute floor
     // (sub-second rows drown in machine noise at a 2x threshold).
@@ -65,12 +77,15 @@ fn main() {
     let mut timed_rows = Vec::new();
     for name in SUBSET {
         match run.rows.iter().find(|row| row.name == name) {
-            Some(row) if row.is_tight() => {
+            // Every subset row was certified-tight at its baseline commit, so a row
+            // that degrades down the ladder (truncated/aborted) is a regression even
+            // when its anytime bound happens to equal the tight threshold.
+            Some(row) if row.is_tight() && row.outcome == "certified" => {
                 timed_rows.push((row.name.clone(), row.seconds));
             }
             Some(row) => regressions.push(format!(
-                "{name}: expected tight ({}), computed {:?}",
-                row.tight, row.computed_int
+                "{name}: expected certified-tight ({}), computed {:?} ({})",
+                row.tight, row.computed_int, row.outcome
             )),
             None => regressions.push(format!("{name}: missing from the suite")),
         }
@@ -103,4 +118,79 @@ fn main() {
             TIME_REGRESSION_FACTOR
         );
     }
+}
+
+/// The `DCA_FAULT` expectations: one degraded row with the right ladder outcome, all
+/// siblings untouched. Exits non-zero with details on any violation.
+fn fault_mode(rows: &[dca_bench::TableRow], spec: &str) {
+    let mut parts = spec.split(':');
+    let phase = parts.next().unwrap_or_default();
+    let kind = parts.next().unwrap_or_default();
+    let mut failures = Vec::new();
+    let degraded: Vec<&dca_bench::TableRow> =
+        rows.iter().filter(|row| row.outcome != "certified").collect();
+    match degraded.as_slice() {
+        [row] => match kind {
+            "panic" => {
+                if row.outcome != "aborted" {
+                    failures
+                        .push(format!("{}: expected aborted, got {}", row.name, row.outcome));
+                }
+                if row.aborted_phase.as_deref() != Some(phase) {
+                    failures.push(format!(
+                        "{}: expected abort in phase {phase}, got {:?}",
+                        row.name, row.aborted_phase
+                    ));
+                }
+            }
+            "deadline" => {
+                if row.outcome != "truncated" && row.outcome != "aborted" {
+                    failures.push(format!(
+                        "{}: expected truncated or aborted, got {}",
+                        row.name, row.outcome
+                    ));
+                }
+                // A truncated row may still carry a bound — it must stay sound
+                // (an over-approximation of the tight threshold).
+                if let Some(computed) = row.computed_int {
+                    if computed < row.tight {
+                        failures.push(format!(
+                            "{}: unsound bound under fault — computed {computed} < tight {}",
+                            row.name, row.tight
+                        ));
+                    }
+                }
+            }
+            _ => failures.push(format!("unsupported DCA_FAULT kind {kind:?} in fault mode")),
+        },
+        [] => failures.push(format!(
+            "DCA_FAULT={spec} injected nothing: every row still certified"
+        )),
+        many => failures.push(format!(
+            "DCA_FAULT={spec} degraded {} rows (expected exactly 1): {:?}",
+            many.len(),
+            many.iter().map(|r| r.name.as_str()).collect::<Vec<_>>()
+        )),
+    }
+    // Containment: every non-degraded row must be exactly as good as a fault-free run.
+    for row in rows.iter().filter(|row| row.outcome == "certified") {
+        if !row.is_tight() {
+            failures.push(format!(
+                "{}: lost tightness under an unrelated fault — computed {:?}, tight {}",
+                row.name, row.computed_int, row.tight
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("fault-injection smoke FAILED (DCA_FAULT={spec}):");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        exit(1);
+    }
+    println!(
+        "fault-injection smoke OK: {spec} degraded exactly one row, all {} siblings \
+         stayed certified-tight",
+        rows.len() - 1
+    );
 }

@@ -62,6 +62,15 @@ pub struct TableRow {
     /// Loop-phase splits applied to the winning solve (0 = unsplit system won or
     /// no phase structure was detected).
     pub phases_split: usize,
+    /// Degradation-ladder outcome label: `"certified"`, `"truncated"` or `"aborted"`
+    /// (see `dca_core::SolveOutcome`).
+    pub outcome: String,
+    /// The pipeline phase an aborted solve failed in, when known (`None` for
+    /// certified/truncated rows and for failures with no phase attribution).
+    pub aborted_phase: Option<String>,
+    /// Upper − lower bound gap of a truncated-anytime solve, when the dual side
+    /// produced an exact lower bound (`None` otherwise).
+    pub gap: Option<f64>,
 }
 
 impl TableRow {
@@ -73,6 +82,7 @@ impl TableRow {
     /// Builds a row from a batch-engine outcome and the matching benchmark definition.
     pub fn from_outcome(benchmark: &Benchmark, outcome: &PairOutcome) -> TableRow {
         let result = outcome.result.as_ref().ok();
+        let ladder = outcome.outcome();
         TableRow {
             name: outcome.name.clone(),
             group: benchmark.group.to_string(),
@@ -126,6 +136,9 @@ impl TableRow {
                 .map(|s| s.transitions_pruned)
                 .unwrap_or(0),
             phases_split: outcome.stats().map(|s| s.phases_split).unwrap_or(0),
+            outcome: ladder.label().to_string(),
+            aborted_phase: ladder.aborted_phase().map(|p| p.as_str().to_string()),
+            gap: ladder.gap(),
         }
     }
 }
@@ -140,7 +153,9 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
     let outcome = solver.solve(&new, &old);
     let seconds = start.elapsed().as_secs_f64();
     match outcome {
-        Ok(result) => TableRow {
+        Ok(result) => {
+            let ladder = result.outcome();
+            TableRow {
             name: benchmark.name.to_string(),
             group: benchmark.group.to_string(),
             tight: benchmark.tight,
@@ -173,8 +188,12 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             lu_refactorizations: result.stats.lp_lu_refactorizations,
             transitions_pruned: result.stats.transitions_pruned,
             phases_split: result.stats.phases_split,
-        },
-        Err(_) => TableRow {
+            outcome: ladder.label().to_string(),
+            aborted_phase: ladder.aborted_phase().map(|p| p.as_str().to_string()),
+            gap: ladder.gap(),
+            }
+        }
+        Err(error) => TableRow {
             name: benchmark.name.to_string(),
             group: benchmark.group.to_string(),
             tight: benchmark.tight,
@@ -199,6 +218,9 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             lu_refactorizations: 0,
             transitions_pruned: 0,
             phases_split: 0,
+            outcome: "aborted".to_string(),
+            aborted_phase: error.phase().map(|p| p.as_str().to_string()),
+            gap: None,
         },
     }
 }
@@ -332,7 +354,8 @@ pub fn format_json(run: &SuiteRun) -> String {
                     "\"products_total\": {}, \"products_generated\": {}, ",
                     "\"separation_rounds\": {}, \"lu_updates\": {}, ",
                     "\"lu_refactorizations\": {}, ",
-                    "\"transitions_pruned\": {}, \"phases_split\": {}}}"
+                    "\"transitions_pruned\": {}, \"phases_split\": {}, ",
+                    "\"outcome\": \"{}\", \"aborted_phase\": {}, \"gap\": {}}}"
                 ),
                 escape(&row.name),
                 escape(&row.group),
@@ -364,6 +387,12 @@ pub fn format_json(run: &SuiteRun) -> String {
                 row.lu_refactorizations,
                 row.transitions_pruned,
                 row.phases_split,
+                escape(&row.outcome),
+                row.aborted_phase
+                    .as_ref()
+                    .map(|p| format!("\"{}\"", escape(p)))
+                    .unwrap_or_else(|| "null".to_string()),
+                opt_f64(row.gap),
             )
         })
         .collect();
@@ -402,6 +431,7 @@ pub fn format_history_line_tagged(
     format!(
         "{{\"date\": \"{}\", \"commit\": \"{}\", \"suite\": \"{}\", \"jobs\": {}, \
          \"tight\": {}, \"total\": {}, \
+         \"certified\": {}, \"truncated\": {}, \"aborted\": {}, \
          \"transitions_pruned\": {}, \"phases_split\": {}, \
          \"wall_clock_s\": {:.2}, \"cpu_time_s\": {:.2}, \"row_seconds\": {{{}}}}}",
         escape(date),
@@ -410,6 +440,9 @@ pub fn format_history_line_tagged(
         run.jobs,
         run.rows.iter().filter(|r| r.is_tight()).count(),
         run.rows.len(),
+        run.rows.iter().filter(|r| r.outcome == "certified").count(),
+        run.rows.iter().filter(|r| r.outcome == "truncated").count(),
+        run.rows.iter().filter(|r| r.outcome == "aborted").count(),
         run.rows.iter().map(|r| r.transitions_pruned).sum::<usize>(),
         run.rows.iter().map(|r| r.phases_split).sum::<usize>(),
         run.wall_clock.as_secs_f64(),
@@ -532,6 +565,7 @@ pub fn table2_row(
     outcome: &PairOutcome,
 ) -> TableRow {
     let result = outcome.result.as_ref().ok();
+    let ladder = outcome.outcome();
     TableRow {
         name: outcome.name.clone(),
         group: pair.shape.tag(),
@@ -585,6 +619,9 @@ pub fn table2_row(
             .map(|s| s.transitions_pruned)
             .unwrap_or(0),
         phases_split: outcome.stats().map(|s| s.phases_split).unwrap_or(0),
+        outcome: ladder.label().to_string(),
+        aborted_phase: ladder.aborted_phase().map(|p| p.as_str().to_string()),
+        gap: ladder.gap(),
     }
 }
 
@@ -632,7 +669,8 @@ pub fn format_table2_json(
                     "\"sound\": {}, \"agree\": {}, ",
                     "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
                     "\"lp_certified\": {}, \"lp_truncated\": {}, ",
-                    "\"transitions_pruned\": {}, \"phases_split\": {}}}"
+                    "\"transitions_pruned\": {}, \"phases_split\": {}, ",
+                    "\"outcome\": \"{}\", \"aborted_phase\": {}, \"gap\": {}}}"
                 ),
                 escape(&r.table.name),
                 escape(&r.table.group),
@@ -655,6 +693,13 @@ pub fn format_table2_json(
                 r.table.lp_truncated,
                 r.pruned,
                 r.table.phases_split,
+                escape(&r.table.outcome),
+                r.table
+                    .aborted_phase
+                    .as_ref()
+                    .map(|p| format!("\"{}\"", escape(p)))
+                    .unwrap_or_else(|| "null".to_string()),
+                opt_f64(r.table.gap),
             )
         })
         .collect();
@@ -708,6 +753,9 @@ mod tests {
             lu_refactorizations: 1,
             transitions_pruned: 3,
             phases_split: 1,
+            outcome: "certified".into(),
+            aborted_phase: None,
+            gap: None,
         };
         let run = SuiteRun {
             rows: vec![row],
@@ -782,6 +830,9 @@ mod tests {
             lu_refactorizations: 0,
             transitions_pruned: 2,
             phases_split: 1,
+            outcome: "certified".into(),
+            aborted_phase: None,
+            gap: None,
         };
         let rows = vec![Table2Row {
             table,
@@ -849,6 +900,9 @@ mod tests {
             lu_refactorizations: 1,
             transitions_pruned: 3,
             phases_split: 1,
+            outcome: "certified".into(),
+            aborted_phase: None,
+            gap: None,
         };
         assert!(row.is_tight());
         let table = format_table(std::slice::from_ref(&row));
@@ -879,6 +933,9 @@ mod tests {
             lu_refactorizations: 0,
             transitions_pruned: 0,
             phases_split: 0,
+            outcome: "aborted".into(),
+            aborted_phase: None,
+            gap: None,
         };
         assert!(!failed.is_tight());
         assert!(format_table(std::slice::from_ref(&failed)).contains('x'));
@@ -901,6 +958,14 @@ mod tests {
         assert!(json.contains("\"separation_rounds\": 2"));
         assert!(json.contains("\"lu_updates\": 40"));
         assert!(json.contains("\"lu_refactorizations\": 1"));
+        assert!(json.contains("\"outcome\": \"certified\""));
+        assert!(json.contains("\"outcome\": \"aborted\""));
+        assert!(json.contains("\"aborted_phase\": null"));
+        assert!(json.contains("\"gap\": null"));
+        let line = format_history_line(&run, "2026-08-09", "abc1234");
+        assert!(line.contains("\"certified\": 1"));
+        assert!(line.contains("\"truncated\": 0"));
+        assert!(line.contains("\"aborted\": 1"));
     }
 
     #[test]

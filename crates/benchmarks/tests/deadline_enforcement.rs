@@ -1,0 +1,60 @@
+//! Pins the hard-deadline behaviour of the batch engine on a genuinely slow pair:
+//! `nested` (degree 3, ~45 s fault-free in release, minutes in debug) at a tiny
+//! budget must stop cooperatively — orders of magnitude before the fault-free solve
+//! would finish — and degrade down the ladder instead of reporting an uncertified
+//! threshold as certified.
+
+use std::time::{Duration, Instant};
+
+use dca_core::batch::{run_batch, BatchConfig, BatchJob};
+use dca_core::SolveOutcome;
+
+#[test]
+fn nested_at_a_tiny_budget_stops_cooperatively_and_degrades_soundly() {
+    let nested = dca_benchmarks::all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "nested")
+        .expect("the Table-1 suite contains the `nested` pair");
+    let job = BatchJob::from_sources(nested.name, nested.source_new, nested.source_old)
+        .with_options(nested.options());
+    let budget = Duration::from_secs(2);
+    let config = BatchConfig::with_jobs(1).with_time_budget(budget);
+    let start = Instant::now();
+    let report = run_batch(std::slice::from_ref(&job), &config);
+    let elapsed = start.elapsed();
+
+    // Cooperative, not exact: the loops poll every few dozen pivots and the encoding
+    // checks at phase boundaries, so the stop lands within a small multiple of the
+    // budget — far below the fault-free solve time (>40 s release, minutes debug).
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "cooperative cancellation took {elapsed:?} against a {budget:?} budget"
+    );
+
+    // The ladder never mislabels the interrupted solve: it is either a truncated
+    // anytime bound (sound upper bound, possibly with an exact dual lower bound) or
+    // an explicit phase-attributed abort — never `Certified`.
+    match report.outcomes[0].outcome() {
+        SolveOutcome::TruncatedAnytime { upper, lower, gap } => {
+            assert!(
+                upper >= nested.tight as f64 - 1e-9,
+                "anytime upper bound {upper} undercuts the tight threshold {}",
+                nested.tight
+            );
+            if let (Some(lower), Some(gap)) = (lower, gap) {
+                assert!(lower <= upper + 1e-9, "lower bound {lower} exceeds upper {upper}");
+                assert!(gap >= -1e-9, "negative gap {gap}");
+            }
+        }
+        SolveOutcome::Aborted { phase, reason } => {
+            // Acceptable when the budget dies before the LP reaches a feasible
+            // iterate (debug builds spend seconds in encoding alone) — but the abort
+            // must carry its phase and must not smuggle out a threshold.
+            assert!(phase.is_some(), "timeout abort lost its phase: {reason}");
+            assert!(report.outcomes[0].result.is_err());
+        }
+        SolveOutcome::Certified { .. } => {
+            panic!("a {budget:?} budget cannot certify a >40 s solve")
+        }
+    }
+}

@@ -205,10 +205,10 @@ fn run_suite_command(args: &[String]) -> Result<(), String> {
         invariant_tier,
     });
     println!(
-        "{:<21} | {:>10} | d | t | {:>8}",
-        "benchmark", "threshold", "time (s)"
+        "{:<21} | {:>10} | d | t | {:<9} | {:>8}",
+        "benchmark", "threshold", "outcome", "time (s)"
     );
-    println!("{:-<21}-+-{:->10}-+---+---+-{:->8}", "", "", "");
+    println!("{:-<21}-+-{:->10}-+---+---+-{:-<9}-+-{:->8}", "", "", "", "");
     for outcome in &report.outcomes {
         let threshold = match &outcome.result {
             Ok(result) => format!("{}", result.threshold_int()),
@@ -219,18 +219,23 @@ fn run_suite_command(args: &[String]) -> Result<(), String> {
             }
         };
         println!(
-            "{:<21} | {:>10} | {} | {} | {:>8.2}",
+            "{:<21} | {:>10} | {} | {} | {:<9} | {:>8.2}",
             outcome.name,
             threshold,
             outcome.degree,
             outcome.tier.index(),
+            outcome.outcome().label(),
             outcome.duration.as_secs_f64()
         );
     }
     println!(
-        "\n{} solved, {} failed; wall-clock {:.2}s on {} worker threads (cpu {:.2}s, speedup {:.2}x)",
+        "\n{} solved, {} failed ({} certified, {} truncated, {} aborted); \
+         wall-clock {:.2}s on {} worker threads (cpu {:.2}s, speedup {:.2}x)",
         report.solved(),
         report.failed(),
+        report.certified(),
+        report.truncated(),
+        report.aborted(),
         report.wall_clock.as_secs_f64(),
         report.jobs,
         report.cpu_time().as_secs_f64(),

@@ -10,16 +10,24 @@
 //! and the [`BatchReport`] lists outcomes in input order, so `jobs = 1` and `jobs = N`
 //! produce identical analyses (only the wall clock differs). One failing pair does not
 //! poison the batch — its error is recorded in its [`PairOutcome`] and every other pair
-//! still completes.
+//! still completes. That isolation extends to *panics*: each solve runs under
+//! [`std::panic::catch_unwind`], a panicking pair is reported as
+//! [`AnalysisError::Panicked`] with its crash-site phase, and the surviving workers
+//! keep draining the queue. A batch-wide [`Deadline`] is scoped per job
+//! ([`Deadline::scoped`]) so cancelling one solve never takes down its siblings.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use crate::escalate::{solve_with_escalation, EscalationAttempt, EscalationPolicy};
+use dca_lp::fault::{self, FaultKind};
+use dca_lp::{Deadline, SolvePhase};
+
+use crate::escalate::{solve_with_escalation_under, EscalationAttempt, EscalationPolicy};
 use crate::options::AnalysisOptions;
 use crate::program::AnalyzedProgram;
-use crate::solver::{AnalysisError, DiffCostResult, DiffCostSolver, SolveStats};
+use crate::solver::{AnalysisError, DiffCostResult, DiffCostSolver, SolveOutcome, SolveStats};
 
 /// The two program versions of a batch job, either pre-analyzed or as source text.
 ///
@@ -96,7 +104,7 @@ impl BatchJob {
 }
 
 /// Configuration of one batch run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[derive(Default)]
 pub struct BatchConfig {
     /// Number of worker threads. `0` means "one per available CPU"; the effective
@@ -109,6 +117,12 @@ pub struct BatchConfig {
     /// whose own options already carry a budget keeps it. Under escalation every tried
     /// degree gets its own budget, so a pair costs at most `degrees × budget`.
     pub time_budget: Option<Duration>,
+    /// A batch-wide hard deadline (`None` = unlimited). Every job runs under a
+    /// [scoped](Deadline::scoped) child of it, tightened by the per-attempt
+    /// `time_budget`: when the batch deadline expires or is cancelled, every worker
+    /// stops cooperatively at its next poll and the unfinished pairs report
+    /// [`AnalysisError::Timeout`].
+    pub deadline: Option<Deadline>,
 }
 
 
@@ -127,6 +141,12 @@ impl BatchConfig {
     /// Sets the per-attempt wall-clock budget.
     pub fn with_time_budget(mut self, budget: Duration) -> BatchConfig {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the batch-wide hard deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> BatchConfig {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -160,6 +180,19 @@ impl PairOutcome {
     pub fn is_solved(&self) -> bool {
         self.result.is_ok()
     }
+
+    /// Where this pair landed on the degradation ladder (see [`SolveOutcome`]):
+    /// `Certified` or `TruncatedAnytime` when the solve produced a threshold,
+    /// `Aborted` (with the failing phase, when known) otherwise.
+    pub fn outcome(&self) -> SolveOutcome {
+        match &self.result {
+            Ok(result) => result.outcome(),
+            Err(error) => SolveOutcome::Aborted {
+                phase: error.phase(),
+                reason: error.to_string(),
+            },
+        }
+    }
 }
 
 /// The result of a batch run: per-pair outcomes in input order, plus totals.
@@ -188,6 +221,28 @@ impl BatchReport {
     pub fn cpu_time(&self) -> Duration {
         self.outcomes.iter().map(|o| o.duration).sum()
     }
+
+    /// Number of pairs whose threshold is exactly certified.
+    pub fn certified(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.outcome().is_certified()).count()
+    }
+
+    /// Number of pairs that degraded to a truncated-anytime (sound but possibly
+    /// loose) bound.
+    pub fn truncated(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome(), SolveOutcome::TruncatedAnytime { .. }))
+            .count()
+    }
+
+    /// Number of pairs that produced no bound at all.
+    pub fn aborted(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome(), SolveOutcome::Aborted { .. }))
+            .count()
+    }
 }
 
 /// Resolves a [`BatchConfig::jobs`] request against the machine and the job count.
@@ -206,6 +261,7 @@ pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
     let start = Instant::now();
     let workers = effective_jobs(config.jobs, jobs.len());
     let next = AtomicUsize::new(0);
+    let batch_deadline = config.deadline.clone().unwrap_or_default();
     let slots: Vec<Mutex<Option<PairOutcome>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
@@ -214,22 +270,81 @@ pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
-                let outcome = run_one(job, config);
-                *slots[index].lock().unwrap() = Some(outcome);
+                let job_start = Instant::now();
+                // Panic containment: a panicking solve must not take the worker (and
+                // with it the rest of the queue) down. The closure only touches the
+                // job and config by shared reference, and a broken invariant inside
+                // a failed solve cannot outlive it — nothing of the solve escapes
+                // except the outcome we construct — so `AssertUnwindSafe` is sound.
+                let solved =
+                    catch_unwind(AssertUnwindSafe(|| run_one(job, config, &batch_deadline)));
+                let outcome = solved.unwrap_or_else(|payload| PairOutcome {
+                    name: job.name.clone(),
+                    result: Err(AnalysisError::Panicked {
+                        phase: fault::current_phase(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                    degree: job.options.degree,
+                    tier: job.options.invariant_tier,
+                    attempts: Vec::new(),
+                    duration: job_start.elapsed(),
+                });
+                // A sibling worker can only have poisoned *its own* slot (one writer
+                // per index), and a poisoned `Option` write is atomic-or-absent:
+                // recover the guard and overwrite.
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
             });
         }
     });
 
     let outcomes = slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("every slot is filled"))
+        .zip(jobs)
+        .map(|(slot, job)| {
+            slot.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or_else(|| {
+                // Unreachable in practice (the catch_unwind above fills every claimed
+                // slot), but a lost worker must surface as a per-pair error, not a
+                // batch-wide panic.
+                PairOutcome {
+                    name: job.name.clone(),
+                    result: Err(AnalysisError::Panicked {
+                        phase: SolvePhase::Compile,
+                        message: "worker terminated before recording an outcome".into(),
+                    }),
+                    degree: job.options.degree,
+                    tier: job.options.invariant_tier,
+                    attempts: Vec::new(),
+                    duration: Duration::ZERO,
+                }
+            })
+        })
         .collect();
     BatchReport { outcomes, wall_clock: start.elapsed(), jobs: workers }
 }
 
-/// Solves a single job (compile if needed, then fixed-degree or escalated solve).
-fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
+/// Renders a caught panic payload for the error report (panics almost always carry
+/// `&str` or `String`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Solves a single job (compile if needed, then fixed-degree or escalated solve)
+/// under a per-job scope of the batch-wide deadline.
+fn run_one(job: &BatchJob, config: &BatchConfig, batch_deadline: &Deadline) -> PairOutcome {
     let start = Instant::now();
+    // A fresh cancel flag per job: a deadline-fault injection (or any other per-job
+    // cancellation) stops this pair only, while a batch-wide cancel still reaches it
+    // through the parent link.
+    let deadline = batch_deadline.scoped();
+    if fault::enter(SolvePhase::Compile) == Some(FaultKind::Deadline) {
+        deadline.cancel();
+    }
     let mut options = job.options;
     if options.time_budget.is_none() {
         options.time_budget = config.time_budget;
@@ -258,9 +373,20 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
             }
         }
     };
+    if deadline.expired() {
+        return PairOutcome {
+            name: job.name.clone(),
+            result: Err(AnalysisError::Timeout { phase: SolvePhase::Compile }),
+            degree: job.options.degree,
+            tier: options.invariant_tier,
+            attempts: Vec::new(),
+            duration: start.elapsed(),
+        };
+    }
 
     match config.escalation {
-        Some(policy) => match solve_with_escalation(&new, &old, &options, policy) {
+        Some(policy) => match solve_with_escalation_under(&new, &old, &options, policy, &deadline)
+        {
             Ok(escalated) => PairOutcome {
                 name: job.name.clone(),
                 result: Ok(escalated.result),
@@ -284,7 +410,8 @@ fn run_one(job: &BatchJob, config: &BatchConfig) -> PairOutcome {
         },
         None => {
             let attempt_start = Instant::now();
-            let result = DiffCostSolver::new(options).solve(&new, &old);
+            let result =
+                DiffCostSolver::new(options).with_deadline(deadline.clone()).solve(&new, &old);
             let attempt = EscalationAttempt {
                 degree: job.options.degree,
                 tier: options.invariant_tier,

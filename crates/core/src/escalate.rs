@@ -27,6 +27,8 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use dca_invariants::InvariantTier;
+use dca_lp::fault;
+use dca_lp::Deadline;
 
 use crate::options::AnalysisOptions;
 use crate::program::AnalyzedProgram;
@@ -171,6 +173,21 @@ pub fn solve_with_escalation(
     base: &AnalysisOptions,
     policy: EscalationPolicy,
 ) -> Result<EscalatedResult, EscalationFailure> {
+    solve_with_escalation_under(new, old, base, policy, &Deadline::unlimited())
+}
+
+/// [`solve_with_escalation`] under an externally owned [`Deadline`]: every rung's
+/// solver runs with it (tightened by the per-attempt `time_budget`, if any), and the
+/// ladder stops climbing once it expires — a cancelled batch does not pay for the
+/// remaining rungs. The final attempt trail records the cut-off as a
+/// [`AnalysisError::Timeout`] attempt.
+pub fn solve_with_escalation_under(
+    new: &AnalyzedProgram,
+    old: &AnalyzedProgram,
+    base: &AnalysisOptions,
+    policy: EscalationPolicy,
+    deadline: &Deadline,
+) -> Result<EscalatedResult, EscalationFailure> {
     let mut attempts = Vec::new();
     let mut last_error = AnalysisError::NoThresholdFound;
     // Tier -> re-analyzed program pair, shared across degrees.
@@ -191,6 +208,16 @@ pub fn solve_with_escalation(
     let mut warm: Option<dca_lp::LpBasis> = None;
     'ladder: for degree in policy.degrees() {
         for tier in policy.tiers(base.invariant_tier) {
+            if deadline.expired() {
+                attempts.push(EscalationAttempt {
+                    degree,
+                    tier,
+                    error: Some(AnalysisError::Timeout { phase: fault::current_phase() }),
+                    duration: Duration::ZERO,
+                });
+                last_error = AnalysisError::Timeout { phase: fault::current_phase() };
+                break 'ladder;
+            }
             let start = Instant::now();
             let (new_t, old_t) = tiered
                 .entry(tier)
@@ -201,8 +228,9 @@ pub fn solve_with_escalation(
                 invariant_tier: tier,
                 ..*base
             };
-            let (outcome, basis) =
-                DiffCostSolver::new(options).solve_with_warm_start(new_t, old_t, warm.as_ref());
+            let (outcome, basis) = DiffCostSolver::new(options)
+                .with_deadline(deadline.clone())
+                .solve_with_warm_start(new_t, old_t, warm.as_ref());
             if basis.as_ref().is_some_and(|b| !b.is_empty()) {
                 warm = basis;
             }

@@ -47,6 +47,8 @@
 //! ```
 
 #![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 mod constraints;
@@ -66,11 +68,11 @@ pub use escalate::{
     EscalationPolicy,
 };
 pub use dca_invariants::InvariantTier;
-pub use dca_lp::LpBasis;
+pub use dca_lp::{Deadline, LpBasis, SolvePhase};
 pub use options::{AnalysisOptions, LpBackend};
 pub use potential::PotentialFunction;
 pub use program::AnalyzedProgram;
 pub use solver::{
     AnalysisError, DiffCostResult, DiffCostSolver, PrecisionResult, RefutationResult,
-    SolveStats, SymbolicBoundResult,
+    SolveOutcome, SolveStats, SymbolicBoundResult,
 };

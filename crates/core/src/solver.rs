@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use dca_handelman::{encode_nonnegativity, ConstraintSense, UnknownConstraint, UnknownFactory, UnknownKind};
 use dca_ir::{IntValuation, TransitionSystem};
-use dca_lp::{ConstraintOp, LpBasis, LpProblem, LpStatus, LpVar, VarKind};
+use dca_lp::fault::{self, FaultKind};
+use dca_lp::{ConstraintOp, Deadline, LpBasis, LpProblem, LpStatus, LpVar, SolvePhase, VarKind};
 use dca_numeric::Rational;
 use dca_poly::{LinExpr, LinForm, Polynomial, TemplatePolynomial, UnknownId, VarId};
 
@@ -32,8 +33,36 @@ pub enum AnalysisError {
     RefutationFailed,
     /// A program handed to the batch engine as source text failed to compile.
     InvalidProgram(String),
-    /// The configured wall-clock budget ([`AnalysisOptions::time_budget`]) ran out.
-    Timeout,
+    /// The wall-clock budget ([`AnalysisOptions::time_budget`] or a batch-wide
+    /// [`Deadline`]) ran out — or the deadline was cancelled — before any sound
+    /// answer existed.
+    Timeout {
+        /// The pipeline phase that was running when the budget ran out.
+        phase: SolvePhase,
+    },
+    /// The solve panicked and the batch engine contained the panic at the job
+    /// boundary (no other pair in the batch is affected).
+    Panicked {
+        /// The phase the panicking thread had most recently entered (the crash site).
+        phase: SolvePhase,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl AnalysisError {
+    /// The pipeline phase this error is attributed to, when it carries one. Timeouts
+    /// and contained panics name their phase; analysis *verdicts* such as
+    /// [`AnalysisError::NoThresholdFound`] are answers about the problem, not
+    /// failures of a phase, and return `None`.
+    pub fn phase(&self) -> Option<SolvePhase> {
+        match self {
+            AnalysisError::Timeout { phase } | AnalysisError::Panicked { phase, .. } => {
+                Some(*phase)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AnalysisError {
@@ -50,7 +79,12 @@ impl fmt::Display for AnalysisError {
             AnalysisError::InvalidProgram(message) => {
                 write!(f, "the program failed to compile: {message}")
             }
-            AnalysisError::Timeout => write!(f, "the solve exceeded its wall-clock budget"),
+            AnalysisError::Timeout { phase } => {
+                write!(f, "the solve exceeded its wall-clock budget during {phase}")
+            }
+            AnalysisError::Panicked { phase, message } => {
+                write!(f, "the solve panicked during {phase}: {message}")
+            }
         }
     }
 }
@@ -58,7 +92,7 @@ impl fmt::Display for AnalysisError {
 impl std::error::Error for AnalysisError {}
 
 /// Size and timing statistics of one solver invocation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveStats {
     /// Number of LP variables (template coefficients, threshold, multipliers).
     pub lp_variables: usize,
@@ -79,6 +113,11 @@ pub struct SolveStats {
     /// is the last feasible iterate — a *sound but possibly loose* upper bound
     /// rather than a proven optimum (anytime semantics).
     pub lp_truncated: bool,
+    /// An exact lower bound on the true LP optimum, recovered from a dual-feasible
+    /// basis seen during certification (weak duality). Only populated for truncated
+    /// solves, where the reported threshold is an *upper* bound: together they
+    /// bracket the unreachable optimum and their difference is the anytime gap.
+    pub lp_dual_bound: Option<f64>,
     /// `true` when the reported LP answer carries an exact-rational certificate
     /// (always under the `Certified` and `Exact` backends; `false` under plain
     /// `F64`, whose verdicts are tolerance-guarded floats).
@@ -148,7 +187,100 @@ pub struct DiffCostResult {
     pub stats: SolveStats,
 }
 
+/// The degradation ladder: the best *sound* answer a solve produced, in decreasing
+/// order of strength. The pipeline resolves every solve to exactly one of these —
+/// and never degrades past soundness: a threshold is either the proven optimum
+/// ([`Certified`](SolveOutcome::Certified)), an explicitly-marked anytime upper
+/// bound ([`TruncatedAnytime`](SolveOutcome::TruncatedAnytime)), or absent
+/// ([`Aborted`](SolveOutcome::Aborted)). A wrong threshold is never an allowed
+/// degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveOutcome {
+    /// The LP solved to proven optimality within budget. Under the default
+    /// `Certified` and the `Exact` backends the threshold carries an exact-rational
+    /// certificate ([`SolveStats::lp_certified`]); under the explicitly-requested
+    /// `F64` backend it is the tolerance-guarded float optimum.
+    Certified {
+        /// The optimal threshold.
+        threshold: f64,
+    },
+    /// The deadline expired with a feasible iterate in hand: the reported threshold
+    /// is a *sound but possibly loose* upper bound (anytime semantics), never
+    /// presented as the optimum.
+    TruncatedAnytime {
+        /// The sound upper bound (the last feasible iterate's objective).
+        upper: f64,
+        /// An exact lower bound on the unreachable optimum, recovered from a
+        /// dual-feasible basis during certification, when one was seen.
+        lower: Option<f64>,
+        /// `upper − lower` when both ends of the bracket are known.
+        gap: Option<f64>,
+    },
+    /// No sound answer: the budget ran out before any feasible iterate, the solve
+    /// panicked (and was contained), or the analysis failed outright.
+    Aborted {
+        /// The phase the abort is attributed to — populated for timeouts and
+        /// contained panics, `None` for analysis verdicts (e.g. "no witness of this
+        /// degree exists").
+        phase: Option<SolvePhase>,
+        /// Human-readable reason (the underlying error's display form).
+        reason: String,
+    },
+}
+
+impl SolveOutcome {
+    /// The stable machine-readable tag (`"certified"`, `"truncated"`, `"aborted"`)
+    /// used in benchmark JSON rows and history lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolveOutcome::Certified { .. } => "certified",
+            SolveOutcome::TruncatedAnytime { .. } => "truncated",
+            SolveOutcome::Aborted { .. } => "aborted",
+        }
+    }
+
+    /// `true` for [`SolveOutcome::Certified`].
+    pub fn is_certified(&self) -> bool {
+        matches!(self, SolveOutcome::Certified { .. })
+    }
+
+    /// The phase an [`SolveOutcome::Aborted`] outcome is attributed to.
+    pub fn aborted_phase(&self) -> Option<SolvePhase> {
+        match self {
+            SolveOutcome::Aborted { phase, .. } => *phase,
+            _ => None,
+        }
+    }
+
+    /// The anytime gap of a [`SolveOutcome::TruncatedAnytime`] outcome.
+    pub fn gap(&self) -> Option<f64> {
+        match self {
+            SolveOutcome::TruncatedAnytime { gap, .. } => *gap,
+            _ => None,
+        }
+    }
+}
+
 impl DiffCostResult {
+    /// Where this result sits on the degradation ladder: `Certified` when the LP ran
+    /// to proven optimality, `TruncatedAnytime` when the deadline cut it short and
+    /// the threshold is the last feasible iterate (with the exact dual lower bound
+    /// bracketing the optimum, when one was recovered). A `DiffCostResult` always
+    /// carries a sound threshold, so `Aborted` never arises here — errors abort the
+    /// solve before a result exists (see `PairOutcome::outcome` in the batch engine).
+    pub fn outcome(&self) -> SolveOutcome {
+        if self.stats.lp_truncated {
+            let lower = self.stats.lp_dual_bound;
+            SolveOutcome::TruncatedAnytime {
+                upper: self.threshold,
+                lower,
+                gap: lower.map(|lower| self.threshold - lower),
+            }
+        } else {
+            SolveOutcome::Certified { threshold: self.threshold }
+        }
+    }
+
     /// The threshold rounded down to an integer.
     ///
     /// Costs are integer-valued, so any real threshold `t` implies the integer threshold
@@ -201,9 +333,10 @@ pub struct PrecisionResult {
 }
 
 /// The solver implementing the simultaneous synthesis algorithm of Section 5.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DiffCostSolver {
     options: AnalysisOptions,
+    deadline: Deadline,
 }
 
 impl Default for DiffCostSolver {
@@ -213,14 +346,32 @@ impl Default for DiffCostSolver {
 }
 
 impl DiffCostSolver {
-    /// Creates a solver with the given options.
+    /// Creates a solver with the given options (and no external deadline: only the
+    /// options' own [`AnalysisOptions::time_budget`] bounds each solve).
     pub fn new(options: AnalysisOptions) -> DiffCostSolver {
-        DiffCostSolver { options }
+        DiffCostSolver { options, deadline: Deadline::unlimited() }
+    }
+
+    /// Attaches a shared [`Deadline`]: every solve polls it cooperatively (in the
+    /// invariant, encoding and LP phases) and stops within one polling stride of its
+    /// cutoff or cancellation. A per-solve [`AnalysisOptions::time_budget`]
+    /// *tightens* this deadline per attempt; the earlier cutoff wins. The batch
+    /// engine threads its batch-wide deadline into every worker this way.
+    pub fn with_deadline(mut self, deadline: Deadline) -> DiffCostSolver {
+        self.deadline = deadline;
+        self
     }
 
     /// The options this solver was created with.
     pub fn options(&self) -> AnalysisOptions {
         self.options
+    }
+
+    /// The effective deadline of one solve: the solver's shared deadline tightened
+    /// by the per-solve time budget, anchored at the caller's start instant (the
+    /// budget covers constraint collection too, not just the LP).
+    fn effective_deadline(&self, start: Instant) -> Deadline {
+        self.deadline.tightened(self.options.time_budget.map(|budget| start + budget))
     }
 
     /// Re-analyzes a program when its invariants were generated at a different tier
@@ -321,8 +472,21 @@ impl DiffCostSolver {
         warm: Option<&LpBasis>,
     ) -> (Result<DiffCostResult, AnalysisError>, Option<LpBasis>) {
         let start = Instant::now();
+        let deadline = self.effective_deadline(start);
+        // Phase boundary: invariant (re-)analysis. An injected deadline fault here
+        // exercises the same cooperative-cancellation path a real exhaustion takes.
+        if fault::enter(SolvePhase::Invariants) == Some(FaultKind::Deadline) {
+            deadline.cancel();
+        }
         let (new, old) = (self.at_option_tier(new), self.at_option_tier(old));
         let (new, old) = (new.as_ref(), old.as_ref());
+        if deadline.expired() {
+            return (Err(AnalysisError::Timeout { phase: SolvePhase::Invariants }), None);
+        }
+        // Phase boundary: Handelman encoding of the constraint system.
+        if fault::enter(SolvePhase::Encode) == Some(FaultKind::Deadline) {
+            deadline.cancel();
+        }
         let mut factory = UnknownFactory::new();
         let threshold = factory.fresh("t", UnknownKind::Free);
         let (templates_new, templates_old, mut set, collected) =
@@ -341,8 +505,11 @@ impl DiffCostSolver {
         );
         lazy.extend(encoding.lazy_multipliers());
         set.extend(encoding.constraints);
+        if deadline.expired() {
+            return (Err(AnalysisError::Timeout { phase: SolvePhase::Encode }), None);
+        }
 
-        let attempt = self.solve_lp(&factory, &set, Some(threshold), start, warm, &lazy);
+        let attempt = self.solve_lp(&factory, &set, Some(threshold), start, &deadline, warm, &lazy);
         let result = attempt.result.map(|(objective_value, assignment, mut stats)| {
             stats.transitions_pruned = collected.pruned;
             DiffCostResult {
@@ -389,8 +556,9 @@ impl DiffCostSolver {
         );
         lazy.extend(encoding.lazy_multipliers());
         set.extend(encoding.constraints);
+        let deadline = self.effective_deadline(start);
         let (_, assignment, mut stats) =
-            self.solve_lp(&factory, &set, None, start, None, &lazy).result?;
+            self.solve_lp(&factory, &set, None, start, &deadline, None, &lazy).result?;
         stats.transitions_pruned = collected.pruned;
         Ok(SymbolicBoundResult {
             potential_new: templates_new.instantiate(&assignment),
@@ -491,7 +659,11 @@ impl DiffCostSolver {
             let exceeded = &difference - &LinForm::constant(Rational::from_int(threshold + 1));
             let mut candidate_set = set.clone();
             candidate_set.push(UnknownConstraint::ge(exceeded, "refutation"));
-            match self.solve_lp(&factory, &candidate_set, None, start, None, &lazy).result {
+            let deadline = self.effective_deadline(start);
+            match self
+                .solve_lp(&factory, &candidate_set, None, start, &deadline, None, &lazy)
+                .result
+            {
                 Ok((_, assignment, stats)) => {
                     return Ok(RefutationResult {
                         witness_input: candidate,
@@ -604,21 +776,24 @@ impl DiffCostSolver {
         (phi0, chi0, theta0)
     }
 
+    // One parameter over the limit, but every argument is load-bearing pipeline
+    // state; bundling them into a one-shot struct would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn solve_lp(
         &self,
         factory: &UnknownFactory,
         set: &ConstraintSet,
         objective: Option<UnknownId>,
         start: Instant,
+        deadline: &Deadline,
         warm: Option<&LpBasis>,
         lazy: &[UnknownId],
     ) -> LpAttempt {
         let mut lp = LpProblem::new();
-        if let Some(budget) = self.options.time_budget {
-            // The budget covers the whole solve; constraint collection already consumed
-            // part of it, so the deadline is anchored at the caller's start time.
-            lp.set_deadline(Some(start + budget));
-        }
+        // The deadline covers the whole solve (constraint collection already consumed
+        // part of the budget — it is anchored at the caller's start time) and carries
+        // the shared cancel flag, so an external cancellation stops the LP loops too.
+        lp.set_deadline(deadline.clone());
         let lp_vars: Vec<LpVar> = factory
             .iter()
             .map(|u| {
@@ -687,6 +862,7 @@ impl DiffCostSolver {
             lp_float_iterations: info.float_iterations,
             lp_exact_iterations: info.exact_iterations,
             lp_truncated: info.truncated,
+            lp_dual_bound: None,
             lp_certified: info.certified,
             lp_certify_rounds: info.certify_rounds,
             lp_presolve_time: info.presolve_time,
@@ -722,12 +898,19 @@ impl DiffCostSolver {
                         .as_ref()
                         .map(Rational::to_f64)
                         .unwrap_or(0.0);
-                    Ok((objective_value, assignment, stats(start.elapsed(), solution.info)))
+                    let mut stats = stats(start.elapsed(), solution.info);
+                    stats.lp_dual_bound =
+                        solution.dual_bound.as_ref().map(Rational::to_f64);
+                    Ok((objective_value, assignment, stats))
                 }
                 LpStatus::Infeasible => Err(AnalysisError::NoThresholdFound),
                 LpStatus::Unbounded => Err(AnalysisError::Unbounded),
                 LpStatus::IterationLimit => Err(AnalysisError::IterationLimit),
-                LpStatus::TimedOut => Err(AnalysisError::Timeout),
+                // The thread-local phase marker names the LP stage that was running
+                // when the deadline fired (the certified driver enters each stage).
+                LpStatus::TimedOut => {
+                    Err(AnalysisError::Timeout { phase: fault::current_phase() })
+                }
             };
             LpAttempt { result, basis }
         };
@@ -760,8 +943,12 @@ impl DiffCostSolver {
                     // badly conditioned instances; fall back to the exact backend before
                     // giving up.
                     LpStatus::Unbounded | LpStatus::IterationLimit => return solve_exact(&lp),
-                    // A timeout is a genuine budget exhaustion: no fallback.
-                    LpStatus::TimedOut => Err(AnalysisError::Timeout),
+                    // A timeout is a genuine budget exhaustion: no fallback. The F64
+                    // backend does not mark LP sub-stages, so the phase is whatever
+                    // boundary was last crossed (the encode phase).
+                    LpStatus::TimedOut => {
+                        Err(AnalysisError::Timeout { phase: fault::current_phase() })
+                    }
                 };
                 LpAttempt { result, basis }
             }

@@ -28,6 +28,8 @@ use std::time::{Duration, Instant};
 
 use dca_numeric::Rational;
 
+use crate::deadline::Deadline;
+use crate::fault::{self, FaultKind, SolvePhase};
 use crate::lu::factorize_markowitz;
 use crate::presolve::presolve;
 use crate::problem::LpStatus;
@@ -87,6 +89,18 @@ struct Certificate {
     dual: Vec<Rational>,
 }
 
+/// Accept/reject verdict of one certification pass.
+enum Certified {
+    /// Exactly primal and dual feasible: an accepted optimum with its certificate.
+    Accepted(Certificate),
+    /// Rejected. When the basis was exactly *dual* feasible but primal infeasible,
+    /// weak duality makes `y·b` an exact lower bound on the optimum, reported here
+    /// so a later truncated (anytime) answer can bracket the unproven optimum.
+    Rejected {
+        dual_bound: Option<Rational>,
+    },
+}
+
 /// Repair-round pivot caps: round `k` may spend `REPAIR_CAPS[k]` exact pivots before
 /// its basis is re-certified; after the last round the uncapped exact path runs.
 const REPAIR_CAPS: [usize; 2] = [256, 2048];
@@ -104,33 +118,29 @@ fn certify_basis(
     form: &StandardForm<Rational>,
     columns: &Columns<Rational>,
     basis: &[usize],
-    deadline: Option<Instant>,
-) -> Option<Certificate> {
+    deadline: &Deadline,
+) -> Certified {
     let m = columns.rows;
     let n = columns.cols.len();
-    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
     // Certification is exact work too and must honor the per-attempt budget like
     // every other exact loop; an aborted certification is just a rejection — the
     // caller's repair/fallback path times out promptly on the same deadline.
-    if past_deadline() {
-        return None;
+    if deadline.expired() {
+        return Certified::Rejected { dual_bound: None };
     }
     let lu = factorize_markowitz(columns, basis);
-    if past_deadline() {
-        return None;
+    if deadline.expired() {
+        return Certified::Rejected { dual_bound: None };
     }
 
     // Exact primal feasibility: x_B = B⁻¹ b ≥ 0, with artificial rows exactly 0.
+    // A violation no longer aborts the pass: the dual pricing below may still
+    // salvage an exact lower bound from the rejected basis.
     let mut x_basic = form.rhs.clone();
     lu.factor.ftran(&mut x_basic);
-    for (pos, value) in x_basic.iter().enumerate() {
-        if value.is_negative() {
-            return None;
-        }
-        if lu.factor.basis[pos] >= n && !value.is_zero() {
-            return None;
-        }
-    }
+    let primal_ok = x_basic.iter().enumerate().all(|(pos, value)| {
+        !value.is_negative() && (lu.factor.basis[pos] < n || value.is_zero())
+    });
 
     // Exact dual feasibility: y = c_B B⁻¹, r_j = c_j − y·A_j ≥ 0 for every nonbasic
     // structural column (artificials carry cost 0; basic columns price to 0 exactly).
@@ -152,13 +162,24 @@ fn certify_basis(
         if basic {
             continue;
         }
-        if j % 256 == 0 && past_deadline() {
-            return None;
+        if j % 256 == 0 && deadline.expired() {
+            return Certified::Rejected { dual_bound: None };
         }
         let reduced = form.costs[j].sub(&columns.dot(&y, j));
         if reduced.is_negative() {
-            return None;
+            return Certified::Rejected { dual_bound: None };
         }
+    }
+
+    if !primal_ok {
+        // Dual feasible, primal infeasible: for any feasible x, c·x ≥ y·Ax = y·b
+        // (weak duality; artificial basis slots carry cost 0 and structural pricing
+        // held above), so `y·b` is an exact lower bound on the optimum.
+        let bound = y
+            .iter()
+            .zip(&form.rhs)
+            .fold(Rational::zero(), |acc, (y_i, b_i)| acc.add(&y_i.mul(b_i)));
+        return Certified::Rejected { dual_bound: Some(bound) };
     }
 
     let mut values = vec![Rational::zero(); n];
@@ -168,7 +189,7 @@ fn certify_basis(
         }
     }
     let basis = lu.factor.basis.iter().copied().filter(|&col| col < n).collect();
-    Some(Certificate { values, basis, dual: y })
+    Certified::Accepted(Certificate { values, basis, dual: y })
 }
 
 /// Exact Farkas certificate extracted from a terminal *infeasible* exact solve.
@@ -187,10 +208,9 @@ fn phase1_farkas(
     form: &StandardForm<Rational>,
     columns: &Columns<Rational>,
     basis: &[usize],
-    deadline: Option<Instant>,
+    deadline: &Deadline,
 ) -> Option<Vec<Rational>> {
-    let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
-    if past_deadline() {
+    if deadline.expired() {
         return None;
     }
     let n = columns.cols.len();
@@ -210,7 +230,7 @@ fn phase1_farkas(
         return None;
     }
     for j in 0..n {
-        if j % 256 == 0 && past_deadline() {
+        if j % 256 == 0 && deadline.expired() {
             return None;
         }
         if columns.dot(&y, j).is_positive() {
@@ -233,7 +253,7 @@ fn phase1_farkas(
 /// verdict is identical.
 pub(crate) fn solve_float_first(
     form: &StandardForm<Rational>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     warm: Option<&[usize]>,
     lazy_cols: &[usize],
 ) -> RawSolution<Rational> {
@@ -335,6 +355,16 @@ pub(crate) fn solve_float_first(
     if solution.status == LpStatus::Optimal {
         solution.values = pre.restore(&solution.values, num_original_cols);
     }
+    if let Some(bound) = solution.dual_bound.take() {
+        // The bound was certified on the presolved problem; presolve only ever
+        // fixes eliminated columns to constants, so the original objective differs
+        // from the reduced one by exactly Σ c_j·v_j over the fixed columns.
+        let offset = pre
+            .fixed
+            .iter()
+            .fold(Rational::zero(), |acc, (col, value)| acc.add(&form.costs[*col].mul(value)));
+        solution.dual_bound = Some(bound.add(&offset));
+    }
     solution.basis = solution.basis.iter().map(|&col| pre.kept_cols[col]).collect();
     solution.presolve_rows_removed = pre.rows_removed;
     solution.presolve_cols_removed = pre.cols_removed;
@@ -362,18 +392,30 @@ pub(crate) fn solve_float_first(
 /// then means the deadline expired before the dual could be certified.
 fn certified_core(
     form: &StandardForm<Rational>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     warm: Option<&[usize]>,
     phases: &mut PhaseStats,
     debug: bool,
     want_dual: bool,
-    use_float: bool,
+    mut use_float: bool,
 ) -> (RawSolution<Rational>, Option<Vec<Rational>>) {
     let columns = Columns::from_form(form);
     let mut candidate: Vec<usize> = Vec::new();
     let mut result: Option<RawSolution<Rational>> = None;
     let mut dual: Option<Vec<Rational>> = None;
     let mut float_optimal = false;
+    // Best exact lower bound salvaged from rejected-but-dual-feasible certification
+    // passes; attached to a truncated answer so the caller can report a gap.
+    let mut best_lower: Option<Rational> = None;
+    if use_float {
+        match fault::enter(SolvePhase::LpFloat) {
+            Some(FaultKind::Deadline) => deadline.cancel(),
+            // Forced numeric rejection: discard the float phase outright; the exact
+            // fallback below must still reproduce the fault-free answer.
+            Some(FaultKind::Numeric) => use_float = false,
+            _ => {}
+        }
+    }
 
     // ---- Float phase: solve the f64 image of the problem. --------------------------
     // Skipped (`use_float = false`) by the row-generation driver after its first
@@ -393,15 +435,17 @@ fn certified_core(
             model_columns: form.model_columns.clone(),
         };
         // The float phase only proposes a basis; cap its budget so the exact phases
-        // keep most of the wall-clock (they are the sound anytime fallback).
-        let float_deadline = deadline.map(|d| {
+        // keep most of the wall-clock (they are the sound anytime fallback). The
+        // tightened clone shares the cancel flag, so external cancellation still
+        // reaches the float simplex.
+        let float_deadline = deadline.tightened(deadline.instant().map(|d| {
             let remaining = d.saturating_duration_since(Instant::now());
             Instant::now() + remaining.mul_f64(FLOAT_BUDGET_FRACTION)
-        });
+        }));
         let perturbation =
             if float_form.matrix.len() >= PERTURB_ROWS_THRESHOLD { PERTURBATION } else { 0.0 };
         let float =
-            solve_standard_form_inner(&float_form, float_deadline, perturbation, warm, None);
+            solve_standard_form_inner(&float_form, &float_deadline, perturbation, warm, None);
         phases.float_time += float_start.elapsed();
         phases.float_iterations += float.iterations;
         if debug {
@@ -424,10 +468,37 @@ fn certified_core(
     // simplex runs uncapped (self-certifying).
     if float_optimal {
         for (round, cap) in REPAIR_CAPS.iter().enumerate() {
+            let force_reject = match fault::enter(SolvePhase::LpCertify) {
+                Some(FaultKind::Deadline) => {
+                    deadline.cancel();
+                    false
+                }
+                // Injected numeric failure: pretend certification rejected the
+                // candidate; the repair/fallback chain must still land on the
+                // fault-free answer (soundness never rests on a single pass).
+                Some(FaultKind::Numeric) => true,
+                _ => false,
+            };
             let certify_start = Instant::now();
-            let certificate = certify_basis(form, &columns, &candidate, deadline);
+            let certified = if force_reject {
+                Certified::Rejected { dual_bound: None }
+            } else {
+                certify_basis(form, &columns, &candidate, deadline)
+            };
             phases.certify_time += certify_start.elapsed();
             phases.certify_rounds += 1;
+            let certificate = match certified {
+                Certified::Accepted(certificate) => Some(certificate),
+                Certified::Rejected { dual_bound } => {
+                    if let Some(bound) = dual_bound {
+                        best_lower = Some(match best_lower.take() {
+                            Some(best) if Scalar::lt(&bound, &best) => best,
+                            _ => bound,
+                        });
+                    }
+                    None
+                }
+            };
             if let Some(certificate) = certificate {
                 if debug {
                     eprintln!(
@@ -448,6 +519,11 @@ fn certified_core(
                     "[lp] float-first: round {} rejected; exact repair (cap {cap})",
                     round + 1
                 );
+            }
+            // Deadline faults at the repair boundary exercise the real
+            // cancellation path; a numeric fault has nothing to reject here.
+            if fault::enter(SolvePhase::LpRepair) == Some(FaultKind::Deadline) {
+                deadline.cancel();
             }
             let repair_start = Instant::now();
             let repaired = solve_standard_form_inner::<Rational>(
@@ -483,9 +559,12 @@ fn certified_core(
     }
 
     // ---- Pure exact fallback (uncapped, warm-started from the best basis seen). ----
-    let solution = match result {
+    let mut solution = match result {
         Some(solution) => solution,
         None => {
+            if fault::enter(SolvePhase::LpRepair) == Some(FaultKind::Deadline) {
+                deadline.cancel();
+            }
             let warm_exact: Option<&[usize]> =
                 if !candidate.is_empty() { Some(&candidate) } else { warm };
             let repair_start = Instant::now();
@@ -517,9 +596,17 @@ fn certified_core(
     // out of time.
     if want_dual && dual.is_none() && solution.status == LpStatus::Optimal && !solution.truncated {
         let certify_start = Instant::now();
-        let certificate = certify_basis(form, &columns, &solution.basis, deadline);
+        let certified = certify_basis(form, &columns, &solution.basis, deadline);
         phases.certify_time += certify_start.elapsed();
-        dual = certificate.map(|certificate| certificate.dual);
+        dual = match certified {
+            Certified::Accepted(certificate) => Some(certificate.dual),
+            Certified::Rejected { .. } => None,
+        };
+    }
+    // A truncated anytime answer carries the best exact lower bound seen, so the
+    // caller can bracket the unproven optimum: `dual_bound ≤ optimum ≤ objective`.
+    if solution.truncated && solution.dual_bound.is_none() {
+        solution.dual_bound = best_lower;
     }
     // Defensive: a solution whose basis failed dual recovery must not silently claim
     // proven optimality to the row-generation driver; the driver downgrades it to an
@@ -556,7 +643,7 @@ fn certified_core(
 /// terminates after at most `lazy.len()` activations.
 fn solve_with_row_generation(
     form: &StandardForm<Rational>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     warm: Option<&[usize]>,
     lazy: &[usize],
     phases: &mut PhaseStats,
@@ -582,6 +669,11 @@ fn solve_with_row_generation(
 
     let (mut sub, sub_cols, basis_full) = loop {
         phases.separation_rounds += 1;
+        // Deadline faults at the separation boundary exercise the real
+        // cancellation path; a numeric fault has nothing to reject here.
+        if fault::enter(SolvePhase::LpRowGen) == Some(FaultKind::Deadline) {
+            deadline.cancel();
+        }
         let sub_cols: Vec<usize> = (0..n).filter(|&j| active[j]).collect();
         let mut sub_of = vec![usize::MAX; n];
         for (sub_j, &j) in sub_cols.iter().enumerate() {
@@ -684,7 +776,7 @@ fn solve_with_row_generation(
                             active[j] = true;
                         }
                     }
-                    None if deadline.is_some_and(|d| Instant::now() >= d) => {
+                    None if deadline.expired() => {
                         sub.status = LpStatus::TimedOut;
                         sub.truncated = true;
                         break (sub, sub_cols, basis_full);
@@ -715,6 +807,12 @@ fn solve_with_row_generation(
     };
 
     phases.products_generated = lazy.iter().filter(|&&j| active[j]).count();
+    // A dual bound certified against the *restricted* column set only bounds the
+    // restricted optimum (which is ≥ the full optimum), so it survives only when
+    // every lazy column ended up active.
+    if sub.dual_bound.is_some() && (0..n).any(|j| is_lazy[j] && !active[j]) {
+        sub.dual_bound = None;
+    }
     // Expand the restricted answer to the full column space: excluded columns sit
     // at zero (they are nonbasic by construction).
     if sub.status == LpStatus::Optimal {
@@ -736,6 +834,13 @@ mod tests {
         Rational::new(n, d)
     }
 
+    fn accepted(certified: Certified) -> Option<Certificate> {
+        match certified {
+            Certified::Accepted(certificate) => Some(certificate),
+            Certified::Rejected { .. } => None,
+        }
+    }
+
     /// minimize -x - y  s.t.  x + y + s = 4: optimum -4 at x + y = 4.
     #[test]
     fn float_first_certifies_a_simple_optimum() {
@@ -745,7 +850,7 @@ mod tests {
             costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
             model_columns: Vec::new(),
         };
-        let solution = solve_float_first(&form, None, None, &[]);
+        let solution = solve_float_first(&form, &Deadline::unlimited(), None, &[]);
         assert_eq!(solution.status, LpStatus::Optimal);
         assert!(solution.phases.certified);
         assert!(solution.phases.certify_rounds >= 1, "the certifier must have run");
@@ -762,7 +867,7 @@ mod tests {
             costs: vec![r(0, 1)],
             model_columns: Vec::new(),
         };
-        let solution = solve_float_first(&form, None, None, &[]);
+        let solution = solve_float_first(&form, &Deadline::unlimited(), None, &[]);
         assert_eq!(solution.status, LpStatus::Infeasible);
     }
 
@@ -778,11 +883,11 @@ mod tests {
         };
         let columns = Columns::from_form(&form);
         assert!(
-            certify_basis(&form, &columns, &[0], None).is_none(),
+            accepted(certify_basis(&form, &columns, &[0], &Deadline::unlimited())).is_none(),
             "x1 basic is not optimal"
         );
-        let certificate =
-            certify_basis(&form, &columns, &[1], None).expect("x2 basic is optimal");
+        let certificate = accepted(certify_basis(&form, &columns, &[1], &Deadline::unlimited()))
+            .expect("x2 basic is optimal");
         assert_eq!(certificate.values, vec![r(0, 1), r(1, 1)]);
     }
 
@@ -796,13 +901,35 @@ mod tests {
             model_columns: Vec::new(),
         };
         let columns = Columns::from_form(&form);
-        assert!(certify_basis(&form, &columns, &[1], None).is_none());
+        assert!(accepted(certify_basis(&form, &columns, &[1], &Deadline::unlimited())).is_none());
         // Empty candidate: the row is covered by an artificial that must be 0 but
         // solves to 1 → reject.
-        assert!(certify_basis(&form, &columns, &[], None).is_none());
+        assert!(accepted(certify_basis(&form, &columns, &[], &Deadline::unlimited())).is_none());
         // With rhs = 0 the all-artificial basis is exactly feasible and optimal.
         let zero_form = StandardForm { rhs: vec![r(0, 1)], ..form };
         let zero_columns = Columns::from_form(&zero_form);
-        assert!(certify_basis(&zero_form, &zero_columns, &[], None).is_some());
+        assert!(
+            accepted(certify_basis(&zero_form, &zero_columns, &[], &Deadline::unlimited()))
+                .is_some()
+        );
+    }
+
+    /// minimize 2x1 + x2  s.t.  x1 - x2 = 1. Basis {x2} solves to x2 = -1: primal
+    /// infeasible — but its dual y = -1 prices x1 at 2 - (-1)(1) = 3 ≥ 0, so the
+    /// rejection must salvage the weak-duality bound y·b = -1 (≤ the optimum 2).
+    #[test]
+    fn rejected_dual_feasible_basis_yields_an_exact_lower_bound() {
+        let form = StandardForm {
+            matrix: vec![vec![r(1, 1), r(-1, 1)]],
+            rhs: vec![r(1, 1)],
+            costs: vec![r(2, 1), r(1, 1)],
+            model_columns: Vec::new(),
+        };
+        let columns = Columns::from_form(&form);
+        match certify_basis(&form, &columns, &[1], &Deadline::unlimited()) {
+            Certified::Rejected { dual_bound: Some(bound) } => assert_eq!(bound, r(-1, 1)),
+            Certified::Rejected { dual_bound: None } => panic!("bound must be salvaged"),
+            Certified::Accepted(_) => panic!("x2 basic is primal infeasible"),
+        }
     }
 }

@@ -40,7 +40,15 @@
 //! assert_eq!(solution.objective.unwrap(), Rational::new(14, 5));
 //! ```
 
+// Library paths must not panic on fallible state (a worker panic poisons a whole
+// batch); every remaining `unwrap`/`expect` is either test-only or carries a local
+// `#[allow]` with a proof of infallibility.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod certify;
+mod deadline;
+pub mod fault;
 mod lu;
 mod presolve;
 mod problem;
@@ -48,6 +56,8 @@ mod revised;
 mod scalar;
 mod simplex;
 
+pub use deadline::Deadline;
+pub use fault::{FaultKind, FaultSpec, SolvePhase};
 pub use problem::{
     ConstraintOp, LpBasis, LpConstraint, LpProblem, LpResult, LpSolveInfo, LpStatus, LpVar,
     VarKind,

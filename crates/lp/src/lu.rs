@@ -176,12 +176,15 @@ pub(crate) fn factorize_markowitz<S: Scalar>(
         }
         let Some((_, k, pivot_row)) = best else { break };
 
-        // Build the eta from the pivot column's current (transformed) state.
-        let pivot_value = work[k]
+        // Build the eta from the pivot column's current (transformed) state. The
+        // pivot was just selected from `work[k]`'s own entries, so the lookup is
+        // infallible; a miss is treated like "no usable pivot" (rank deficiency)
+        // rather than a panic.
+        let pivot_entry = work[k]
             .iter()
             .find(|(row, _)| *row == pivot_row)
-            .map(|(_, v)| v.clone())
-            .expect("pivot entry present");
+            .map(|(_, v)| v.clone());
+        let Some(pivot_value) = pivot_entry else { break };
         let others: Vec<(usize, S)> = work[k]
             .iter()
             .filter(|(row, _)| *row != pivot_row)

@@ -300,8 +300,9 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
         let indices: Vec<usize> =
             rows.iter().enumerate().filter(|(_, r)| r.is_some()).map(|(i, _)| i).collect();
         for index in indices {
-            let key: Vec<(usize, u64)> = {
-                let row = rows[index].as_ref().unwrap();
+            // `indices` lists only live rows, so the map is infallible; a dead row
+            // simply contributes no key.
+            let Some(key) = rows[index].as_ref().map(|row| {
                 let mut key: Vec<(usize, u64)> = row
                     .terms
                     .iter()
@@ -309,17 +310,23 @@ pub(crate) fn presolve<S: Scalar>(form: &StandardForm<S>) -> Presolved<S> {
                     .collect();
                 key.push((usize::MAX, row.rhs.to_f64().to_bits()));
                 key
+            }) else {
+                continue;
             };
             match seen.get(&key) {
                 Some(&kept) => {
                     // Bit-pattern collision is not proof; confirm term-by-term.
-                    let same = {
-                        let (a, b) = (rows[kept].as_ref().unwrap(), rows[index].as_ref().unwrap());
-                        a.terms.len() == b.terms.len()
-                            && a.rhs.sub(&b.rhs).is_exactly_zero()
-                            && a.terms.iter().zip(&b.terms).all(|((ca, va), (cb, vb))| {
-                                ca == cb && va.sub(vb).is_exactly_zero()
-                            })
+                    // Both rows are live here (duplicates drop `index`, never the
+                    // kept row); a dead row degrades to "not the same" — no drop.
+                    let same = match (rows[kept].as_ref(), rows[index].as_ref()) {
+                        (Some(a), Some(b)) => {
+                            a.terms.len() == b.terms.len()
+                                && a.rhs.sub(&b.rhs).is_exactly_zero()
+                                && a.terms.iter().zip(&b.terms).all(|((ca, va), (cb, vb))| {
+                                    ca == cb && va.sub(vb).is_exactly_zero()
+                                })
+                        }
+                        _ => false,
                     };
                     if same {
                         rows[index] = None;
@@ -717,7 +724,9 @@ fn difference_prefilter<S: Scalar>(
         in_queue[0] = true;
         while let Some(u) = queue.pop_front() {
             in_queue[u] = false;
-            let du = dist[u].clone().expect("queued nodes have a distance");
+            // Nodes are enqueued only after their distance is set; an unset
+            // distance (impossible) just skips the node instead of panicking.
+            let Some(du) = dist[u].clone() else { continue };
             for (v, weight) in &adjacency[u] {
                 let candidate = du.add(weight);
                 let better = match &dist[*v] {
@@ -934,7 +943,7 @@ mod tests {
         assert_eq!(pre.rows_removed, 1);
         assert_eq!(pre.form.rhs[0], r(2, 1), "the x ≥ 2 row survives");
         // The reduced LP still has the right optimum: x = 2.
-        let solution = crate::simplex::solve_standard_form(&f, None, None);
+        let solution = crate::simplex::solve_standard_form(&f, &crate::deadline::Deadline::unlimited(), None);
         assert_eq!(solution.status, LpStatus::Optimal);
         assert_eq!(solution.values[0], r(2, 1));
     }
@@ -1073,7 +1082,7 @@ mod tests {
         assert_eq!(pre.verdict, None);
         assert_eq!(pre.form.matrix.len(), 2, "no row may be dropped");
         // The reduced LP still solves to the true optimum x = 1, y = 0.
-        let solution = crate::simplex::solve_standard_form(&f, None, None);
+        let solution = crate::simplex::solve_standard_form(&f, &crate::deadline::Deadline::unlimited(), None);
         assert_eq!(solution.status, LpStatus::Optimal);
         assert_eq!(solution.values[0], r(1, 1));
     }

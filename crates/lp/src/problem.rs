@@ -1,10 +1,11 @@
 //! The user-facing LP model: variables, constraints, objective, and solving entry points.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dca_numeric::Rational;
 
+use crate::deadline::Deadline;
 use crate::scalar::Scalar;
 use crate::simplex::{solve_standard_form, RawSolution, StandardForm};
 
@@ -170,6 +171,11 @@ pub struct LpResult<S> {
     /// The final basis, reusable as a warm start for a related problem (populated for
     /// any terminal status — an infeasible solve's basis still seeds the next rung).
     pub basis: LpBasis,
+    /// An exact lower bound on the true optimum, recovered from a dual-feasible
+    /// basis seen during certification. Only populated for truncated (anytime)
+    /// solves, where `objective` is an upper bound: together they bracket the
+    /// optimum (`dual_bound ≤ optimum ≤ objective`).
+    pub dual_bound: Option<S>,
     /// Presolve and iteration statistics.
     pub info: LpSolveInfo,
 }
@@ -199,7 +205,7 @@ pub struct LpProblem {
     var_kinds: Vec<VarKind>,
     constraints: Vec<LpConstraint>,
     objective: Vec<(LpVar, Rational)>,
-    deadline: Option<Instant>,
+    deadline: Deadline,
 }
 
 impl LpProblem {
@@ -231,11 +237,13 @@ impl LpProblem {
         self.objective = terms;
     }
 
-    /// Sets a wall-clock deadline for subsequent solves (`None` = no limit).
+    /// Sets the deadline for subsequent solves ([`Deadline::unlimited`] = no limit).
     ///
-    /// The simplex loops poll the clock and report [`LpStatus::TimedOut`] once the
-    /// deadline passes, so one pathological instance cannot stall a batch run.
-    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+    /// The simplex loops poll the deadline (clock cutoff *and* shared cancel flag)
+    /// and report [`LpStatus::TimedOut`] once it expires, so one pathological
+    /// instance cannot stall a batch run and an external [`Deadline::cancel`] stops
+    /// the solve within one polling stride.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
         self.deadline = deadline;
     }
 
@@ -402,7 +410,7 @@ impl LpProblem {
         }
         let raw = crate::certify::solve_float_first(
             &standard,
-            self.deadline,
+            &self.deadline,
             warm_cols.as_deref(),
             &lazy_cols,
         );
@@ -507,9 +515,23 @@ impl LpProblem {
                     .fold(S::zero(), |acc, (v, c)| {
                         acc.add(&S::from_rational(c).mul(&values[v.index()]))
                     });
-                LpResult { status: LpStatus::Optimal, objective: Some(objective), values, basis, info }
+                LpResult {
+                    status: LpStatus::Optimal,
+                    objective: Some(objective),
+                    values,
+                    basis,
+                    dual_bound: raw.dual_bound,
+                    info,
+                }
             }
-            status => LpResult { status, objective: None, values: Vec::new(), basis, info },
+            status => LpResult {
+                status,
+                objective: None,
+                values: Vec::new(),
+                basis,
+                dual_bound: raw.dual_bound,
+                info,
+            },
         }
     }
 
@@ -517,7 +539,7 @@ impl LpProblem {
         let standard = self.to_standard_form::<S>();
         let col_names = self.standard_col_names();
         let warm_cols = self.warm_to_cols(warm, &col_names);
-        let raw = solve_standard_form(&standard, self.deadline, warm_cols.as_deref());
+        let raw = solve_standard_form(&standard, &self.deadline, warm_cols.as_deref());
         self.assemble_result(raw, &col_names)
     }
 

@@ -31,6 +31,7 @@
 
 use std::time::Instant;
 
+use crate::deadline::Deadline;
 use crate::problem::LpStatus;
 use crate::scalar::{abs, Scalar};
 use crate::simplex::StandardForm;
@@ -370,7 +371,7 @@ pub(crate) struct RevisedOutcome<S> {
 #[cfg(test)]
 pub(crate) fn solve_revised<S: Scalar>(
     form: &StandardForm<S>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     warm: Option<&[usize]>,
     phase1_noise_floor: f64,
 ) -> RevisedOutcome<S> {
@@ -385,7 +386,7 @@ pub(crate) fn solve_revised<S: Scalar>(
 /// next round resumes from.
 pub(crate) fn solve_revised_capped<S: Scalar>(
     form: &StandardForm<S>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     warm: Option<&[usize]>,
     phase1_noise_floor: f64,
     iter_cap: Option<usize>,
@@ -687,7 +688,7 @@ impl<'a, S: Scalar> State<'a, S> {
         }
     }
 
-    fn optimize(&mut self, phase: Phase, max_iters: usize, deadline: Option<Instant>) -> LpStatus {
+    fn optimize(&mut self, phase: Phase, max_iters: usize, deadline: &Deadline) -> LpStatus {
         const DEADLINE_EVERY: usize = 64;
         /// How many verdict-time reinversion-and-recheck passes are allowed before a
         /// floating-point verdict is accepted as-is.
@@ -779,12 +780,8 @@ impl<'a, S: Scalar> State<'a, S> {
         let mut r_cache: Vec<(u64, Option<S>)> =
             if S::IS_EXACT { vec![(0, None); n] } else { Vec::new() };
         for iteration in 0..max_iters {
-            if S::IS_EXACT || iteration % DEADLINE_EVERY == 0 {
-                if let Some(deadline) = deadline {
-                    if Instant::now() >= deadline {
-                        return LpStatus::TimedOut;
-                    }
-                }
+            if (S::IS_EXACT || iteration % DEADLINE_EVERY == 0) && deadline.expired() {
+                return LpStatus::TimedOut;
             }
             // `f64` rebuilds on a short fixed cadence (round-off control); the exact
             // backend rebuilds only when the eta file's fill outgrows the basis fill
@@ -1295,6 +1292,10 @@ impl<'a, S: Scalar> State<'a, S> {
                 let mut rho = vec![S::zero(); m];
                 rho[leaving] = S::one();
                 self.factor.btran(&mut rho);
+                // Infallible: when `S::IS_EXACT`, the entering column was chosen
+                // by the exact pricing sweep in this same iteration, which always
+                // records its reduced cost before reaching the pivot step.
+                #[allow(clippy::expect_used)]
                 let gamma = entering_reduced
                     .take()
                     .expect("exact pricing always records the entering reduced cost")
@@ -1379,7 +1380,7 @@ mod tests {
             costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
             model_columns: Vec::new(),
         };
-        let out = solve_revised(&form, None, None, 0.0);
+        let out = solve_revised(&form, &Deadline::unlimited(), None, 0.0);
         assert_eq!(out.status, LpStatus::Optimal);
         let total = out.values[0].clone() + out.values[1].clone();
         assert_eq!(total, r(4, 1));
@@ -1395,7 +1396,7 @@ mod tests {
             costs: vec![r(0, 1)],
             model_columns: Vec::new(),
         };
-        let out = solve_revised(&form, None, None, 0.0);
+        let out = solve_revised(&form, &Deadline::unlimited(), None, 0.0);
         assert_eq!(out.status, LpStatus::Infeasible);
     }
 
@@ -1408,7 +1409,7 @@ mod tests {
             costs: vec![-1.0, 0.0],
             model_columns: Vec::new(),
         };
-        let out = solve_revised(&form, None, None, 0.0);
+        let out = solve_revised(&form, &Deadline::unlimited(), None, 0.0);
         assert_eq!(out.status, LpStatus::Unbounded);
     }
 
@@ -1424,11 +1425,11 @@ mod tests {
             costs: vec![1.0, 1.0, 0.0, 0.0],
             model_columns: Vec::new(),
         };
-        let cold = solve_revised(&form, None, None, 0.0);
+        let cold = solve_revised(&form, &Deadline::unlimited(), None, 0.0);
         assert_eq!(cold.status, LpStatus::Optimal);
         assert!((cold.values[0] - 1.6).abs() < 1e-6);
         assert!((cold.values[1] - 1.2).abs() < 1e-6);
-        let warm = solve_revised(&form, None, Some(&cold.basis), 0.0);
+        let warm = solve_revised(&form, &Deadline::unlimited(), Some(&cold.basis), 0.0);
         assert_eq!(warm.status, LpStatus::Optimal);
         assert!((warm.values[0] - 1.6).abs() < 1e-6);
         // The warm start lands on the optimal basis: phase 1 is skipped entirely and
@@ -1544,7 +1545,7 @@ mod tests {
             costs: vec![1.0, 1.0, 1.0, 0.0, 0.0],
             model_columns: Vec::new(),
         };
-        let out = solve_revised(&form, None, None, 0.0);
+        let out = solve_revised(&form, &Deadline::unlimited(), None, 0.0);
         assert_eq!(out.status, LpStatus::Optimal);
         assert!(out.values.iter().all(|v| v.abs() < 1e-9));
     }

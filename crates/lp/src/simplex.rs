@@ -21,6 +21,7 @@
 use std::time::Instant;
 
 use crate::certify::PhaseStats;
+use crate::deadline::Deadline;
 use crate::presolve::presolve;
 use crate::problem::LpStatus;
 use crate::revised::solve_revised_capped;
@@ -64,6 +65,11 @@ pub(crate) struct RawSolution<S> {
     /// non-truncated `Optimal`; the row-generation driver prices excluded columns
     /// against it without a separate Markowitz re-derivation.
     pub dual: Option<Vec<S>>,
+    /// An exact lower bound `y·b` on the true optimum, recovered from a
+    /// dual-feasible basis the certifier rejected on primal grounds (weak duality).
+    /// Populated only for truncated (anytime) answers, whose objective is an upper
+    /// bound: together they bracket the unproven optimum.
+    pub dual_bound: Option<S>,
     /// Per-phase effort accounting (populated by the float-first driver; the plain
     /// single-backend paths leave it at its defaults).
     pub phases: PhaseStats,
@@ -80,6 +86,7 @@ impl<S> RawSolution<S> {
             presolve_cols_removed: 0,
             truncated: false,
             dual: None,
+            dual_bound: None,
             phases: PhaseStats::default(),
         }
     }
@@ -243,7 +250,7 @@ impl<S: Scalar> Tableau<S> {
         costs: &[S],
         allowed_cols: usize,
         max_iters: usize,
-        deadline: Option<Instant>,
+        deadline: &Deadline,
         original: Option<(&[Vec<S>], &[S])>,
         iterations: &mut usize,
     ) -> LpStatus {
@@ -278,12 +285,8 @@ impl<S: Scalar> Tableau<S> {
             // Exact-backend pivots over blown-up rationals can take seconds each, so
             // the deadline is polled every iteration there; the cheap f64 iterations
             // amortize the clock read over a small batch.
-            if S::IS_EXACT || iteration % DEADLINE_EVERY == 0 {
-                if let Some(deadline) = deadline {
-                    if Instant::now() >= deadline {
-                        return LpStatus::TimedOut;
-                    }
-                }
+            if (S::IS_EXACT || iteration % DEADLINE_EVERY == 0) && deadline.expired() {
+                return LpStatus::TimedOut;
             }
             if !S::IS_EXACT {
                 if iteration % REFACTOR_EVERY == REFACTOR_EVERY - 1 {
@@ -418,7 +421,7 @@ impl<S: Scalar> Tableau<S> {
 /// the stall happened instead of re-pivoting from scratch.
 pub(crate) fn solve_standard_form<S: Scalar>(
     form: &StandardForm<S>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     warm: Option<&[usize]>,
 ) -> RawSolution<S> {
     let num_original_cols = form.costs.len();
@@ -499,7 +502,7 @@ pub(crate) const PERTURB_ROWS_THRESHOLD: usize = 384;
 /// pivots (used for the capped exact repair rounds).
 pub(crate) fn solve_standard_form_inner<S: Scalar>(
     form: &StandardForm<S>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     perturbation: f64,
     warm: Option<&[usize]>,
     iter_cap: Option<usize>,
@@ -637,6 +640,7 @@ pub(crate) fn solve_standard_form_inner<S: Scalar>(
         // Exact runs skip equilibration entirely, so the revised simplex's terminal
         // dual needs no unscaling; the `f64` backend never sets one.
         dual: outcome.dual,
+        dual_bound: None,
         phases,
     }
 }
@@ -646,7 +650,7 @@ pub(crate) fn solve_standard_form_inner<S: Scalar>(
 /// module docs.
 fn solve_dense<S: Scalar>(
     form: &StandardForm<S>,
-    deadline: Option<Instant>,
+    deadline: &Deadline,
     noise_floor: f64,
 ) -> crate::revised::RevisedOutcome<S> {
     use crate::revised::RevisedOutcome;
@@ -815,7 +819,7 @@ mod tests {
             costs: vec![r(-1, 1), r(-1, 1), r(0, 1)],
             model_columns: vec![(0, None), (1, None)],
         };
-        let sol = solve_standard_form(&form, None, None);
+        let sol = solve_standard_form(&form, &Deadline::unlimited(), None);
         assert_eq!(sol.status, LpStatus::Optimal);
         let total = sol.values[0].clone() + sol.values[1].clone();
         assert_eq!(total, r(4, 1));
@@ -829,7 +833,7 @@ mod tests {
             costs: vec![Rational::one()],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form, None, None);
+        let sol = solve_standard_form(&form, &Deadline::unlimited(), None);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.values, vec![Rational::zero()]);
     }
@@ -843,7 +847,7 @@ mod tests {
             costs: vec![r(1, 1)],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form, None, None);
+        let sol = solve_standard_form(&form, &Deadline::unlimited(), None);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.values[0], r(2, 1));
     }
@@ -875,8 +879,8 @@ mod tests {
                     .zip(&costs)
                     .fold(Rational::zero(), |acc, (v, c)| &acc + &(v * c))
             };
-            let revised = crate::revised::solve_revised(&form, None, None, 0.0);
-            let dense = solve_dense(&form, None, 0.0);
+            let revised = crate::revised::solve_revised(&form, &Deadline::unlimited(), None, 0.0);
+            let dense = solve_dense(&form, &Deadline::unlimited(), 0.0);
             assert_eq!(
                 revised.status, dense.status,
                 "case {case}: status diverged on {form:?}"
@@ -917,8 +921,8 @@ mod tests {
             let objective = |values: &[f64]| -> f64 {
                 values.iter().zip(&costs).map(|(v, c)| v * c).sum()
             };
-            let revised = crate::revised::solve_revised(&form, None, None, 0.0);
-            let dense = solve_dense(&form, None, 0.0);
+            let revised = crate::revised::solve_revised(&form, &Deadline::unlimited(), None, 0.0);
+            let dense = solve_dense(&form, &Deadline::unlimited(), 0.0);
             // `IterationLimit` is an honest "don't know" on either side; only compare
             // definitive answers.
             if revised.status == LpStatus::IterationLimit
@@ -975,8 +979,8 @@ mod tests {
             let objective = |values: &[f64]| -> f64 {
                 values.iter().zip(&costs).map(|(v, c)| v * c).sum()
             };
-            let revised = crate::revised::solve_revised(&form, None, None, 0.0);
-            let dense = solve_dense(&form, None, 0.0);
+            let revised = crate::revised::solve_revised(&form, &Deadline::unlimited(), None, 0.0);
+            let dense = solve_dense(&form, &Deadline::unlimited(), 0.0);
             if revised.status == LpStatus::IterationLimit
                 || dense.status == LpStatus::IterationLimit
             {
@@ -1005,7 +1009,7 @@ mod tests {
             costs: vec![r(1, 1)],
             model_columns: vec![(0, None)],
         };
-        let sol = solve_standard_form(&form, None, None);
+        let sol = solve_standard_form(&form, &Deadline::unlimited(), None);
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
 }
