@@ -23,7 +23,10 @@
 use std::process::exit;
 use std::time::Duration;
 
-use dca_bench::{format_table, parse_baseline_seconds, run_suite_filtered, time_regressions};
+use dca_bench::{
+    format_table, parse_baseline_cpu_seconds, parse_baseline_seconds, run_suite_filtered,
+    time_regressions,
+};
 use dca_benchmarks::SuiteConfig;
 use dca_core::InvariantTier;
 
@@ -56,11 +59,16 @@ fn main() {
 
     // Per-row time baseline from the committed benchmark record. A row is a time
     // regression when it runs > 2x its baseline AND slower than an absolute floor
-    // (sub-second rows drown in machine noise at a 2x threshold).
+    // (sub-second rows drown in machine noise at a 2x threshold). The gate compares
+    // *CPU* seconds, which ignore sibling load and queue wait; baselines committed
+    // before the cpu_seconds key existed fall back to the wall-clock entries.
     const TIME_REGRESSION_FACTOR: f64 = 2.0;
     const TIME_FLOOR_SECONDS: f64 = 0.5;
     let baseline: Vec<(String, f64)> = match std::fs::read_to_string("BENCH_table1.json") {
-        Ok(json) => parse_baseline_seconds(&json),
+        Ok(json) => {
+            let cpu = parse_baseline_cpu_seconds(&json);
+            if cpu.is_empty() { parse_baseline_seconds(&json) } else { cpu }
+        }
         Err(error) => {
             // Say so loudly: a silently-skipped gate that still prints success is
             // exactly the failure mode this check exists to prevent.
@@ -81,7 +89,7 @@ fn main() {
             // that degrades down the ladder (truncated/aborted) is a regression even
             // when its anytime bound happens to equal the tight threshold.
             Some(row) if row.is_tight() && row.outcome == "certified" => {
-                timed_rows.push((row.name.clone(), row.seconds));
+                timed_rows.push((row.name.clone(), row.cpu_seconds));
             }
             Some(row) => regressions.push(format!(
                 "{name}: expected certified-tight ({}), computed {:?} ({})",

@@ -29,7 +29,8 @@ use std::time::Duration;
 
 use dca_bench::{
     current_commit, format_history_line_tagged, format_table, format_table2_json,
-    parse_baseline_seconds, table2_row, time_regressions, today_utc, SuiteRun, Table2Row,
+    parse_baseline_cpu_seconds, parse_baseline_seconds, table2_row, time_regressions,
+    today_utc, SuiteRun, Table2Row,
 };
 use dca_benchmarks::table2::{
     check_sampled_soundness, differential_verdicts, run_table2, table2_manifest, table2_smoke,
@@ -173,9 +174,14 @@ fn main() {
     );
 
     // The committed-baseline time gate (shared with smoke): per-row >2x with a 1 s
-    // floor; rows without a baseline entry are skipped gracefully.
+    // floor; rows without a baseline entry are skipped gracefully. Compared in CPU
+    // seconds (load-immune), with a wall-clock fallback for pre-cpu_seconds
+    // baselines.
     let baseline = match std::fs::read_to_string("BENCH_table2.json") {
-        Ok(json) => parse_baseline_seconds(&json),
+        Ok(json) => {
+            let cpu = parse_baseline_cpu_seconds(&json);
+            if cpu.is_empty() { parse_baseline_seconds(&json) } else { cpu }
+        }
         Err(error) => {
             eprintln!(
                 "warning: BENCH_table2.json not readable ({error}); the \
@@ -185,7 +191,7 @@ fn main() {
         }
     };
     let timed: Vec<(String, f64)> =
-        rows.iter().map(|r| (r.table.name.clone(), r.table.seconds)).collect();
+        rows.iter().map(|r| (r.table.name.clone(), r.table.cpu_seconds)).collect();
     let (time_regs, covered) =
         time_regressions(&timed, &baseline, TIME_REGRESSION_FACTOR, TIME_FLOOR_SECONDS);
     failures.extend(time_regs);

@@ -28,6 +28,11 @@ pub struct TableRow {
     pub tier: InvariantTier,
     /// Wall-clock time of the full pipeline (parsing, invariants, LP) in seconds.
     pub seconds: f64,
+    /// CPU time (user + system) the solve's thread charged to this row in seconds
+    /// (falls back to wall time where the per-thread clock is unavailable). The
+    /// time-regression gates compare this instead of `seconds`: CPU time does not
+    /// inflate when a run shares the machine with other load.
+    pub cpu_seconds: f64,
     /// Size of the synthesized LP (variables, constraints).
     pub lp_size: (usize, usize),
     /// Simplex iterations of the successful solve (0 on failure).
@@ -93,6 +98,7 @@ impl TableRow {
             degree: outcome.degree,
             tier: outcome.tier,
             seconds: outcome.duration.as_secs_f64(),
+            cpu_seconds: outcome.cpu_duration.as_secs_f64(),
             lp_size: outcome
                 .stats()
                 .map(|s| (s.lp_variables, s.lp_constraints))
@@ -146,12 +152,17 @@ impl TableRow {
 /// Runs the full differential cost analysis pipeline on one benchmark, serially.
 pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
     let start = Instant::now();
+    let cpu_start = dca_core::batch::thread_cpu_time();
     let old = benchmark.old_program();
     let new = benchmark.new_program();
     let options = benchmark.options();
     let solver = DiffCostSolver::new(options);
     let outcome = solver.solve(&new, &old);
     let seconds = start.elapsed().as_secs_f64();
+    let cpu_seconds = match (cpu_start, dca_core::batch::thread_cpu_time()) {
+        (Some(before), Some(after)) => after.saturating_sub(before).as_secs_f64(),
+        _ => seconds,
+    };
     match outcome {
         Ok(result) => {
             let ladder = result.outcome();
@@ -165,6 +176,7 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             degree: benchmark.degree,
             tier: options.invariant_tier,
             seconds,
+            cpu_seconds,
             lp_size: (result.stats.lp_variables, result.stats.lp_constraints),
             lp_iterations: result.stats.lp_iterations,
             lp_float_iterations: result.stats.lp_float_iterations,
@@ -203,6 +215,7 @@ pub fn run_benchmark(benchmark: &Benchmark) -> TableRow {
             degree: benchmark.degree,
             tier: options.invariant_tier,
             seconds,
+            cpu_seconds,
             lp_size: (0, 0),
             lp_iterations: 0,
             lp_float_iterations: 0,
@@ -345,7 +358,8 @@ pub fn format_json(run: &SuiteRun) -> String {
                     "    {{\"name\": \"{}\", \"group\": \"{}\", \"tight\": {}, ",
                     "\"paper\": {}, \"computed\": {}, \"computed_int\": {}, ",
                     "\"degree\": {}, \"tier\": {}, \"status\": \"{}\", ",
-                    "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
+                    "\"seconds\": {:.2}, \"cpu_seconds\": {:.2}, ",
+                    "\"lp_variables\": {}, \"lp_constraints\": {}, ",
                     "\"lp_iterations\": {}, \"lp_float_pivots\": {}, \"lp_exact_pivots\": {}, ",
                     "\"lp_truncated\": {}, \"lp_certified\": {}, ",
                     "\"presolve_s\": {:.3}, \"float_s\": {:.3}, ",
@@ -367,6 +381,7 @@ pub fn format_json(run: &SuiteRun) -> String {
                 row.tier.index(),
                 status,
                 row.seconds,
+                row.cpu_seconds,
                 row.lp_size.0,
                 row.lp_size.1,
                 row.lp_iterations,
@@ -428,12 +443,18 @@ pub fn format_history_line_tagged(
         .iter()
         .map(|row| format!("\"{}\": {:.2}", escape(&row.name), row.seconds))
         .collect();
+    let cpu_rows: Vec<String> = run
+        .rows
+        .iter()
+        .map(|row| format!("\"{}\": {:.2}", escape(&row.name), row.cpu_seconds))
+        .collect();
     format!(
         "{{\"date\": \"{}\", \"commit\": \"{}\", \"suite\": \"{}\", \"jobs\": {}, \
          \"tight\": {}, \"total\": {}, \
          \"certified\": {}, \"truncated\": {}, \"aborted\": {}, \
          \"transitions_pruned\": {}, \"phases_split\": {}, \
-         \"wall_clock_s\": {:.2}, \"cpu_time_s\": {:.2}, \"row_seconds\": {{{}}}}}",
+         \"wall_clock_s\": {:.2}, \"cpu_time_s\": {:.2}, \"row_seconds\": {{{}}}, \
+         \"row_cpu_seconds\": {{{}}}}}",
         escape(date),
         escape(commit),
         escape(suite),
@@ -448,6 +469,7 @@ pub fn format_history_line_tagged(
         run.wall_clock.as_secs_f64(),
         run.cpu_time.as_secs_f64(),
         rows.join(", "),
+        cpu_rows.join(", "),
     )
 }
 
@@ -521,18 +543,33 @@ pub fn current_commit() -> String {
 /// the smoke bench uses this to gate per-row time regressions against the committed
 /// baseline).
 pub fn parse_baseline_seconds(json: &str) -> Vec<(String, f64)> {
+    parse_baseline_field(json, "seconds")
+}
+
+/// Like [`parse_baseline_seconds`], for the per-row `"cpu_seconds"` key. Returns an
+/// empty list on baselines committed before the key existed — callers fall back to
+/// the wall-clock baseline in that case.
+pub fn parse_baseline_cpu_seconds(json: &str) -> Vec<(String, f64)> {
+    parse_baseline_field(json, "cpu_seconds")
+}
+
+/// Extracts per-row `(name, value)` pairs for one numeric `key` from the hand-rolled
+/// BENCH json schema. The key is matched with its leading quote (`"key": `), so
+/// `"seconds"` never accidentally matches inside `"cpu_seconds"`.
+fn parse_baseline_field(json: &str, key: &str) -> Vec<(String, f64)> {
+    let needle = format!("\"{key}\": ");
     let mut out = Vec::new();
     for chunk in json.split("{\"name\": \"").skip(1) {
         let Some(name_end) = chunk.find('"') else { continue };
         let name = chunk[..name_end].to_string();
-        let Some(position) = chunk.find("\"seconds\": ") else { continue };
-        let rest = &chunk[position + "\"seconds\": ".len()..];
+        let Some(position) = chunk.find(&needle) else { continue };
+        let rest = &chunk[position + needle.len()..];
         let number: String = rest
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
             .collect();
-        if let Ok(seconds) = number.parse::<f64>() {
-            out.push((name, seconds));
+        if let Ok(value) = number.parse::<f64>() {
+            out.push((name, value));
         }
     }
     out
@@ -576,6 +613,7 @@ pub fn table2_row(
         degree: outcome.degree,
         tier: outcome.tier,
         seconds: outcome.duration.as_secs_f64(),
+        cpu_seconds: outcome.cpu_duration.as_secs_f64(),
         lp_size: outcome
             .stats()
             .map(|s| (s.lp_variables, s.lp_constraints))
@@ -667,7 +705,8 @@ pub fn format_table2_json(
                     "\"tight\": {}, \"computed\": {}, \"computed_int\": {}, ",
                     "\"degree\": {}, \"tier\": {}, \"status\": \"{}\", ",
                     "\"sound\": {}, \"agree\": {}, ",
-                    "\"seconds\": {:.2}, \"lp_variables\": {}, \"lp_constraints\": {}, ",
+                    "\"seconds\": {:.2}, \"cpu_seconds\": {:.2}, ",
+                    "\"lp_variables\": {}, \"lp_constraints\": {}, ",
                     "\"lp_certified\": {}, \"lp_truncated\": {}, ",
                     "\"transitions_pruned\": {}, \"phases_split\": {}, ",
                     "\"outcome\": \"{}\", \"aborted_phase\": {}, \"gap\": {}}}"
@@ -687,6 +726,7 @@ pub fn format_table2_json(
                 opt_bool(r.sound),
                 opt_bool(r.agree),
                 r.table.seconds,
+                r.table.cpu_seconds,
                 r.table.lp_size.0,
                 r.table.lp_size.1,
                 r.table.lp_certified,
@@ -738,6 +778,7 @@ mod tests {
             degree: 2,
             tier: InvariantTier::Baseline,
             seconds: 1.5,
+            cpu_seconds: 1.4,
             lp_size: (10, 20),
             lp_iterations: 42,
             lp_float_iterations: 40,
@@ -768,11 +809,17 @@ mod tests {
         assert!(line.contains("\"commit\": \"abc1234\""));
         assert!(line.contains("\"cpu_time_s\": 1.60"), "history line reports cpu time");
         assert!(line.contains("\"Example\": 1.50"));
+        assert!(line.contains("\"row_cpu_seconds\": {\"Example\": 1.40}"));
         assert!(!line.contains('\n'), "one line per run");
-        // The committed BENCH json parses back into per-row baselines.
+        // The committed BENCH json parses back into per-row baselines, and the wall
+        // and CPU keys never cross-match.
         let json = format_json(&run);
         let baseline = parse_baseline_seconds(&json);
         assert_eq!(baseline, vec![("Example".to_string(), 1.5)]);
+        let cpu_baseline = parse_baseline_cpu_seconds(&json);
+        assert_eq!(cpu_baseline, vec![("Example".to_string(), 1.4)]);
+        // A pre-cpu_seconds baseline parses as empty, triggering the wall fallback.
+        assert!(parse_baseline_cpu_seconds("{\"name\": \"X\", \"seconds\": 1.0}").is_empty());
     }
 
     #[test]
@@ -815,6 +862,7 @@ mod tests {
             degree: pair.degree,
             tier: InvariantTier::Baseline,
             seconds: 0.25,
+            cpu_seconds: 0.2,
             lp_size: (5, 9),
             lp_iterations: 3,
             lp_float_iterations: 3,
@@ -885,6 +933,7 @@ mod tests {
             degree: 2,
             tier: InvariantTier::Baseline,
             seconds: 1.5,
+            cpu_seconds: 1.4,
             lp_size: (10, 20),
             lp_iterations: 42,
             lp_float_iterations: 40,
@@ -918,6 +967,7 @@ mod tests {
             degree: 3,
             tier: InvariantTier::Hull,
             seconds: 0.1,
+            cpu_seconds: 0.1,
             lp_size: (0, 0),
             lp_iterations: 0,
             lp_float_iterations: 0,

@@ -9,6 +9,10 @@
 //!                                          print the lowered transition system
 //! dca suite [--jobs N] [--escalate] [--timeout SECS] [--invariant-tier T]
 //!                                          run the 19 Table-1 pairs + running example
+//! dca serve [--stdio | --listen ADDR]      run the analysis daemon (line-delimited
+//!                                          JSON; default listens on 127.0.0.1:4158)
+//! dca query <old.dca> <new.dca> [--addr ADDR] [--degree D] [--invariant-tier T]
+//!           [--timeout-ms N] [--stream]    ask a running daemon for a threshold
 //!
 //! options for diff/bound:
 //!   --degree D          template degree d = K (default 2)
@@ -93,9 +97,11 @@ fn parse_options(args: &[String]) -> Result<AnalysisOptions, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: dca <diff old new | bound program | show program | suite> \
+    let usage = "usage: dca <diff old new | bound program | show program | suite \
+                 | serve | query old new> \
                  [--degree D] [--max-products K] [--backend certified|f64|exact] \
-                 [--invariant-tier 0|1|2] [--escalate] [--jobs N] [--timeout SECS]";
+                 [--invariant-tier 0|1|2] [--escalate] [--jobs N] [--timeout SECS] \
+                 [--stdio] [--listen ADDR] [--addr ADDR] [--timeout-ms N] [--stream]";
     let Some(command) = args.first() else {
         eprintln!("{usage}");
         return ExitCode::FAILURE;
@@ -105,6 +111,8 @@ fn main() -> ExitCode {
         "bound" if args.len() >= 2 => run_bound(&args[1], &args),
         "show" if args.len() >= 2 => run_show(&args[1], &args),
         "suite" => run_suite_command(&args),
+        "serve" => run_serve(&args),
+        "query" if args.len() >= 3 => run_query(&args[1], &args[2], &args),
         _ => Err(usage.to_string()),
     };
     match result {
@@ -183,6 +191,68 @@ fn run_show(path: &str, args: &[String]) -> Result<(), String> {
     println!("{}", program.ts.render());
     println!("invariants ({tier}):\n{}", program.invariants.render(&program.ts));
     Ok(())
+}
+
+/// The default daemon endpoint for `dca serve` / `dca query`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4158";
+
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let engine = std::sync::Arc::new(dca_serve::Engine::new());
+    if has_flag(args, "--stdio") {
+        return dca_serve::serve_stdio(&engine).map_err(|e| format!("serve: {e}"));
+    }
+    let addr = flag_value(args, "--listen")?.unwrap_or(DEFAULT_ADDR);
+    dca_serve::serve_tcp(engine, addr, |bound| {
+        eprintln!("dca serve: listening on {bound}");
+    })
+    .map_err(|e| format!("serve: cannot listen on {addr}: {e}"))
+}
+
+fn run_query(old_path: &str, new_path: &str, args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let old_source =
+        std::fs::read_to_string(old_path).map_err(|e| format!("cannot read {old_path}: {e}"))?;
+    let new_source =
+        std::fs::read_to_string(new_path).map_err(|e| format!("cannot read {new_path}: {e}"))?;
+    let mut request = dca_serve::AnalyzeRequest::new("cli", new_source, old_source);
+    request.degree = match flag_value(args, "--degree")? {
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid --degree {v}"))?),
+        None => None,
+    };
+    request.tier = Some(parse_invariant_tier(args)?.index());
+    request.timeout_ms = match flag_value(args, "--timeout-ms")? {
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid --timeout-ms {v}"))?),
+        None => None,
+    };
+    request.stream = has_flag(args, "--stream");
+
+    let addr = flag_value(args, "--addr")?.unwrap_or(DEFAULT_ADDR);
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot reach a daemon at {addr} (start one with `dca serve`): {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("query: {e}"))?;
+    writeln!(writer, "{}", request.to_json()).map_err(|e| format!("query: {e}"))?;
+
+    // Print every frame as it arrives; the final frame of an analyze is always
+    // `result` or `error`, so stop (and set the exit code) there.
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(|e| format!("query: {e}"))?;
+        println!("{line}");
+        let frame = dca_serve::json::Value::parse(&line)
+            .map_err(|e| format!("unparseable frame {line:?}: {e}"))?;
+        match frame.get("type").and_then(dca_serve::json::Value::as_str) {
+            Some("result") => return Ok(()),
+            Some("error") => {
+                let message = frame
+                    .get("message")
+                    .and_then(dca_serve::json::Value::as_str)
+                    .unwrap_or("daemon reported an error");
+                return Err(message.to_string());
+            }
+            _ => {}
+        }
+    }
+    Err("daemon closed the connection before answering".to_string())
 }
 
 fn run_suite_command(args: &[String]) -> Result<(), String> {

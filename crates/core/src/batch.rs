@@ -168,6 +168,11 @@ pub struct PairOutcome {
     pub attempts: Vec<EscalationAttempt>,
     /// Wall-clock time this pair spent in its worker (compile + all solve attempts).
     pub duration: Duration,
+    /// CPU time (user + system) the worker thread charged to this pair, read from
+    /// the scheduler via [`thread_cpu_time`]. Unlike `duration` it is immune to
+    /// queue-wait and sibling-load noise, so time-regression gates compare it.
+    /// Falls back to the wall-clock `duration` on platforms without `/proc`.
+    pub cpu_duration: Duration,
 }
 
 impl PairOutcome {
@@ -217,9 +222,9 @@ impl BatchReport {
         self.outcomes.len() - self.solved()
     }
 
-    /// Sum of per-pair durations: the serial cost the parallel run amortized.
+    /// Sum of per-pair CPU times: the serial cost the parallel run amortized.
     pub fn cpu_time(&self) -> Duration {
-        self.outcomes.iter().map(|o| o.duration).sum()
+        self.outcomes.iter().map(|o| o.cpu_duration).sum()
     }
 
     /// Number of pairs whose threshold is exactly certified.
@@ -276,9 +281,10 @@ pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
                 // job and config by shared reference, and a broken invariant inside
                 // a failed solve cannot outlive it — nothing of the solve escapes
                 // except the outcome we construct — so `AssertUnwindSafe` is sound.
+                let cpu_start = thread_cpu_time();
                 let solved =
                     catch_unwind(AssertUnwindSafe(|| run_one(job, config, &batch_deadline)));
-                let outcome = solved.unwrap_or_else(|payload| PairOutcome {
+                let mut outcome = solved.unwrap_or_else(|payload| PairOutcome {
                     name: job.name.clone(),
                     result: Err(AnalysisError::Panicked {
                         phase: fault::current_phase(),
@@ -288,7 +294,15 @@ pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
                     tier: job.options.invariant_tier,
                     attempts: Vec::new(),
                     duration: job_start.elapsed(),
+                    cpu_duration: Duration::ZERO,
                 });
+                // The solve ran entirely on this thread, so the thread CPU clock
+                // delta is exactly the pair's charge; fall back to wall time where
+                // the clock is unavailable.
+                outcome.cpu_duration = match (cpu_start, thread_cpu_time()) {
+                    (Some(before), Some(after)) => after.saturating_sub(before),
+                    _ => outcome.duration,
+                };
                 // A sibling worker can only have poisoned *its own* slot (one writer
                 // per index), and a poisoned `Option` write is atomic-or-absent:
                 // recover the guard and overwrite.
@@ -315,11 +329,32 @@ pub fn run_batch(jobs: &[BatchJob], config: &BatchConfig) -> BatchReport {
                     tier: job.options.invariant_tier,
                     attempts: Vec::new(),
                     duration: Duration::ZERO,
+                    cpu_duration: Duration::ZERO,
                 }
             })
         })
         .collect();
     BatchReport { outcomes, wall_clock: start.elapsed(), jobs: workers }
+}
+
+/// CPU time (user + system) consumed so far by the *calling thread*, read from
+/// `/proc/thread-self/stat`. Returns `None` when the file is unavailable or
+/// malformed (non-Linux platforms); callers fall back to wall-clock time.
+///
+/// Per-thread CPU time is what the time-regression gates of the bench bins
+/// compare: unlike wall time it does not inflate when a run shares the machine
+/// with other load, which is the dominant source of gate flakiness in CI.
+pub fn thread_cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // The comm field can itself contain spaces and parentheses, so split at the
+    // *last* ')': everything after it is whitespace-separated numeric fields.
+    let (_, rest) = stat.rsplit_once(')')?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    // utime/stime are in clock ticks; USER_HZ is 100 on every supported target,
+    // so one tick is 10 ms.
+    Some(Duration::from_millis((utime + stime) * 10))
 }
 
 /// Renders a caught panic payload for the error report (panics almost always carry
@@ -370,6 +405,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig, batch_deadline: &Deadline) -> P
                 tier: job.options.invariant_tier,
                 attempts: Vec::new(),
                 duration: start.elapsed(),
+                cpu_duration: Duration::ZERO,
             }
         }
     };
@@ -381,6 +417,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig, batch_deadline: &Deadline) -> P
             tier: options.invariant_tier,
             attempts: Vec::new(),
             duration: start.elapsed(),
+                cpu_duration: Duration::ZERO,
         };
     }
 
@@ -394,6 +431,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig, batch_deadline: &Deadline) -> P
                 tier: escalated.tier,
                 attempts: escalated.attempts,
                 duration: start.elapsed(),
+                cpu_duration: Duration::ZERO,
             },
             Err(failure) => PairOutcome {
                 name: job.name.clone(),
@@ -406,6 +444,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig, batch_deadline: &Deadline) -> P
                     .unwrap_or(options.invariant_tier),
                 attempts: failure.attempts,
                 duration: start.elapsed(),
+                cpu_duration: Duration::ZERO,
             },
         },
         None => {
@@ -425,6 +464,7 @@ fn run_one(job: &BatchJob, config: &BatchConfig, batch_deadline: &Deadline) -> P
                 tier: options.invariant_tier,
                 attempts: vec![attempt],
                 duration: start.elapsed(),
+                cpu_duration: Duration::ZERO,
             }
         }
     }

@@ -51,6 +51,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
+pub mod cache;
 mod constraints;
 pub mod escalate;
 mod options;
@@ -60,6 +61,7 @@ mod solver;
 pub mod verify;
 
 pub use batch::{run_batch, BatchConfig, BatchJob, BatchReport, PairInput, PairOutcome};
+pub use cache::{pair_fingerprint, CachedSolve, NearMatch, ProgramCache, SolveCache};
 pub use constraints::{
     collect_program_constraints, CollectOutcome, ConstraintSet, ProgramTemplates, TemplateRole,
 };

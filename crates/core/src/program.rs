@@ -141,6 +141,52 @@ impl AnalyzedProgram {
     pub fn name(&self) -> &str {
         self.ts.name()
     }
+
+    /// The canonical, display-name-independent rendering this program is
+    /// fingerprinted from: the transition system's [`dca_ir::canonical_form`]
+    /// followed by the source annotations. The invariant *tier* is deliberately
+    /// excluded — invariants are a deterministic function of `(canonical form,
+    /// tier)`, so cache layers key on the tier separately and the escalation
+    /// ladder can reuse warm bases across tiers of the same pair.
+    pub fn canonical_form(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = dca_ir::canonical_form(&self.ts);
+        for (loc, constraints) in &self.annotations {
+            let rendered: Vec<String> =
+                constraints.iter().map(|c| c.to_string(self.ts.pool())).collect();
+            let _ = writeln!(out, "inv@{loc}:{}", rendered.join(" /\\ "));
+        }
+        out
+    }
+
+    /// A stable 64-bit structural fingerprint (FNV-1a of
+    /// [`canonical_form`](AnalyzedProgram::canonical_form)). Equal programs always
+    /// collide; unequal programs collide with negligible but nonzero probability,
+    /// so cache layers verify the canonical strings on every hit.
+    pub fn fingerprint(&self) -> u64 {
+        dca_ir::fingerprint::fnv1a(self.canonical_form().as_bytes())
+    }
+
+    /// Per-location structural sub-fingerprints (indexed by [`LocId`] index): the
+    /// transition system's location fingerprints, each folded with the source
+    /// annotations attached to that location. A location with an unchanged
+    /// sub-fingerprint between two programs contributes identical constraints to
+    /// the encoding, which is what lets a near-repeat query re-solve from its
+    /// ancestor's basis and re-derive only the edited locations' rows.
+    pub fn location_fingerprints(&self) -> Vec<u64> {
+        let mut fps = dca_ir::fingerprint_system(&self.ts).locations;
+        for (loc, constraints) in &self.annotations {
+            if let Some(fp) = fps.get_mut(loc.index()) {
+                for c in constraints {
+                    *fp = dca_ir::fingerprint::fnv1a_extend(
+                        *fp,
+                        c.to_string(self.ts.pool()).as_bytes(),
+                    );
+                }
+            }
+        }
+        fps
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,12 @@ pub struct SolveStats {
     /// Full Markowitz refactorizations the exact simplex performed mid-run
     /// (growth-triggered rebuilds; warm-start builds are not counted).
     pub lp_lu_refactorizations: usize,
+    /// `true` when a warm-start basis handed to
+    /// [`DiffCostSolver::solve_with_warm_start`] was refused because its provenance
+    /// fingerprint named a different program pair (the solve then ran cold). Name
+    /// matching alone cannot tell two programs apart, so a stamped basis from the
+    /// wrong pair is rejected rather than silently applied.
+    pub lp_warm_rejected: bool,
     /// Wall-clock time spent constructing and solving the LP.
     pub duration: Duration,
 }
@@ -270,11 +276,17 @@ impl DiffCostResult {
     /// solve before a result exists (see `PairOutcome::outcome` in the batch engine).
     pub fn outcome(&self) -> SolveOutcome {
         if self.stats.lp_truncated {
-            let lower = self.stats.lp_dual_bound;
+            // The dual bound travels as an f64 rounded from an exact rational; on a
+            // near-closed bracket that rounding can land *above* the truncated upper
+            // vertex, and reporting the resulting negative gap would read as "better
+            // than proven optimal". Clamp the bracket to the sound side: the upper
+            // bound is the trusted end (a feasible iterate), so the lower bound
+            // saturates at it and the gap at 0.
+            let lower = self.stats.lp_dual_bound.map(|lower| lower.min(self.threshold));
             SolveOutcome::TruncatedAnytime {
                 upper: self.threshold,
                 lower,
-                gap: lower.map(|lower| self.threshold - lower),
+                gap: lower.map(|lower| (self.threshold - lower).max(0.0)),
             }
         } else {
             SolveOutcome::Certified { threshold: self.threshold }
@@ -420,7 +432,35 @@ impl DiffCostSolver {
     /// splits were analyzed. The returned warm-start basis is always the *unsplit*
     /// solve's basis: split systems rename locations, so their unknowns cannot seed
     /// a later unsplit rung. `DCA_NO_SPLIT=1` disables splitting process-wide.
+    ///
+    /// The returned basis is stamped with the pair's structural fingerprint
+    /// ([`crate::cache::pair_fingerprint`]), and an *incoming* stamped basis whose
+    /// fingerprint names a different pair is refused (the solve runs cold and
+    /// [`SolveStats::lp_warm_rejected`] records the refusal). The fingerprint
+    /// covers the programs but not the degree or tier, so the escalation ladder's
+    /// rung-to-rung reuse keeps passing the guard; a cache layer that deliberately
+    /// replays a *near*-match must opt in via [`LpBasis::rebadged`].
     pub fn solve_with_warm_start(
+        &self,
+        new: &AnalyzedProgram,
+        old: &AnalyzedProgram,
+        warm: Option<&LpBasis>,
+    ) -> (Result<DiffCostResult, AnalysisError>, Option<LpBasis>) {
+        let pair = crate::cache::pair_fingerprint(new, old);
+        let warm_rejected =
+            warm.is_some_and(|basis| basis.fingerprint().is_some_and(|fp| fp != pair));
+        let warm = if warm_rejected { None } else { warm };
+        let (result, basis) = self.solve_any_split(new, old, warm);
+        let result = result.map(|mut result| {
+            result.stats.lp_warm_rejected = warm_rejected;
+            result
+        });
+        (result, basis.map(|basis| basis.rebadged(pair)))
+    }
+
+    /// [`DiffCostSolver::solve_with_warm_start`] after the provenance guard: the
+    /// unsplit solve plus the optional phase-split second solve, merged.
+    fn solve_any_split(
         &self,
         new: &AnalyzedProgram,
         old: &AnalyzedProgram,
@@ -881,6 +921,7 @@ impl DiffCostSolver {
             lp_separation_rounds: info.separation_rounds,
             lp_lu_updates: info.lu_updates,
             lp_lu_refactorizations: info.lu_refactorizations,
+            lp_warm_rejected: false,
             duration,
         };
         // Shared interpretation of an exact-rational solve outcome (the `Exact`
@@ -1171,5 +1212,63 @@ mod tests {
     fn error_display() {
         assert!(AnalysisError::NoThresholdFound.to_string().contains("threshold"));
         assert!(AnalysisError::RefutationFailed.to_string().contains("refuted"));
+    }
+
+    /// Regression: the exact dual bound is rounded to `f64` and on a near-closed
+    /// bracket can land *above* the truncated upper vertex; the outcome must clamp
+    /// the bracket instead of reporting a negative gap ("better than optimal").
+    #[test]
+    fn truncated_outcome_clamps_a_crossed_bracket() {
+        let old = analyzed(COUNT_TICK1);
+        let new = analyzed(COUNT_TICK2);
+        let mut result = DiffCostSolver::default().solve(&new, &old).unwrap();
+        result.stats.lp_truncated = true;
+        result.stats.lp_dual_bound = Some(result.threshold + 0.5);
+        match result.outcome() {
+            SolveOutcome::TruncatedAnytime { upper, lower, gap } => {
+                assert_eq!(upper, result.threshold);
+                assert_eq!(lower, Some(result.threshold), "lower must clamp to upper");
+                assert_eq!(gap, Some(0.0), "gap must clamp to zero, never go negative");
+            }
+            other => panic!("expected a truncated outcome, got {other:?}"),
+        }
+        // A well-ordered bracket passes through unclamped.
+        result.stats.lp_dual_bound = Some(result.threshold - 2.0);
+        assert_eq!(result.outcome().gap(), Some(2.0));
+    }
+
+    /// A warm basis stamped for one program pair must be refused when replayed into
+    /// a different pair — column names alone collide across unrelated programs —
+    /// and the refusing solve must still produce the cold answer.
+    #[test]
+    fn forged_warm_basis_is_refused_not_applied() {
+        let tick1 = analyzed(COUNT_TICK1);
+        let tick2 = analyzed(COUNT_TICK2);
+        let solver = DiffCostSolver::default();
+        // Pair A: (tick2, tick1). Its returned basis is stamped with A's fingerprint.
+        let (result_a, basis_a) = solver.solve_with_warm_start(&tick2, &tick1, None);
+        assert!(!result_a.unwrap().stats.lp_warm_rejected);
+        let basis_a = basis_a.expect("an LP ran, a basis must come back");
+        assert_eq!(
+            basis_a.fingerprint(),
+            Some(crate::cache::pair_fingerprint(&tick2, &tick1))
+        );
+        // Pair B: (tick1, tick2) — same column names, different programs. The forged
+        // replay is refused; the result is bit-identical to the cold solve.
+        let (cold_b, basis_b) = solver.solve_with_warm_start(&tick1, &tick2, None);
+        let cold_b = cold_b.unwrap();
+        let (warm_b, _) = solver.solve_with_warm_start(&tick1, &tick2, Some(&basis_a));
+        let warm_b = warm_b.unwrap();
+        assert!(warm_b.stats.lp_warm_rejected, "a cross-pair basis must be rejected");
+        assert_eq!(warm_b.threshold.to_bits(), cold_b.threshold.to_bits());
+        // B's own basis (and an explicitly rebadged foreign one) pass the guard.
+        let (own_b, _) =
+            solver.solve_with_warm_start(&tick1, &tick2, basis_b.as_ref());
+        assert!(!own_b.unwrap().stats.lp_warm_rejected);
+        let rebadged = basis_a.rebadged(crate::cache::pair_fingerprint(&tick1, &tick2));
+        let (rebadged_b, _) = solver.solve_with_warm_start(&tick1, &tick2, Some(&rebadged));
+        let rebadged_b = rebadged_b.unwrap();
+        assert!(!rebadged_b.stats.lp_warm_rejected);
+        assert_eq!(rebadged_b.threshold.to_bits(), cold_b.threshold.to_bits());
     }
 }

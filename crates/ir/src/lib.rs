@@ -49,6 +49,7 @@
 //! ```
 
 mod explore;
+pub mod fingerprint;
 mod generate;
 mod interp;
 mod loops;
@@ -58,6 +59,7 @@ mod state;
 mod system;
 
 pub use explore::{enumerate_box, sample_initial_states, CostBounds, CostExplorer};
+pub use fingerprint::{canonical_form, fingerprint_system, SystemFingerprint};
 pub use generate::{
     generate_pair, GeneratedPair, PairKind, ShapeParams, MAX_BLOCK_STATEMENTS,
 };

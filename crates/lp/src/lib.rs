@@ -18,7 +18,12 @@
 //! Solves can be *warm-started* from the final basis of a previous related problem
 //! ([`LpProblem::solve_f64_warm`], [`LpBasis`]): basic columns are matched by name, so
 //! the basis survives into a structurally different LP — the escalation ladder in
-//! `dca_core` threads it through consecutive `(degree, tier)` attempts.
+//! `dca_core` threads it through consecutive `(degree, tier)` attempts. Because name
+//! matching alone cannot tell two *programs* apart, a basis can additionally carry a
+//! provenance fingerprint ([`LpBasis::fingerprint`]): consumers replaying cached
+//! bases refuse a stamped basis from a different origin unless it is explicitly
+//! [`rebadged`](LpBasis::rebadged) (warm starts affect only the pivot path, never the
+//! verdict, so the opt-in is sound — but it must be an opt-in).
 //!
 //! # Example
 //!

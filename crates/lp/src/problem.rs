@@ -89,9 +89,19 @@ impl fmt::Display for LpStatus {
 /// exist are silently dropped and missing rows are covered by artificials, so a stale
 /// basis degrades gracefully to a cold start — it can speed a solve up, never make it
 /// wrong.
+///
+/// Name matching alone is safe within one escalation ladder (same program pair,
+/// rising degree/tier) but is too weak as a *cross-program* cache key: unrelated
+/// programs produce identically named columns. A producer can therefore stamp the
+/// basis with a provenance [`fingerprint`](LpBasis::fingerprint); consumers that
+/// accept bases from a cache reject stamped bases whose fingerprint names a
+/// different origin, and a deliberate near-match reuse (an edited program replayed
+/// from its ancestor's basis) must say so explicitly via
+/// [`rebadged`](LpBasis::rebadged).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LpBasis {
     names: Vec<String>,
+    fingerprint: Option<u64>,
 }
 
 impl LpBasis {
@@ -103,6 +113,50 @@ impl LpBasis {
     /// `true` if no basis was recorded.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// The provenance fingerprint stamped by the producer, if any. `None` means the
+    /// basis never left the solve that produced it (pre-stamp or intra-ladder use).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// This basis re-stamped with the given provenance fingerprint.
+    ///
+    /// Stamping is how a producer claims "this basis came from *that* origin", and
+    /// `rebadged` is the explicit opt-in for reusing it elsewhere (the serve cache's
+    /// near-repeat replay). The opt-in is sound because a warm start can only change
+    /// the pivot path, never the verdict — but it must stay explicit so an
+    /// *accidental* cross-program replay is refused instead of silently applied.
+    pub fn rebadged(mut self, fingerprint: u64) -> LpBasis {
+        self.fingerprint = Some(fingerprint);
+        self
+    }
+
+    /// Serializes to the wire form `fp|name|name|…` where `fp` is the fingerprint in
+    /// hex or `-` when unstamped. Column names never contain `|` (they are model
+    /// variable names, `…~neg` halves, or `slack#N`).
+    pub fn to_wire(&self) -> String {
+        let mut wire = match self.fingerprint {
+            Some(fp) => format!("{fp:016x}"),
+            None => "-".to_string(),
+        };
+        for name in &self.names {
+            wire.push('|');
+            wire.push_str(name);
+        }
+        wire
+    }
+
+    /// Parses the [`to_wire`](LpBasis::to_wire) form. `None` on a malformed
+    /// fingerprint field.
+    pub fn from_wire(wire: &str) -> Option<LpBasis> {
+        let mut parts = wire.split('|');
+        let fingerprint = match parts.next()? {
+            "-" => None,
+            hex => Some(u64::from_str_radix(hex, 16).ok()?),
+        };
+        Some(LpBasis { names: parts.map(str::to_string).collect(), fingerprint })
     }
 }
 
@@ -486,6 +540,7 @@ impl LpProblem {
                 .iter()
                 .filter_map(|&col| col_names.get(col).cloned())
                 .collect(),
+            fingerprint: None,
         };
         let info = LpSolveInfo {
             iterations: raw.iterations,
@@ -795,6 +850,21 @@ mod tests {
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_eq!(sol.value(x), r(3));
         assert_eq!(sol.objective.unwrap(), Rational::zero());
+    }
+
+    #[test]
+    fn basis_wire_round_trips_with_and_without_fingerprint() {
+        let (lp, _, _) = small_lp();
+        let basis = lp.solve_exact().basis;
+        assert!(!basis.is_empty());
+        assert_eq!(basis.fingerprint(), None, "a fresh solve leaves the basis unstamped");
+        assert_eq!(LpBasis::from_wire(&basis.to_wire()), Some(basis.clone()));
+        let stamped = basis.rebadged(0xdead_beef_0123_4567);
+        assert_eq!(stamped.fingerprint(), Some(0xdead_beef_0123_4567));
+        assert_eq!(LpBasis::from_wire(&stamped.to_wire()), Some(stamped));
+        // Malformed fingerprint fields are refused, empty bases survive.
+        assert_eq!(LpBasis::from_wire("zz|x"), None);
+        assert_eq!(LpBasis::from_wire("-"), Some(LpBasis::default()));
     }
 
     #[test]

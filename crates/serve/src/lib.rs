@@ -1,0 +1,31 @@
+//! Analysis-as-a-service: the persistent `dca serve` daemon.
+//!
+//! The daemon keeps a [`ProgramCache`](dca_core::ProgramCache) (hash-consed
+//! compilation + invariant analysis) and a [`SolveCache`](dca_core::SolveCache)
+//! (certified results keyed by structural pair fingerprint) alive across requests,
+//! so repeated program-pair queries are answered pivot-free from the cache and
+//! *edited* pairs re-solve from the nearest cached basis instead of from scratch.
+//!
+//! The protocol is line-delimited JSON over TCP or stdin/stdout — one request per
+//! line in, one or more frames per line out (see [`protocol`]); there are no
+//! external crates, the [`json`] module hand-rolls the parsing. Long solves can
+//! stream incremental anytime frames (`{upper, lower, gap}` from the solver's
+//! degradation ladder) before the final result.
+//!
+//! Fault isolation mirrors the batch engine: every request runs under a
+//! [scoped](dca_lp::Deadline::scoped) child of the daemon deadline and inside
+//! `catch_unwind`, so one poisoned request reports an error frame while the
+//! daemon — and every concurrent sibling request — keeps running.
+
+#![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use engine::Engine;
+pub use protocol::{AnalyzeRequest, Frame, Request, ResultFrame};
+pub use server::{serve_connection, serve_stdio, serve_tcp};

@@ -1,0 +1,172 @@
+//! Concurrent-cache soak test for the serve engine.
+//!
+//! One engine, many threads, three phases — a single `#[test]` because the
+//! fault injector's armed state is process-global:
+//!
+//! 1. **Seed** (serial): cold-solve pair A through the engine; cold-solve the
+//!    edited pair B through a *fresh reference* engine to learn its true
+//!    threshold and cold latency.
+//! 2. **Soak** (concurrent): worker threads hammer the shared engine with
+//!    exact repeats of A (must all be pivot-free cache hits with bit-identical
+//!    thresholds) interleaved with near-repeats B (must warm-start from A's
+//!    basis and certify the reference threshold). Repeat queries must beat the
+//!    cold solve by ≥ 10x.
+//! 3. **Fault** (concurrent): arm a one-shot encode panic, query a *fresh*
+//!    pair E from one thread (contained error frame) while sibling threads
+//!    repeat A — the poisoned request must leave every sibling certified.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dca_lp::fault::{self, FaultSpec};
+use dca_serve::protocol::{AnalyzeRequest, Frame, Request, ResultFrame};
+use dca_serve::Engine;
+
+/// A one-loop program; `tick` selects the cost, `bound` the loop bound — so
+/// distinct `(tick, bound)` values give structurally distinct program pairs.
+fn source(tick: u32, bound: u32) -> String {
+    format!(
+        "proc count(n) {{ assume(n >= 1 && n <= {bound}); i = 0; \
+         while (i < n) {{ tick({tick}); i = i + 1; }} }}"
+    )
+}
+
+fn analyze(id: &str, new: String, old: String) -> Request {
+    Request::Analyze(AnalyzeRequest::new(id, new, old))
+}
+
+fn result_frame(frames: Vec<Frame>) -> ResultFrame {
+    match frames.as_slice() {
+        [Frame::Result(r)] => r.clone(),
+        other => panic!("expected a single result frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_soak_hits_near_repeats_and_fault_isolation() {
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 8;
+
+    let engine = Arc::new(Engine::new());
+    let old = source(1, 30);
+    let pair_a = |id: &str| analyze(id, source(2, 30), old.clone());
+    let pair_b = |id: &str| analyze(id, source(3, 30), old.clone());
+
+    // Phase 1 — seed. Pair A cold through the shared engine; pair B cold
+    // through a throwaway engine so the soak phase has an independent oracle.
+    let cold_started = Instant::now();
+    let cold = result_frame(engine.handle_collect(&pair_a("seed-a")));
+    let cold_elapsed = cold_started.elapsed();
+    assert_eq!(cold.cache, "miss");
+    assert_eq!(cold.outcome, "certified");
+    let reference_b = result_frame(Engine::new().handle_collect(&pair_b("ref-b")));
+    assert_eq!(reference_b.outcome, "certified");
+
+    // Phase 2 — soak. Even workers repeat A, odd workers near-repeat B.
+    let fastest_hit = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..WORKERS {
+            let engine = Arc::clone(&engine);
+            let pair_a = &pair_a;
+            let pair_b = &pair_b;
+            let reference_b = &reference_b;
+            let cold = &cold;
+            handles.push(scope.spawn(move || {
+                let mut fastest = Duration::MAX;
+                for round in 0..ROUNDS {
+                    let id = format!("soak-{worker}-{round}");
+                    if worker % 2 == 0 {
+                        let started = Instant::now();
+                        let hit = result_frame(engine.handle_collect(&pair_a(&id)));
+                        fastest = fastest.min(started.elapsed());
+                        assert_eq!(hit.cache, "hit", "{id}: repeats must hit");
+                        assert_eq!(hit.lp_iterations, 0, "{id}: hits must be pivot-free");
+                        assert_eq!(
+                            hit.threshold.to_bits(),
+                            cold.threshold.to_bits(),
+                            "{id}: hits must be bit-identical to the cold solve"
+                        );
+                    } else {
+                        let near = result_frame(engine.handle_collect(&pair_b(&id)));
+                        assert_eq!(near.outcome, "certified", "{id}");
+                        // The first B query to finish inserts B into the cache,
+                        // so racing siblings may see either a warm near-match
+                        // re-solve or a plain hit — both must agree with the
+                        // reference oracle.
+                        match near.cache.as_str() {
+                            "near" => assert!(
+                                near.invalidated >= 1,
+                                "{id}: the edit must invalidate a location"
+                            ),
+                            "hit" => assert_eq!(near.lp_iterations, 0, "{id}"),
+                            other => panic!("{id}: unexpected cache state {other:?}"),
+                        }
+                        assert_eq!(
+                            near.threshold.to_bits(),
+                            reference_b.threshold.to_bits(),
+                            "{id}: near-repeats must certify the reference threshold"
+                        );
+                    }
+                }
+                fastest
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .min()
+            .unwrap_or(Duration::MAX)
+    });
+    assert!(
+        cold_elapsed >= 10 * fastest_hit,
+        "repeat queries must be >= 10x faster than the cold solve \
+         (cold {cold_elapsed:?}, fastest hit {fastest_hit:?})"
+    );
+
+    // Phase 3 — fault isolation. One-shot encode panic: the fresh pair E's
+    // cold solve is the only query that enters encode (repeats of A are
+    // answered from the cache), so exactly that request must fail — contained
+    // — while concurrent siblings stay certified.
+    fault::install(Some(FaultSpec::parse("encode:panic:1").unwrap()));
+    std::thread::scope(|scope| {
+        let poisoned = {
+            let engine = Arc::clone(&engine);
+            let old = old.clone();
+            scope.spawn(move || {
+                engine.handle_collect(&analyze("fault-e", source(5, 30), old))
+            })
+        };
+        for worker in 0..WORKERS {
+            let engine = Arc::clone(&engine);
+            let pair_a = &pair_a;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let id = format!("fault-{worker}-{round}");
+                    let hit = result_frame(engine.handle_collect(&pair_a(&id)));
+                    assert_eq!(hit.outcome, "certified", "{id}: siblings must stay certified");
+                    assert_eq!(hit.lp_iterations, 0, "{id}");
+                }
+            });
+        }
+        match poisoned.join().unwrap().as_slice() {
+            [Frame::Error { code, phase, message, .. }] => {
+                assert_eq!(code, "panic");
+                assert_eq!(phase.as_deref(), Some("encode"));
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected a contained panic error frame, got {other:?}"),
+        }
+    });
+    assert!(fault::triggered(), "the armed fault must actually have fired");
+    fault::install(None);
+
+    // The poisoned request must not have polluted the cache: pair E certifies
+    // cleanly now, and the A/B entries are still there.
+    let recovered = result_frame(engine.handle_collect(&analyze(
+        "recover-e",
+        source(5, 30),
+        old.clone(),
+    )));
+    assert_eq!(recovered.outcome, "certified");
+    assert!(engine.solve_cache().len() >= 3);
+}
